@@ -1,0 +1,54 @@
+//! Substrate microbenchmark: makespan evaluation throughput.
+//!
+//! Every figure's cost is dominated by schedule evaluations (the SE
+//! allocation step performs |positions| × Y of them per selected task),
+//! so this bench tracks the O(k + p) evaluator across instance sizes,
+//! plus the cost of the DES replay cross-check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mshc_schedule::{random_solution, replay, Evaluator};
+use mshc_workloads::WorkloadSpec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluator");
+    for &tasks in &[25usize, 100, 400] {
+        let spec = WorkloadSpec { tasks, ..WorkloadSpec::large(11) };
+        let inst = spec.generate();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let sol = random_solution(&inst, &mut rng);
+        let mut eval = Evaluator::new(&inst);
+        group.bench_with_input(BenchmarkId::new("analytic", tasks), &tasks, |b, _| {
+            b.iter(|| black_box(eval.makespan(black_box(&sol))))
+        });
+        group.bench_with_input(BenchmarkId::new("des_replay", tasks), &tasks, |b, _| {
+            b.iter(|| black_box(replay(&inst, black_box(&sol)).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_solution_moves(c: &mut Criterion) {
+    let inst = WorkloadSpec::large(12).generate();
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let mut sol = random_solution(&inst, &mut rng);
+    let g = inst.graph();
+    c.bench_function("solution/move_task_roundtrip", |b| {
+        let t = mshc_taskgraph::TaskId::new(50);
+        b.iter(|| {
+            let (lo, hi) = sol.valid_range(g, t);
+            let m = sol.machine_of(t);
+            sol.move_task(g, t, lo, m).unwrap();
+            sol.move_task(g, t, hi, m).unwrap();
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_evaluator, bench_solution_moves
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Baseline heuristic throughput: HEFT, CPOP and the list family on the
+//! paper's 100-task / 20-machine comparison workload. These one-shot
+//! algorithms anchor the quality band the iterative schedulers are
+//! compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mshc_heuristics::{CpopScheduler, HeftScheduler, ListPolicy, ListScheduler};
+use mshc_schedule::{RunBudget, Scheduler};
+use mshc_workloads::FigureWorkload;
+use std::hint::black_box;
+
+fn bench_constructive(c: &mut Criterion) {
+    let inst = FigureWorkload::Fig5.spec(2001).generate();
+    let budget = RunBudget::default();
+    let mut group = c.benchmark_group("heuristics");
+    group.bench_function("heft", |b| {
+        b.iter(|| black_box(HeftScheduler::new().run(&inst, &budget, None).makespan))
+    });
+    group.bench_function("cpop", |b| {
+        b.iter(|| black_box(CpopScheduler::new().run(&inst, &budget, None).makespan))
+    });
+    for policy in ListPolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("list", policy.name()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    black_box(ListScheduler::new(policy).run(&inst, &budget, None).makespan)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_constructive
+}
+criterion_main!(benches);

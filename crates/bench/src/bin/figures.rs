@@ -1,0 +1,219 @@
+//! Regenerates every evaluation figure of the SE paper.
+//!
+//! ```text
+//! cargo run --release -p mshc-bench --bin figures -- all
+//! cargo run --release -p mshc-bench --bin figures -- fig3 fig5 --fast
+//! cargo run --release -p mshc-bench --bin figures -- all --iters 2000 --wall 20 --out results
+//! ```
+//!
+//! Outputs CSV series under `results/` (one file per figure; see
+//! DESIGN.md §4) plus terminal ASCII previews, and finishes with a
+//! summary block suitable for EXPERIMENTS.md.
+
+use mshc_bench::experiments::{
+    aggregate_races, baseline_band, contention_probe, fig3, fig4, fig5_7, ExperimentScale,
+};
+use mshc_bench::report::{emit_band, emit_fig3, emit_fig4, emit_race};
+use mshc_platform::InstanceMetrics;
+use mshc_workloads::{FigureWorkload, Heterogeneity};
+use std::path::PathBuf;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Args {
+    figures: Vec<String>,
+    scale: ExperimentScale,
+    out: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut figures = Vec::new();
+    let mut scale = ExperimentScale::full();
+    let mut out = PathBuf::from("results");
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "all" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "band" | "agg"
+            | "contention" => figures.push(a),
+            "--fast" => scale = ExperimentScale::fast(),
+            "--iters" => {
+                scale.iterations = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs an integer");
+            }
+            "--wall" => {
+                let secs: f64 = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--wall needs seconds");
+                scale.wall = Duration::from_secs_f64(secs);
+            }
+            "--seed" => {
+                scale.seed =
+                    argv.next().and_then(|v| v.parse().ok()).expect("--seed needs an integer");
+            }
+            "--out" => {
+                out = PathBuf::from(argv.next().expect("--out needs a path"));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!(
+                    "usage: figures [all|fig3|fig4|fig5|fig6|fig7|band|agg ...] \
+                     [--fast] [--iters N] [--wall SECS] [--seed N] [--out DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures.push("all".to_string());
+    }
+    Args { figures, scale, out }
+}
+
+fn want(args: &Args, name: &str) -> bool {
+    args.figures.iter().any(|f| f == name || f == "all")
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create output dir");
+    let scale = args.scale;
+    println!(
+        "# mshc figures: seed {}, {} iterations (figs 3-4), {:?} wall (figs 5-7)",
+        scale.seed, scale.iterations, scale.wall
+    );
+    let mut summary: Vec<String> = Vec::new();
+
+    if want(&args, "fig3") {
+        let r = fig3(&scale);
+        let m = InstanceMetrics::compute(&r.instance);
+        print!("{}", emit_fig3(&r, &args.out).expect("write fig3"));
+        let first = r.trace.records()[0].selected.unwrap();
+        let n = r.trace.len();
+        let tail: f64 = r.trace.records()[n - n / 4..]
+            .iter()
+            .map(|rec| rec.selected.unwrap() as f64)
+            .sum::<f64>()
+            / (n / 4) as f64;
+        summary.push(format!(
+            "fig3: k={} l={} conn={:.2} | selected {} -> {:.1} (first iter -> last-quartile mean); \
+             schedule {:.0} -> {:.0}",
+            m.tasks,
+            m.machines,
+            m.connectivity,
+            first,
+            tail,
+            r.trace.records()[0].current_cost,
+            r.result.makespan
+        ));
+    }
+
+    if want(&args, "fig4") {
+        let ys = [5usize, 9, 12];
+        for (het, file, label) in [
+            (Heterogeneity::Low, "fig4a.csv", "fig4a(lowH)"),
+            (Heterogeneity::High, "fig4b.csv", "fig4b(highH)"),
+        ] {
+            let r = fig4(het, &ys, &scale);
+            print!("{}", emit_fig4(&r, &args.out, file).expect("write fig4"));
+            let finals: Vec<String> = r
+                .runs
+                .iter()
+                .map(|(y, _, res)| format!("Y={y}:{:.0}", res.makespan))
+                .collect();
+            summary.push(format!("{label}: final schedule lengths {}", finals.join(" ")));
+        }
+    }
+
+    for (name, figure, file) in [
+        ("fig5", FigureWorkload::Fig5, "fig5.csv"),
+        ("fig6", FigureWorkload::Fig6, "fig6.csv"),
+        ("fig7", FigureWorkload::Fig7, "fig7.csv"),
+    ] {
+        if !want(&args, name) {
+            continue;
+        }
+        let r = fig5_7(figure, &scale);
+        print!("{}", emit_race(&r, &args.out, file).expect("write race"));
+        summary.push(format!(
+            "{name}: SE best {:.0} ({} iters, {} evals) vs GA best {:.0} ({} gens, {} evals)",
+            r.se.1.makespan,
+            r.se.1.iterations,
+            r.se.1.evaluations,
+            r.ga.1.makespan,
+            r.ga.1.iterations,
+            r.ga.1.evaluations
+        ));
+    }
+
+    // `agg` is opt-in only (not part of `all`): a 5-seed sweep at a real
+    // evaluation budget takes minutes.
+    if args.figures.iter().any(|f| f == "agg") {
+        let seeds = [scale.seed, scale.seed + 1, scale.seed + 2, scale.seed + 3, scale.seed + 4];
+        let evals = 300_000u64;
+        let mut table = mshc_trace::CsvTable::new([
+            "workload", "algo", "n", "mean", "std", "min", "max",
+        ]);
+        for figure in [FigureWorkload::Fig5, FigureWorkload::Fig6, FigureWorkload::Fig7] {
+            for row in aggregate_races(figure, &seeds, evals) {
+                let s = row.summary;
+                table.push_row([
+                    row.workload.to_string(),
+                    row.algo.to_string(),
+                    s.n.to_string(),
+                    format!("{:.1}", s.mean),
+                    format!("{:.1}", s.std),
+                    format!("{:.1}", s.min),
+                    format!("{:.1}", s.max),
+                ]);
+                summary.push(format!(
+                    "agg {} {}: mean {:.0} ± {:.0} (n={}, {evals} evals)",
+                    row.workload, row.algo, s.mean, s.std, s.n
+                ));
+            }
+        }
+        table.write_file(args.out.join("aggregate_races.csv")).expect("write agg");
+    }
+
+    // Like `agg`, `contention` is opt-in only.
+    if args.figures.iter().any(|f| f == "contention") {
+        let mut table =
+            mshc_trace::CsvTable::new(["workload", "contention_free", "per_pair_link", "ratio"]);
+        for figure in FigureWorkload::ALL {
+            let (free, linked) = contention_probe(figure, &scale);
+            table.push_row([
+                figure.name().to_string(),
+                format!("{free:.1}"),
+                format!("{linked:.1}"),
+                format!("{:.3}", linked / free),
+            ]);
+            summary.push(format!(
+                "contention {}: {:.0} -> {:.0} (x{:.3})",
+                figure.name(),
+                free,
+                linked,
+                linked / free
+            ));
+        }
+        table.write_file(args.out.join("contention.csv")).expect("write contention");
+    }
+
+    if want(&args, "band") {
+        for figure in FigureWorkload::ALL {
+            let inst = figure.spec(scale.seed).generate();
+            let band = baseline_band(&inst);
+            emit_band(&band, &args.out, &format!("band_{}.csv", figure.name()))
+                .expect("write band");
+            let row: Vec<String> =
+                band.iter().map(|(n, mk)| format!("{n}:{mk:.0}")).collect();
+            summary.push(format!("band {}: {}", figure.name(), row.join(" ")));
+        }
+    }
+
+    println!("\n## summary (paste into EXPERIMENTS.md)");
+    for line in &summary {
+        println!("- {line}");
+    }
+}

@@ -1,0 +1,24 @@
+//! # mshc-bench
+//!
+//! Benchmark and figure-regeneration harness for the SE paper. The
+//! library half hosts the experiment runners (shared by the `figures`
+//! binary, the Criterion benches and the integration tests); the
+//! `benches/` half hosts one Criterion target per figure family plus
+//! substrate microbenchmarks.
+//!
+//! Experiment ↔ figure map (see DESIGN.md §4 for the full index):
+//!
+//! | paper figure | runner | output |
+//! |---|---|---|
+//! | Fig 3a/3b | [`experiments::fig3`] | `results/fig3a.csv`, `results/fig3b.csv` |
+//! | Fig 4a | [`experiments::fig4`] (low heterogeneity) | `results/fig4a.csv` |
+//! | Fig 4b | [`experiments::fig4`] (high heterogeneity) | `results/fig4b.csv` |
+//! | Fig 5 | [`experiments::fig5_7`] (high connectivity) | `results/fig5.csv` |
+//! | Fig 6 | [`experiments::fig5_7`] (CCR = 1) | `results/fig6.csv` |
+//! | Fig 7 | [`experiments::fig5_7`] (easy workload) | `results/fig7.csv` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

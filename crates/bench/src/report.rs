@@ -1,0 +1,128 @@
+//! CSV/plot emission for the figure runners.
+
+use crate::experiments::{Fig3Result, Fig4Result, RaceResult};
+use mshc_trace::{write_csv, AsciiPlot, CsvTable, Series};
+use std::io;
+use std::path::Path;
+
+/// Maximum points per exported series (keeps CSVs and plots readable).
+const MAX_POINTS: usize = 400;
+
+/// Writes `results/fig3a.csv` (+`fig3b.csv`) and returns terminal plots.
+pub fn emit_fig3(r: &Fig3Result, dir: &Path) -> io::Result<String> {
+    let selected = r.trace.selected_series().downsampled(MAX_POINTS);
+    let length = r.trace.current_cost_series().downsampled(MAX_POINTS);
+    write_csv("iteration", std::slice::from_ref(&selected)).write_file(dir.join("fig3a.csv"))?;
+    write_csv("iteration", std::slice::from_ref(&length)).write_file(dir.join("fig3b.csv"))?;
+    let mut out = AsciiPlot::new("Fig 3a: selected subtasks vs iteration", 72, 14)
+        .render(&[selected]);
+    out.push_str(
+        &AsciiPlot::new("Fig 3b: schedule length vs iteration", 72, 14).render(&[length]),
+    );
+    Ok(out)
+}
+
+/// Writes `results/fig4a.csv` or `fig4b.csv` and returns a terminal plot.
+pub fn emit_fig4(r: &Fig4Result, dir: &Path, file: &str) -> io::Result<String> {
+    let series: Vec<Series> = r
+        .runs
+        .iter()
+        .map(|(y, trace, _)| {
+            trace.current_cost_series().downsampled(MAX_POINTS).renamed(format!("Y={y}"))
+        })
+        .collect();
+    write_csv("iteration", &series).write_file(dir.join(file))?;
+    Ok(AsciiPlot::new(
+        format!("Fig 4 ({:?} heterogeneity): schedule length vs iteration", r.heterogeneity),
+        72,
+        14,
+    )
+    .render(&series))
+}
+
+/// Writes `results/fig{5,6,7}.csv` (best-so-far vs wall seconds for SE
+/// and GA, plus the evaluation-count axis) and returns a terminal plot.
+pub fn emit_race(r: &RaceResult, dir: &Path, file: &str) -> io::Result<String> {
+    let se_t = r.se.0.best_vs_time_series().downsampled(MAX_POINTS).renamed("se");
+    let ga_t = r.ga.0.best_vs_time_series().downsampled(MAX_POINTS).renamed("ga");
+    write_csv("seconds", &[se_t.clone(), ga_t.clone()]).write_file(dir.join(file))?;
+    let se_e = r.se.0.best_vs_evals_series().downsampled(MAX_POINTS).renamed("se");
+    let ga_e = r.ga.0.best_vs_evals_series().downsampled(MAX_POINTS).renamed("ga");
+    let evals_file = file.replace(".csv", "_evals.csv");
+    write_csv("evaluations", &[se_e, ga_e]).write_file(dir.join(evals_file))?;
+    Ok(AsciiPlot::new(
+        format!("{}: best schedule length vs time (s)", file.trim_end_matches(".csv")),
+        72,
+        14,
+    )
+    .render(&[se_t, ga_t]))
+}
+
+/// Writes a summary table of `(name, makespan)` rows.
+pub fn emit_band(rows: &[(String, f64)], dir: &Path, file: &str) -> io::Result<()> {
+    let mut t = CsvTable::new(["algorithm", "makespan"]);
+    for (name, mk) in rows {
+        t.push_row([name.clone(), format!("{mk}")]);
+    }
+    t.write_file(dir.join(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{fig3, fig4, fig5_7, ExperimentScale};
+    use mshc_workloads::{FigureWorkload, Heterogeneity};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join("mshc_bench_report").join(name);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn fig3_emission_writes_csvs() {
+        let d = tmpdir("fig3");
+        let r = fig3(&ExperimentScale::fast());
+        let art = emit_fig3(&r, &d).unwrap();
+        assert!(art.contains("Fig 3a"));
+        let a = std::fs::read_to_string(d.join("fig3a.csv")).unwrap();
+        assert!(a.starts_with("iteration,selected"));
+        assert!(a.lines().count() > 10);
+        let b = std::fs::read_to_string(d.join("fig3b.csv")).unwrap();
+        assert!(b.starts_with("iteration,current_cost"));
+    }
+
+    #[test]
+    fn fig4_emission_has_y_columns() {
+        let d = tmpdir("fig4");
+        let r = fig4(Heterogeneity::Low, &[2, 4], &ExperimentScale::fast());
+        let art = emit_fig4(&r, &d, "fig4a.csv").unwrap();
+        assert!(art.contains("Y=2"));
+        let csv = std::fs::read_to_string(d.join("fig4a.csv")).unwrap();
+        assert!(csv.starts_with("iteration,Y=2,Y=4"));
+    }
+
+    #[test]
+    fn race_emission_writes_both_axes() {
+        let d = tmpdir("race");
+        let r = fig5_7(FigureWorkload::Fig7, &ExperimentScale::fast());
+        emit_race(&r, &d, "fig7.csv").unwrap();
+        let t = std::fs::read_to_string(d.join("fig7.csv")).unwrap();
+        assert!(t.starts_with("seconds,se,ga"));
+        let e = std::fs::read_to_string(d.join("fig7_evals.csv")).unwrap();
+        assert!(e.starts_with("evaluations,se,ga"));
+    }
+
+    #[test]
+    fn band_emission() {
+        let d = tmpdir("band");
+        emit_band(
+            &[("heft".to_string(), 10.0), ("min-min".to_string(), 12.5)],
+            &d,
+            "band.csv",
+        )
+        .unwrap();
+        let t = std::fs::read_to_string(d.join("band.csv")).unwrap();
+        assert_eq!(t, "algorithm,makespan\nheft,10\nmin-min,12.5\n");
+    }
+}

@@ -1,0 +1,101 @@
+//! Tiny flag parser — `--key value` pairs plus positional words. The
+//! option surface is small enough that hand-rolling beats pulling an
+//! argument-parsing dependency into the sanctioned set.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: positional words and `--key value` options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Parsed {
+    /// Positional (non-flag) words in order.
+    pub positional: Vec<String>,
+    /// `--key value` pairs; bare `--flag` stores an empty string.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Splits `argv`. A `--key` immediately followed by another `--key` (or
+/// by nothing) is treated as a boolean flag.
+pub fn parse(argv: &[String]) -> Parsed {
+    let mut parsed = Parsed::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if let Some(key) = a.strip_prefix("--") {
+            let value = argv.get(i + 1).filter(|v| !v.starts_with("--"));
+            match value {
+                Some(v) => {
+                    parsed.options.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                None => {
+                    parsed.options.insert(key.to_string(), String::new());
+                    i += 1;
+                }
+            }
+        } else {
+            parsed.positional.push(a.clone());
+            i += 1;
+        }
+    }
+    parsed
+}
+
+impl Parsed {
+    /// String option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag presence.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.contains_key(key)
+    }
+
+    /// Typed option with a default; errors mention the flag name.
+    pub fn get_parse<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("--{key}: cannot parse {raw:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_and_options() {
+        let p = parse(&argv(&["run", "--algo", "se", "--iters", "100", "--gantt"]));
+        assert_eq!(p.positional, vec!["run"]);
+        assert_eq!(p.get("algo"), Some("se"));
+        assert_eq!(p.get_parse("iters", 0u64).unwrap(), 100);
+        assert!(p.flag("gantt"));
+        assert!(!p.flag("missing"));
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let p = parse(&argv(&["--fast", "--seed", "9"]));
+        assert!(p.flag("fast"));
+        assert_eq!(p.get("seed"), Some("9"));
+    }
+
+    #[test]
+    fn parse_errors_name_the_flag() {
+        let p = parse(&argv(&["--iters", "abc"]));
+        let e = p.get_parse("iters", 0u64).unwrap_err();
+        assert!(e.contains("--iters"));
+        assert!(e.contains("abc"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse(&argv(&[]));
+        assert_eq!(p.get_parse("tasks", 42usize).unwrap(), 42);
+    }
+}

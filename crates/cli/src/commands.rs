@@ -1,0 +1,324 @@
+//! Subcommand implementations.
+
+use crate::args::{parse, Parsed};
+use mshc_core::{SeConfig, SeScheduler};
+use mshc_ga::{GaConfig, GaScheduler};
+use mshc_heuristics::{
+    CpopScheduler, HeftScheduler, ListPolicy, ListScheduler, RandomSearch, SaConfig,
+    SimulatedAnnealing, TabuConfig, TabuSearch,
+};
+use mshc_platform::{HcInstance, InstanceMetrics};
+use mshc_schedule::{Evaluator, Gantt, RunBudget, Scheduler};
+use mshc_trace::Trace;
+use mshc_workloads::{Connectivity, Heterogeneity, WorkloadSpec};
+use std::time::Duration;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mshc <command> [options]
+
+commands:
+  generate   build a random workload and write it as JSON
+             --tasks N --machines L --connectivity low|medium|high
+             --heterogeneity low|medium|high --ccr X --seed N --out FILE
+  run        run one scheduler on a workload
+             --algo se|ga|heft|heft-ins|cpop|met|mct|olb|min-min|max-min|random|sa|tabu
+             [--instance FILE | workload options] [--iters N] [--wall SECS]
+             [--seed N] [--bias B] [--y Y] [--gantt] [--trace FILE]
+  compare    run every scheduler on one workload and print a table
+             [--instance FILE | workload options] [--iters N] [--wall SECS]
+  info       print instance metrics
+             --instance FILE | workload options
+";
+
+/// Entry point: dispatches `argv` to a subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let parsed = parse(argv);
+    match parsed.positional.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&parsed),
+        Some("run") => cmd_run(&parsed),
+        Some("compare") => cmd_compare(&parsed),
+        Some("info") => cmd_info(&parsed),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("missing command".to_string()),
+    }
+}
+
+fn workload_spec(p: &Parsed) -> Result<WorkloadSpec, String> {
+    let connectivity = match p.get("connectivity").unwrap_or("medium") {
+        "low" => Connectivity::Low,
+        "medium" => Connectivity::Medium,
+        "high" => Connectivity::High,
+        other => return Err(format!("--connectivity: unknown class {other:?}")),
+    };
+    let heterogeneity = match p.get("heterogeneity").unwrap_or("medium") {
+        "low" => Heterogeneity::Low,
+        "medium" => Heterogeneity::Medium,
+        "high" => Heterogeneity::High,
+        other => return Err(format!("--heterogeneity: unknown class {other:?}")),
+    };
+    Ok(WorkloadSpec {
+        tasks: p.get_parse("tasks", 50usize)?,
+        machines: p.get_parse("machines", 8usize)?,
+        connectivity,
+        heterogeneity,
+        ccr: p.get_parse("ccr", 0.5f64)?,
+        seed: p.get_parse("seed", 2001u64)?,
+    })
+}
+
+fn load_instance(p: &Parsed) -> Result<HcInstance, String> {
+    match p.get("instance") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            serde_json::from_str(&text).map_err(|e| format!("{path}: invalid instance: {e}"))
+        }
+        None => Ok(workload_spec(p)?.generate()),
+    }
+}
+
+fn budget(p: &Parsed) -> Result<RunBudget, String> {
+    let mut b = RunBudget::default();
+    let iters: u64 = p.get_parse("iters", 0)?;
+    if iters > 0 {
+        b.max_iterations = Some(iters);
+    }
+    let wall: f64 = p.get_parse("wall", 0.0)?;
+    if wall > 0.0 {
+        b.max_wall = Some(Duration::from_secs_f64(wall));
+    }
+    if !b.is_bounded() {
+        b.max_iterations = Some(200); // sensible default for iterative algos
+    }
+    Ok(b)
+}
+
+fn make_scheduler(p: &Parsed, name: &str) -> Result<Box<dyn Scheduler>, String> {
+    let seed: u64 = p.get_parse("seed", 2001)?;
+    Ok(match name {
+        "se" => {
+            let mut cfg = SeConfig { seed, ..SeConfig::default() };
+            cfg.selection_bias = p.get_parse("bias", f64::NAN)?;
+            let y: usize = p.get_parse("y", 0)?;
+            if y > 0 {
+                cfg.y_limit = Some(y);
+            }
+            Box::new(SePendingBias(cfg))
+        }
+        "ga" => Box::new(GaScheduler::new(GaConfig { seed, ..GaConfig::default() })),
+        "heft" => Box::new(HeftScheduler::new()),
+        "heft-ins" => Box::new(HeftScheduler::with_insertion()),
+        "cpop" => Box::new(CpopScheduler::new()),
+        "met" => Box::new(ListScheduler::new(ListPolicy::Met)),
+        "mct" => Box::new(ListScheduler::new(ListPolicy::Mct)),
+        "olb" => Box::new(ListScheduler::new(ListPolicy::Olb)),
+        "min-min" => Box::new(ListScheduler::new(ListPolicy::MinMin)),
+        "max-min" => Box::new(ListScheduler::new(ListPolicy::MaxMin)),
+        "random" => Box::new(RandomSearch::new(seed)),
+        "sa" => Box::new(SimulatedAnnealing::new(SaConfig { seed, ..SaConfig::default() })),
+        "tabu" => Box::new(TabuSearch::new(TabuConfig { seed, ..TabuConfig::default() })),
+        other => return Err(format!("--algo: unknown algorithm {other:?}")),
+    })
+}
+
+/// SE wrapper that resolves a NaN bias to the paper-recommended value for
+/// the instance size at run time (the CLI does not know the size when the
+/// flag is parsed).
+struct SePendingBias(SeConfig);
+
+impl Scheduler for SePendingBias {
+    fn name(&self) -> &str {
+        "se"
+    }
+    fn run(
+        &mut self,
+        inst: &HcInstance,
+        budget: &RunBudget,
+        trace: Option<&mut Trace>,
+    ) -> mshc_schedule::RunResult {
+        let mut cfg = self.0;
+        if cfg.selection_bias.is_nan() {
+            cfg.selection_bias = SeConfig::recommended_bias(inst.task_count());
+        }
+        SeScheduler::new(cfg).run(inst, budget, trace)
+    }
+}
+
+fn cmd_generate(p: &Parsed) -> Result<(), String> {
+    let spec = workload_spec(p)?;
+    let inst = spec.generate();
+    let json = serde_json::to_string(&inst).map_err(|e| e.to_string())?;
+    match p.get("out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {} ({} tasks, {} machines, {} data items) tag={}",
+                path, inst.task_count(), inst.machine_count(), inst.data_count(), spec.tag());
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn cmd_run(p: &Parsed) -> Result<(), String> {
+    let algo = p.get("algo").ok_or("run: --algo is required")?.to_string();
+    let inst = load_instance(p)?;
+    let budget = budget(p)?;
+    let mut scheduler = make_scheduler(p, &algo)?;
+    let mut trace = Trace::new();
+    let result = scheduler.run(&inst, &budget, Some(&mut trace));
+    result
+        .solution
+        .check(inst.graph())
+        .map_err(|e| format!("BUG: scheduler emitted invalid solution: {e}"))?;
+    println!(
+        "{algo}: makespan {:.2} | {} iterations, {} evaluations, {:.3}s",
+        result.makespan,
+        result.iterations,
+        result.evaluations,
+        result.elapsed.as_secs_f64()
+    );
+    if p.flag("gantt") {
+        let report = Evaluator::new(&inst).report(&result.solution);
+        let gantt = Gantt::build(&result.solution, &report);
+        print!("{}", gantt.render_ascii(&inst, 72));
+        println!("utilization: {:.1}%", 100.0 * gantt.utilization());
+    }
+    if let Some(path) = p.get("trace") {
+        let mut series = vec![trace.best_vs_time_series().renamed("best")];
+        series.push(trace.current_cost_series().renamed("current"));
+        mshc_trace::write_csv("x", &series)
+            .write_file(path)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("trace written to {path} ({} records)", trace.len());
+    }
+    Ok(())
+}
+
+fn cmd_compare(p: &Parsed) -> Result<(), String> {
+    let inst = load_instance(p)?;
+    let budget = budget(p)?;
+    let names = [
+        "se", "ga", "heft", "heft-ins", "cpop", "met", "mct", "olb", "min-min", "max-min",
+        "random", "sa", "tabu",
+    ];
+    println!(
+        "instance: {} tasks, {} machines, {} data items",
+        inst.task_count(),
+        inst.machine_count(),
+        inst.data_count()
+    );
+    println!("{:<10} {:>12} {:>12} {:>12} {:>9}", "algorithm", "makespan", "iterations", "evals", "secs");
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for name in names {
+        let mut s = make_scheduler(p, name)?;
+        let r = s.run(&inst, &budget, None);
+        println!(
+            "{:<10} {:>12.2} {:>12} {:>12} {:>9.3}",
+            name,
+            r.makespan,
+            r.iterations,
+            r.evaluations,
+            r.elapsed.as_secs_f64()
+        );
+        rows.push((name.to_string(), r.makespan));
+    }
+    let best = rows
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty");
+    println!("best: {} ({:.2})", best.0, best.1);
+    Ok(())
+}
+
+fn cmd_info(p: &Parsed) -> Result<(), String> {
+    let inst = load_instance(p)?;
+    let m = InstanceMetrics::compute(&inst);
+    println!("tasks:         {}", m.tasks);
+    println!("machines:      {}", m.machines);
+    println!("data items:    {}", m.data_items);
+    println!("connectivity:  {:.3} (data items per task)", m.connectivity);
+    println!("heterogeneity: {:.3} (mean per-task CV of E)", m.heterogeneity);
+    println!("ccr:           {:.3}", m.ccr);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(dispatch(&argv(&["bogus"])).is_err());
+        assert!(dispatch(&argv(&[])).is_err());
+    }
+
+    #[test]
+    fn run_requires_algo() {
+        let e = dispatch(&argv(&["run"])).unwrap_err();
+        assert!(e.contains("--algo"));
+    }
+
+    #[test]
+    fn run_heft_on_generated_workload() {
+        dispatch(&argv(&["run", "--algo", "heft", "--tasks", "20", "--machines", "4"])).unwrap();
+    }
+
+    #[test]
+    fn run_se_small_budget() {
+        dispatch(&argv(&[
+            "run", "--algo", "se", "--tasks", "12", "--machines", "3", "--iters", "5", "--gantt",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn generate_and_run_roundtrip() {
+        let dir = std::env::temp_dir().join("mshc_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("wl.json");
+        let file_s = file.to_str().unwrap();
+        dispatch(&argv(&[
+            "generate", "--tasks", "15", "--machines", "3", "--seed", "4", "--out", file_s,
+        ]))
+        .unwrap();
+        dispatch(&argv(&["info", "--instance", file_s])).unwrap();
+        dispatch(&argv(&[
+            "run", "--algo", "min-min", "--instance", file_s,
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_workload_classes_error() {
+        let e = dispatch(&argv(&["info", "--connectivity", "extreme"])).unwrap_err();
+        assert!(e.contains("connectivity"));
+        let e = dispatch(&argv(&["info", "--heterogeneity", "none"])).unwrap_err();
+        assert!(e.contains("heterogeneity"));
+    }
+
+    #[test]
+    fn unknown_algo_errors() {
+        let e = dispatch(&argv(&["run", "--algo", "quantum"])).unwrap_err();
+        assert!(e.contains("quantum"));
+    }
+
+    #[test]
+    fn trace_file_written() {
+        let dir = std::env::temp_dir().join("mshc_cli_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("t.csv");
+        dispatch(&argv(&[
+            "run", "--algo", "sa", "--tasks", "10", "--machines", "3", "--iters", "50",
+            "--trace", file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&file).unwrap();
+        assert!(text.starts_with("x,best,current"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

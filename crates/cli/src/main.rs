@@ -1,0 +1,25 @@
+//! `mshc` — command-line front end for the simulated-evolution MSHC suite.
+//!
+//! ```text
+//! mshc generate --tasks 100 --machines 20 --connectivity high --out wl.json
+//! mshc run --algo se --instance wl.json --iters 500 --gantt
+//! mshc run --algo heft --tasks 50 --machines 8
+//! mshc compare --tasks 100 --machines 20 --ccr 1.0 --wall 5
+//! mshc info --instance wl.json
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(&argv) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

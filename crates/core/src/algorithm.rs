@@ -1,0 +1,519 @@
+//! The SE main loop: evaluation → selection → allocation (§3–4).
+
+use crate::config::{AllocationStrategy, SeConfig};
+use crate::goodness::{goodness, optimal_costs};
+use mshc_platform::{HcInstance, MachineId};
+use mshc_schedule::{Evaluator, RunBudget, RunResult, Scheduler, Solution};
+use mshc_taskgraph::{Levels, TaskId};
+use mshc_trace::{Trace, TraceRecord};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// The simulated-evolution scheduler.
+///
+/// Construct with an [`SeConfig`] and drive through the
+/// [`Scheduler`] trait. A scheduler value is reusable: each
+/// [`run`](Scheduler::run) starts fresh from the configured seed.
+#[derive(Debug, Clone)]
+pub struct SeScheduler {
+    config: SeConfig,
+}
+
+impl SeScheduler {
+    /// Creates a scheduler with the given configuration.
+    pub fn new(config: SeConfig) -> SeScheduler {
+        SeScheduler { config }
+    }
+
+    /// Paper-faithful defaults with the bias auto-set from the instance
+    /// size at run time.
+    pub fn with_seed(seed: u64) -> SeScheduler {
+        SeScheduler::new(SeConfig { seed, ..SeConfig::default() })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SeConfig {
+        &self.config
+    }
+}
+
+impl Scheduler for SeScheduler {
+    fn name(&self) -> &str {
+        "se"
+    }
+
+    fn run(
+        &mut self,
+        inst: &HcInstance,
+        budget: &RunBudget,
+        mut trace: Option<&mut Trace>,
+    ) -> RunResult {
+        assert!(budget.is_bounded(), "SE is an anytime algorithm: set at least one budget limit");
+        let start = Instant::now();
+        let g = inst.graph();
+        let cfg = self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        // ---- one-time precomputation (§4.3: O_i never changes) ----
+        let optimal = optimal_costs(inst);
+        let levels = Levels::compute(g);
+        let y = cfg.y_limit.unwrap_or(inst.machine_count()).clamp(1, inst.machine_count());
+        let allowed: Vec<Vec<MachineId>> = g
+            .tasks()
+            .map(|t| {
+                let mut ranking = inst.system().machine_ranking(t);
+                ranking.truncate(y);
+                ranking
+            })
+            .collect();
+
+        // ---- initial solution (§4.2) ----
+        let mut eval = Evaluator::new(inst);
+        let perturb = cfg.init_perturbations.unwrap_or(2 * inst.task_count());
+        let mut current = mshc_schedule::init::random_solution_with(inst, perturb, &mut rng);
+        let mut report = eval.report(&current);
+        let mut best = current.clone();
+        let mut best_makespan = report.makespan;
+
+        let mut iterations = 0u64;
+        let mut stall = 0u64;
+        let mut selected = Vec::with_capacity(inst.task_count());
+        let mut bias = cfg.selection_bias;
+
+        while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
+            // ---- evaluation + selection (§4.4) ----
+            selected.clear();
+            for t in g.tasks() {
+                let gi = goodness(optimal[t.index()], report.finish_of(t));
+                if rng.gen::<f64>() > gi + bias {
+                    selected.push(t);
+                }
+            }
+            let selected_count = selected.len() as u32;
+            if let Some(adapt) = cfg.adaptive_bias {
+                // Closed loop: over-selection raises the bias (restricts),
+                // under-selection lowers it (loosens). Clamped to the
+                // paper's published range.
+                let fraction = selected_count as f64 / inst.task_count() as f64;
+                bias = (bias + adapt.gain * (fraction - adapt.target_fraction))
+                    .clamp(-0.3, 0.1);
+            }
+            levels.sort_by_level(&mut selected);
+
+            // ---- allocation (§4.5) ----
+            for &t in &selected {
+                allocate(&mut current, inst, &mut eval, t, &allowed[t.index()], &cfg);
+            }
+
+            report = eval.report(&current);
+            if report.makespan < best_makespan {
+                best_makespan = report.makespan;
+                best = current.clone();
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            iterations += 1;
+
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(TraceRecord {
+                    iteration: iterations - 1,
+                    elapsed_secs: start.elapsed().as_secs_f64(),
+                    evaluations: eval.evaluations(),
+                    current_cost: report.makespan,
+                    best_cost: best_makespan,
+                    selected: Some(selected_count),
+                    population_mean: None,
+                });
+            }
+        }
+
+        RunResult {
+            solution: best,
+            makespan: best_makespan,
+            iterations,
+            evaluations: eval.evaluations(),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+/// Constructively re-places `t`: try every valid string position × every
+/// allowed machine; commit per the configured strategy. The solution is
+/// left at the committed placement.
+///
+/// The allocation step *relocates* selected individuals (§4.5): the
+/// task's exact current `(position, machine)` pair is excluded from the
+/// candidate grid, so a selected task always moves. This is what keeps SE
+/// from being a pure monotone descent — a forced move can be uphill, and
+/// §3 explicitly wants allocation to improve "without being too greedy".
+/// (The best solution seen is tracked by the main loop, so uphill steps
+/// never lose the incumbent.) The sole exception is a task with no
+/// alternative placement (valid range of one position and a single
+/// allowed machine), which stays put.
+fn allocate(
+    sol: &mut Solution,
+    inst: &HcInstance,
+    eval: &mut Evaluator<'_>,
+    t: TaskId,
+    machines: &[MachineId],
+    cfg: &SeConfig,
+) {
+    let g = inst.graph();
+    let (lo, hi) = sol.valid_range(g, t);
+    debug_assert!(!machines.is_empty());
+    let orig_pos = sol.position_of(t);
+    let orig_m = sol.machine_of(t);
+    if hi == lo && machines.len() == 1 && machines[0] == orig_m {
+        return; // nowhere else to go
+    }
+
+    if cfg.parallel_allocation {
+        allocate_parallel(sol, inst, eval, t, machines, lo, hi, orig_pos, orig_m);
+        return;
+    }
+
+    let current_cost = eval.makespan(sol);
+    if cfg.incremental_eval {
+        // Every candidate state is "base with t moved", so its segments
+        // agree with the primed base on positions 0..min(orig_pos, pos).
+        eval.prime(sol);
+    }
+    let mut best_pos = orig_pos;
+    let mut best_m = orig_m;
+    let mut best_cost = f64::INFINITY;
+    'search: for pos in lo..=hi {
+        for &m in machines {
+            if pos == orig_pos && m == orig_m {
+                continue; // relocation is mandatory
+            }
+            sol.move_task(g, t, pos, m).expect("candidate within valid range");
+            let mk = if cfg.incremental_eval {
+                eval.makespan_suffix(sol, orig_pos.min(pos))
+            } else {
+                eval.makespan(sol)
+            };
+            if mk < best_cost {
+                best_cost = mk;
+                best_pos = pos;
+                best_m = m;
+                if cfg.allocation == AllocationStrategy::FirstImprovement && mk < current_cost {
+                    break 'search;
+                }
+            }
+        }
+    }
+    sol.move_task(g, t, best_pos, best_m).expect("committing the best candidate");
+}
+
+/// Rayon fan-out over the candidate grid. Each worker clones the base
+/// solution once (`map_init`) and re-moves `t` per candidate — moving the
+/// same task repeatedly is safe because its valid range is independent of
+/// its own position. The argmin tie-breaks on candidate index, so the
+/// result is bit-identical to the serial scan.
+#[allow(clippy::too_many_arguments)]
+fn allocate_parallel(
+    sol: &mut Solution,
+    inst: &HcInstance,
+    eval: &mut Evaluator<'_>,
+    t: TaskId,
+    machines: &[MachineId],
+    lo: usize,
+    hi: usize,
+    orig_pos: usize,
+    orig_m: MachineId,
+) {
+    let g = inst.graph();
+    let candidates: Vec<(usize, MachineId)> = (lo..=hi)
+        .flat_map(|pos| machines.iter().map(move |&m| (pos, m)))
+        .filter(|&(pos, m)| pos != orig_pos || m != orig_m)
+        .collect();
+    let base = sol.clone();
+    let (idx, _cost) = candidates
+        .par_iter()
+        .enumerate()
+        .map_init(
+            || (base.clone(), Evaluator::new(inst)),
+            |(scratch, ev), (i, &(pos, m))| {
+                scratch.move_task(g, t, pos, m).expect("candidate within valid range");
+                (i, ev.makespan(scratch))
+            },
+        )
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .expect("non-empty candidate grid");
+    eval.bump_evaluations(candidates.len() as u64);
+    let (pos, m) = candidates[idx];
+    sol.move_task(g, t, pos, m).expect("committing the best candidate");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mshc_platform::{HcSystem, Matrix};
+    use mshc_schedule::replay;
+    use mshc_taskgraph::gen::{layered, LayeredConfig};
+    use mshc_taskgraph::TaskGraphBuilder;
+
+    /// Deterministic random instance: layered DAG + uniform random
+    /// matrices, all seeded.
+    fn random_instance(tasks: usize, machines: usize, seed: u64) -> HcInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = LayeredConfig { tasks, mean_width: 4, edge_prob: 0.5, skip_prob: 0.05 };
+        let graph = layered(&cfg, &mut rng).unwrap();
+        let exec = Matrix::from_fn(machines, tasks, |_, _| rng.gen_range(10.0..100.0));
+        let pairs = machines * (machines - 1) / 2;
+        let transfer =
+            Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
+        let sys = HcSystem::with_anonymous_machines(machines, exec, transfer).unwrap();
+        HcInstance::new(graph, sys).unwrap()
+    }
+
+    #[test]
+    fn se_improves_over_initial_solution() {
+        let inst = random_instance(30, 4, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut eval = Evaluator::new(&inst);
+        // Mean makespan of random solutions as the "no search" baseline.
+        let baseline: f64 = (0..20)
+            .map(|_| eval.makespan(&mshc_schedule::random_solution(&inst, &mut rng)))
+            .sum::<f64>()
+            / 20.0;
+        let mut se = SeScheduler::new(SeConfig { seed: 5, selection_bias: -0.1, ..Default::default() });
+        let result = se.run(&inst, &RunBudget::iterations(60), None);
+        assert!(
+            result.makespan < baseline * 0.85,
+            "SE ({}) should beat random baseline ({baseline}) clearly",
+            result.makespan
+        );
+    }
+
+    #[test]
+    fn se_result_is_valid_and_matches_des_replay() {
+        let inst = random_instance(25, 3, 2);
+        let mut se = SeScheduler::with_seed(3);
+        let result = se.run(&inst, &RunBudget::iterations(40), None);
+        result.solution.check(inst.graph()).unwrap();
+        let sim = replay(&inst, &result.solution).unwrap();
+        assert!((sim.makespan - result.makespan).abs() < 1e-9);
+        let analytic = Evaluator::new(&inst).makespan(&result.solution);
+        assert!((analytic - result.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn se_is_deterministic_under_seed() {
+        let inst = random_instance(20, 3, 4);
+        let run = |seed| {
+            SeScheduler::with_seed(seed).run(&inst, &RunBudget::iterations(25), None)
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.makespan, b.makespan);
+        let c = run(12);
+        assert!(c.solution != a.solution || c.makespan == a.makespan);
+    }
+
+    #[test]
+    fn parallel_allocation_matches_serial() {
+        let inst = random_instance(18, 4, 6);
+        let serial = SeScheduler::new(SeConfig { seed: 21, ..Default::default() })
+            .run(&inst, &RunBudget::iterations(15), None);
+        let parallel = SeScheduler::new(SeConfig {
+            seed: 21,
+            parallel_allocation: true,
+            ..Default::default()
+        })
+        .run(&inst, &RunBudget::iterations(15), None);
+        assert_eq!(serial.solution, parallel.solution, "deterministic argmin must agree");
+        assert_eq!(serial.makespan, parallel.makespan);
+    }
+
+    #[test]
+    fn adaptive_bias_tracks_target_fraction() {
+        use crate::config::AdaptiveBias;
+        let inst = random_instance(40, 5, 18);
+        let target = 0.25;
+        let mut se = SeScheduler::new(SeConfig {
+            seed: 6,
+            selection_bias: 0.0,
+            adaptive_bias: Some(AdaptiveBias { target_fraction: target, gain: 0.08 }),
+            ..Default::default()
+        });
+        let mut trace = Trace::new();
+        let r = se.run(&inst, &RunBudget::iterations(120), Some(&mut trace));
+        r.solution.check(inst.graph()).unwrap();
+        // Mean selection fraction over the second half of the run should
+        // hover near the target; a fixed bias on the same instance drifts
+        // to near-zero selection as goodness saturates.
+        let tail: Vec<f64> = trace.records()[60..]
+            .iter()
+            .map(|rec| rec.selected.unwrap() as f64 / 40.0)
+            .collect();
+        let mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(
+            (mean - target).abs() < 0.12,
+            "adaptive selection fraction {mean} should track target {target}"
+        );
+    }
+
+    #[test]
+    fn incremental_eval_matches_full_eval_runs() {
+        // The suffix-checkpoint fast path must not change a single
+        // decision: whole runs are bit-identical with the flag on/off.
+        for seed in [3u64, 17, 91] {
+            let inst = random_instance(22, 4, seed);
+            let fast = SeScheduler::new(SeConfig {
+                seed,
+                incremental_eval: true,
+                ..Default::default()
+            })
+            .run(&inst, &RunBudget::iterations(20), None);
+            let slow = SeScheduler::new(SeConfig {
+                seed,
+                incremental_eval: false,
+                ..Default::default()
+            })
+            .run(&inst, &RunBudget::iterations(20), None);
+            assert_eq!(fast.solution, slow.solution, "seed {seed}");
+            assert_eq!(fast.makespan, slow.makespan);
+        }
+    }
+
+    #[test]
+    fn budget_limits_iterations_and_stall() {
+        let inst = random_instance(15, 3, 7);
+        let mut se = SeScheduler::with_seed(1);
+        let r = se.run(&inst, &RunBudget::iterations(8), None);
+        assert_eq!(r.iterations, 8);
+
+        let r = se.run(&inst, &RunBudget::iterations(10_000).with_stall(5), None);
+        assert!(r.iterations < 10_000, "stall window must cut the run short");
+    }
+
+    #[test]
+    fn evaluation_budget_respected_approximately() {
+        let inst = random_instance(15, 3, 8);
+        let mut se = SeScheduler::with_seed(2);
+        let r = se.run(&inst, &RunBudget::evaluations(2_000), None);
+        // The loop checks between iterations, so the overshoot is at most
+        // one iteration's worth of allocations.
+        assert!(r.evaluations >= 2_000);
+        assert!(r.evaluations < 2_000 + 15 * 15 * 3 + 20);
+    }
+
+    #[test]
+    fn trace_records_selected_counts_and_costs() {
+        let inst = random_instance(20, 3, 9);
+        let mut se = SeScheduler::new(SeConfig { seed: 4, selection_bias: -0.2, ..Default::default() });
+        let mut trace = Trace::new();
+        let r = se.run(&inst, &RunBudget::iterations(30), Some(&mut trace));
+        assert_eq!(trace.len(), 30);
+        for (i, rec) in trace.records().iter().enumerate() {
+            assert_eq!(rec.iteration, i as u64);
+            assert!(rec.selected.is_some());
+            assert!(rec.best_cost <= rec.current_cost + 1e-9);
+            assert!(rec.best_cost > 0.0);
+        }
+        assert_eq!(trace.last().unwrap().best_cost, r.makespan);
+        // best_cost is non-increasing
+        for w in trace.records().windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost + 1e-12);
+        }
+    }
+
+    #[test]
+    fn selection_pressure_decays() {
+        // Fig 3a shape: the mean selected count over the last quarter of a
+        // run should be well below the first iteration's.
+        let inst = random_instance(40, 5, 10);
+        let mut se = SeScheduler::new(SeConfig { seed: 6, selection_bias: 0.0, ..Default::default() });
+        let mut trace = Trace::new();
+        se.run(&inst, &RunBudget::iterations(80), Some(&mut trace));
+        let recs = trace.records();
+        let first = recs[0].selected.unwrap() as f64;
+        let tail: Vec<f64> =
+            recs[60..].iter().map(|r| r.selected.unwrap() as f64).collect();
+        let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
+        assert!(
+            tail_mean < first * 0.7,
+            "selected tasks must decay: first {first}, tail mean {tail_mean}"
+        );
+    }
+
+    #[test]
+    fn y_limits_machines_used_by_allocation() {
+        // With Y=1 every allocated task must end on its best machine; run
+        // long enough that every task is re-allocated at least once.
+        let inst = random_instance(15, 4, 11);
+        let mut se = SeScheduler::new(SeConfig {
+            seed: 13,
+            y_limit: Some(1),
+            selection_bias: -0.9, // select (almost) everything
+            ..Default::default()
+        });
+        let r = se.run(&inst, &RunBudget::iterations(10), None);
+        let sys = inst.system();
+        for t in inst.graph().tasks() {
+            assert_eq!(
+                r.solution.machine_of(t),
+                sys.best_machine(t),
+                "Y=1 pins {t} to its best machine"
+            );
+        }
+    }
+
+    #[test]
+    fn y_larger_than_machine_count_clamps() {
+        let inst = random_instance(12, 3, 12);
+        let mut se = SeScheduler::new(SeConfig { seed: 1, y_limit: Some(99), ..Default::default() });
+        let r = se.run(&inst, &RunBudget::iterations(5), None);
+        r.solution.check(inst.graph()).unwrap();
+    }
+
+    #[test]
+    fn first_improvement_strategy_runs_and_is_valid() {
+        let inst = random_instance(20, 3, 14);
+        let best_fit = SeScheduler::new(SeConfig { seed: 5, ..Default::default() })
+            .run(&inst, &RunBudget::iterations(20), None);
+        let first = SeScheduler::new(SeConfig {
+            seed: 5,
+            allocation: AllocationStrategy::FirstImprovement,
+            ..Default::default()
+        })
+        .run(&inst, &RunBudget::iterations(20), None);
+        first.solution.check(inst.graph()).unwrap();
+        assert!(
+            first.evaluations <= best_fit.evaluations,
+            "first-improvement must not evaluate more than best-fit"
+        );
+    }
+
+    #[test]
+    fn single_task_instance_terminates() {
+        let g = TaskGraphBuilder::new(1).build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::from_rows(&[vec![5.0], vec![3.0]]),
+            Matrix::filled(1, 0, 0.0),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let mut se = SeScheduler::with_seed(0);
+        let r = se.run(&inst, &RunBudget::iterations(10), None);
+        assert_eq!(r.makespan, 3.0, "single task lands on its best machine");
+    }
+
+    #[test]
+    #[should_panic(expected = "anytime")]
+    fn unbounded_budget_rejected() {
+        let inst = random_instance(5, 2, 15);
+        SeScheduler::with_seed(0).run(&inst, &RunBudget::default(), None);
+    }
+
+    #[test]
+    fn scheduler_name() {
+        assert_eq!(SeScheduler::with_seed(0).name(), "se");
+    }
+}

@@ -1,0 +1,309 @@
+//! The GA generation loop: evaluate → roulette-select → crossover →
+//! mutate, with elitism.
+
+use crate::chromosome::{order_valid_range, Chromosome};
+use crate::config::GaConfig;
+use mshc_platform::{HcInstance, MachineId};
+use mshc_schedule::{Evaluator, RunBudget, RunResult, Scheduler};
+use mshc_taskgraph::TaskId;
+use mshc_trace::{Trace, TraceRecord};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::time::Instant;
+
+/// The Wang et al. genetic-algorithm scheduler.
+#[derive(Debug, Clone)]
+pub struct GaScheduler {
+    config: GaConfig,
+}
+
+impl GaScheduler {
+    /// Creates a scheduler; panics on invalid configuration.
+    pub fn new(config: GaConfig) -> GaScheduler {
+        config.validate();
+        GaScheduler { config }
+    }
+
+    /// Defaults with a specific seed.
+    pub fn with_seed(seed: u64) -> GaScheduler {
+        GaScheduler::new(GaConfig::default().with_seed(seed))
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GaConfig {
+        &self.config
+    }
+}
+
+/// Roulette-wheel pick over linearly rescaled fitness: weight
+/// `w_i = worst - cost_i + ε·span`, so the worst chromosome keeps a small
+/// nonzero chance. Returns an index.
+fn roulette<R: Rng + ?Sized>(costs: &[f64], rng: &mut R) -> usize {
+    let worst = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let best = costs.iter().copied().fold(f64::INFINITY, f64::min);
+    let span = (worst - best).max(f64::MIN_POSITIVE);
+    let floor = 0.05 * span;
+    let total: f64 = costs.iter().map(|&c| worst - c + floor).sum();
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &c) in costs.iter().enumerate() {
+        target -= worst - c + floor;
+        if target <= 0.0 {
+            return i;
+        }
+    }
+    costs.len() - 1
+}
+
+impl Scheduler for GaScheduler {
+    fn name(&self) -> &str {
+        "ga"
+    }
+
+    fn run(
+        &mut self,
+        inst: &HcInstance,
+        budget: &RunBudget,
+        mut trace: Option<&mut Trace>,
+    ) -> RunResult {
+        assert!(budget.is_bounded(), "GA is an anytime algorithm: set at least one budget limit");
+        let start = Instant::now();
+        let cfg = self.config;
+        let g = inst.graph();
+        let k = inst.task_count();
+        let l = inst.machine_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut eval = Evaluator::new(inst);
+
+        // ---- initial population ----
+        let mut pop: Vec<Chromosome> =
+            (0..cfg.population).map(|_| Chromosome::random(inst, &mut rng)).collect();
+        if cfg.seed_with_heuristic {
+            pop[0] = Chromosome::seeded(inst);
+        }
+        let mut costs: Vec<f64> =
+            pop.iter().map(|c| eval.makespan(&c.to_solution(inst))).collect();
+
+        let mut best_idx = argmin(&costs);
+        let mut best = pop[best_idx].clone();
+        let mut best_cost = costs[best_idx];
+
+        let mut generations = 0u64;
+        let mut stall = 0u64;
+
+        while !budget.exhausted(generations, eval.evaluations(), start.elapsed(), stall) {
+            // ---- next generation ----
+            let mut next = Vec::with_capacity(cfg.population);
+            // Elitism: carry the best chromosomes over unchanged.
+            let mut ranked: Vec<usize> = (0..pop.len()).collect();
+            ranked.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]).then(a.cmp(&b)));
+            for &i in ranked.iter().take(cfg.elites) {
+                next.push(pop[i].clone());
+            }
+            while next.len() < cfg.population {
+                let pa = &pop[roulette(&costs, &mut rng)];
+                let pb = &pop[roulette(&costs, &mut rng)];
+                let mut child = if rng.gen::<f64>() < cfg.crossover_prob {
+                    let cut_s = rng.gen_range(0..=k);
+                    let cut_m = rng.gen_range(0..=k);
+                    Chromosome {
+                        order: pa.crossover_order(pb, cut_s),
+                        matching: pa.crossover_matching(pb, cut_m),
+                    }
+                } else {
+                    pa.clone()
+                };
+                if rng.gen::<f64>() < cfg.sched_mutation_prob {
+                    let t = TaskId::from_usize(rng.gen_range(0..k));
+                    let (lo, hi) = order_valid_range(g, &child.order, t);
+                    let pos = rng.gen_range(lo..=hi);
+                    let moved = child.mutate_order(g, t, pos);
+                    debug_assert!(moved);
+                }
+                if rng.gen::<f64>() < cfg.match_mutation_prob {
+                    let t = TaskId::from_usize(rng.gen_range(0..k));
+                    child.mutate_matching(t, MachineId::from_usize(rng.gen_range(0..l)));
+                }
+                next.push(child);
+            }
+            pop = next;
+            costs.clear();
+            costs.extend(pop.iter().map(|c| eval.makespan(&c.to_solution(inst))));
+
+            best_idx = argmin(&costs);
+            if costs[best_idx] < best_cost {
+                best_cost = costs[best_idx];
+                best = pop[best_idx].clone();
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            generations += 1;
+
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(TraceRecord {
+                    iteration: generations - 1,
+                    elapsed_secs: start.elapsed().as_secs_f64(),
+                    evaluations: eval.evaluations(),
+                    current_cost: costs[best_idx],
+                    best_cost,
+                    selected: None,
+                    population_mean: Some(costs.iter().sum::<f64>() / costs.len() as f64),
+                });
+            }
+        }
+
+        let solution = best.to_solution(inst);
+        RunResult {
+            solution,
+            makespan: best_cost,
+            iterations: generations,
+            evaluations: eval.evaluations(),
+            elapsed: start.elapsed(),
+        }
+    }
+}
+
+fn argmin(costs: &[f64]) -> usize {
+    costs
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+        .map(|(i, _)| i)
+        .expect("non-empty population")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mshc_platform::{HcSystem, Matrix};
+    use mshc_schedule::replay;
+    use mshc_taskgraph::gen::{layered, LayeredConfig};
+
+    fn random_instance(tasks: usize, machines: usize, seed: u64) -> HcInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = LayeredConfig { tasks, mean_width: 4, edge_prob: 0.5, skip_prob: 0.05 };
+        let graph = layered(&cfg, &mut rng).unwrap();
+        let exec = Matrix::from_fn(machines, tasks, |_, _| rng.gen_range(10.0..100.0));
+        let pairs = machines * (machines - 1) / 2;
+        let transfer =
+            Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
+        let sys = HcSystem::with_anonymous_machines(machines, exec, transfer).unwrap();
+        HcInstance::new(graph, sys).unwrap()
+    }
+
+    #[test]
+    fn roulette_prefers_low_cost() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let costs = vec![100.0, 10.0, 100.0, 100.0];
+        let mut hits = [0usize; 4];
+        for _ in 0..4000 {
+            hits[roulette(&costs, &mut rng)] += 1;
+        }
+        assert!(hits[1] > hits[0] * 3, "cheapest chromosome must dominate: {hits:?}");
+        assert!(hits.iter().all(|&h| h > 0), "everyone keeps a nonzero chance: {hits:?}");
+    }
+
+    #[test]
+    fn roulette_uniform_when_costs_equal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let costs = vec![5.0; 4];
+        let mut hits = [0usize; 4];
+        for _ in 0..4000 {
+            hits[roulette(&costs, &mut rng)] += 1;
+        }
+        for &h in &hits {
+            assert!((800..1200).contains(&h), "roughly uniform: {hits:?}");
+        }
+    }
+
+    #[test]
+    fn ga_improves_over_random_baseline() {
+        let inst = random_instance(30, 4, 21);
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut eval = Evaluator::new(&inst);
+        let baseline: f64 = (0..20)
+            .map(|_| eval.makespan(&mshc_schedule::random_solution(&inst, &mut rng)))
+            .sum::<f64>()
+            / 20.0;
+        let mut ga = GaScheduler::with_seed(3);
+        let r = ga.run(&inst, &RunBudget::iterations(60), None);
+        assert!(r.makespan < baseline, "GA ({}) must beat random mean ({baseline})", r.makespan);
+    }
+
+    #[test]
+    fn ga_result_valid_and_matches_replay() {
+        let inst = random_instance(25, 3, 22);
+        let mut ga = GaScheduler::with_seed(4);
+        let r = ga.run(&inst, &RunBudget::iterations(30), None);
+        r.solution.check(inst.graph()).unwrap();
+        let sim = replay(&inst, &r.solution).unwrap();
+        assert!((sim.makespan - r.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ga_is_deterministic_under_seed() {
+        let inst = random_instance(20, 3, 23);
+        let a = GaScheduler::with_seed(7).run(&inst, &RunBudget::iterations(20), None);
+        let b = GaScheduler::with_seed(7).run(&inst, &RunBudget::iterations(20), None);
+        assert_eq!(a.solution, b.solution);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn elitism_makes_best_monotone() {
+        let inst = random_instance(20, 3, 24);
+        let mut trace = Trace::new();
+        GaScheduler::with_seed(8).run(&inst, &RunBudget::iterations(40), Some(&mut trace));
+        for w in trace.records().windows(2) {
+            assert!(w[1].best_cost <= w[0].best_cost + 1e-12, "elitism keeps best monotone");
+        }
+        // current (best-of-generation) can never beat best-so-far
+        for r in trace.records() {
+            assert!(r.current_cost >= r.best_cost - 1e-12);
+            assert!(r.population_mean.unwrap() >= r.current_cost - 1e-9);
+            assert!(r.selected.is_none());
+        }
+    }
+
+    #[test]
+    fn seeded_heuristic_bounds_generation_zero() {
+        // With seeding on, generation 0's best is at least as good as the
+        // deterministic heuristic chromosome.
+        let inst = random_instance(25, 4, 25);
+        let seed_cost =
+            Evaluator::new(&inst).makespan(&Chromosome::seeded(&inst).to_solution(&inst));
+        let mut trace = Trace::new();
+        GaScheduler::new(GaConfig { seed: 9, ..Default::default() }).run(
+            &inst,
+            &RunBudget::iterations(1),
+            Some(&mut trace),
+        );
+        assert!(trace.records()[0].best_cost <= seed_cost + 1e-9);
+    }
+
+    #[test]
+    fn budget_wall_clock_stops() {
+        let inst = random_instance(30, 4, 26);
+        let mut ga = GaScheduler::with_seed(10);
+        let r = ga.run(
+            &inst,
+            &RunBudget::wall(std::time::Duration::from_millis(50)),
+            None,
+        );
+        assert!(r.elapsed >= std::time::Duration::from_millis(50));
+        assert!(r.elapsed < std::time::Duration::from_secs(10));
+        assert!(r.iterations > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "anytime")]
+    fn unbounded_budget_rejected() {
+        let inst = random_instance(5, 2, 27);
+        GaScheduler::with_seed(0).run(&inst, &RunBudget::default(), None);
+    }
+
+    #[test]
+    fn scheduler_name() {
+        assert_eq!(GaScheduler::with_seed(0).name(), "ga");
+    }
+}

@@ -1,0 +1,42 @@
+//! # mshc-ga — the genetic-algorithm baseline
+//!
+//! Reimplementation of the GA the SE paper compares against (§5.3):
+//! L. Wang, H. J. Siegel, V. P. Roychowdhury & A. A. Maciejewski, *"Task
+//! Matching and Scheduling in Heterogeneous Computing Environments Using
+//! a Genetic-Algorithm-Based Approach"*, JPDC 47, 1997.
+//!
+//! The Wang encoding keeps **two strings per chromosome** (the SE paper
+//! merges them into one, §4.1):
+//!
+//! * a **matching string** — one machine per task;
+//! * a **scheduling string** — a topological order of the tasks giving
+//!   the relative execution order on shared machines.
+//!
+//! Operators (all validity-preserving):
+//!
+//! * **selection** — roulette wheel over linearly rescaled fitness, with
+//!   elitism (the best chromosome always survives);
+//! * **scheduling crossover** — cut both parents at a random point; the
+//!   child keeps parent A's prefix and appends the missing tasks in the
+//!   order they occur in parent B (a linear extension whenever both
+//!   parents are);
+//! * **matching crossover** — single-point crossover on the machine
+//!   vector;
+//! * **scheduling mutation** — move a random task to a random position
+//!   inside its valid range;
+//! * **matching mutation** — reassign a random task to a random machine.
+//!
+//! One chromosome of the initial population is seeded with a fast
+//! non-evolutionary heuristic (best-machine matching on a topological
+//! order), following Wang et al.'s practice.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod chromosome;
+pub mod config;
+
+pub use algorithm::GaScheduler;
+pub use chromosome::Chromosome;
+pub use config::GaConfig;

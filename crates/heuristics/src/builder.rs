@@ -1,0 +1,260 @@
+//! Incremental construction of schedules by readiness-driven appending.
+//!
+//! Every constructive heuristic shares the same bookkeeping: track which
+//! tasks are ready (all predecessors scheduled), compute earliest start /
+//! finish times for candidate (task, machine) pairs, and commit one pair
+//! at a time. The builder's internal times coincide exactly with what
+//! [`mshc_schedule::Evaluator`] later reports for the finished
+//! [`Solution`], because tasks are appended to machine queues in the same
+//! order the evaluator walks them.
+
+use mshc_platform::{HcInstance, MachineId};
+use mshc_schedule::Solution;
+use mshc_taskgraph::TaskId;
+
+/// Partial-schedule builder.
+#[derive(Debug, Clone)]
+pub struct ListScheduleBuilder<'a> {
+    inst: &'a HcInstance,
+    finish: Vec<f64>,
+    assignment: Vec<MachineId>,
+    scheduled: Vec<bool>,
+    machine_avail: Vec<f64>,
+    order: Vec<TaskId>,
+    missing_preds: Vec<u32>,
+    ready: Vec<TaskId>,
+}
+
+impl<'a> ListScheduleBuilder<'a> {
+    /// Starts an empty schedule for `inst`.
+    pub fn new(inst: &'a HcInstance) -> ListScheduleBuilder<'a> {
+        let g = inst.graph();
+        let k = g.task_count();
+        let missing_preds: Vec<u32> =
+            (0..k).map(|i| g.in_degree(TaskId::from_usize(i)) as u32).collect();
+        let ready = g.tasks().filter(|&t| missing_preds[t.index()] == 0).collect();
+        ListScheduleBuilder {
+            inst,
+            finish: vec![0.0; k],
+            assignment: vec![MachineId::new(0); k],
+            scheduled: vec![false; k],
+            machine_avail: vec![0.0; inst.machine_count()],
+            order: Vec::with_capacity(k),
+            missing_preds,
+            ready,
+        }
+    }
+
+    /// The bound instance.
+    pub fn instance(&self) -> &'a HcInstance {
+        self.inst
+    }
+
+    /// Tasks currently ready (unscheduled, all predecessors scheduled),
+    /// in ascending id order for determinism.
+    pub fn ready_tasks(&self) -> Vec<TaskId> {
+        let mut r = self.ready.clone();
+        r.sort_unstable();
+        r
+    }
+
+    /// Whether every task has been scheduled.
+    pub fn is_complete(&self) -> bool {
+        self.order.len() == self.inst.task_count()
+    }
+
+    /// Number of tasks scheduled so far.
+    pub fn scheduled_count(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Finish time of a scheduled task.
+    ///
+    /// # Panics
+    /// Panics if `t` is not scheduled yet.
+    pub fn finish_of(&self, t: TaskId) -> f64 {
+        assert!(self.scheduled[t.index()], "{t} not scheduled yet");
+        self.finish[t.index()]
+    }
+
+    /// Machine a scheduled task was committed to.
+    ///
+    /// # Panics
+    /// Panics if `t` is not scheduled yet.
+    pub fn assignment_of(&self, t: TaskId) -> MachineId {
+        assert!(self.scheduled[t.index()], "{t} not scheduled yet");
+        self.assignment[t.index()]
+    }
+
+    /// Earliest start time of ready task `t` on machine `m` under the
+    /// append policy: `max(machine available, latest data arrival)`.
+    pub fn est(&self, t: TaskId, m: MachineId) -> f64 {
+        debug_assert!(!self.scheduled[t.index()]);
+        let g = self.inst.graph();
+        let sys = self.inst.system();
+        let mut ready = self.machine_avail[m.index()];
+        for e in g.in_edges(t) {
+            debug_assert!(self.scheduled[e.src.index()], "{t} must be ready");
+            let arrival = self.finish[e.src.index()]
+                + sys.transfer_time(e.id, self.assignment[e.src.index()], m);
+            ready = ready.max(arrival);
+        }
+        ready
+    }
+
+    /// Earliest finish time of ready task `t` on machine `m`.
+    pub fn eft(&self, t: TaskId, m: MachineId) -> f64 {
+        self.est(t, m) + self.inst.system().exec_time(m, t)
+    }
+
+    /// The machine minimizing EFT for `t` (ties to the smallest id), with
+    /// the resulting finish time.
+    pub fn best_eft(&self, t: TaskId) -> (MachineId, f64) {
+        self.inst
+            .system()
+            .machine_ids()
+            .map(|m| (m, self.eft(t, m)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            .expect("at least one machine")
+    }
+
+    /// Commits ready task `t` to machine `m`; returns its finish time.
+    ///
+    /// # Panics
+    /// Panics if `t` is not ready.
+    pub fn schedule(&mut self, t: TaskId, m: MachineId) -> f64 {
+        let pos = self
+            .ready
+            .iter()
+            .position(|&x| x == t)
+            .unwrap_or_else(|| panic!("{t} is not ready"));
+        self.ready.swap_remove(pos);
+        let finish = self.eft(t, m);
+        self.finish[t.index()] = finish;
+        self.assignment[t.index()] = m;
+        self.scheduled[t.index()] = true;
+        self.machine_avail[m.index()] = finish;
+        self.order.push(t);
+        for s in self.inst.graph().successors(t) {
+            self.missing_preds[s.index()] -= 1;
+            if self.missing_preds[s.index()] == 0 {
+                self.ready.push(s);
+            }
+        }
+        finish
+    }
+
+    /// Current makespan of the partial schedule.
+    pub fn makespan(&self) -> f64 {
+        self.machine_avail.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Freezes the completed schedule into a [`Solution`].
+    ///
+    /// # Panics
+    /// Panics if tasks remain unscheduled.
+    pub fn into_solution(self) -> Solution {
+        assert!(self.is_complete(), "schedule incomplete");
+        Solution::from_order(
+            self.inst.graph(),
+            self.inst.machine_count(),
+            &self.order,
+            &self.assignment,
+        )
+        .expect("readiness-driven appending yields a linear extension")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mshc_platform::{HcSystem, Matrix};
+    use mshc_schedule::Evaluator;
+    use mshc_taskgraph::TaskGraphBuilder;
+
+    fn instance() -> HcInstance {
+        let mut b = TaskGraphBuilder::new(4);
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(s, d).unwrap();
+        }
+        let g = b.build().unwrap();
+        let exec = Matrix::from_rows(&[
+            vec![2.0, 3.0, 4.0, 1.0],
+            vec![4.0, 1.0, 2.0, 3.0],
+        ]);
+        let transfer = Matrix::from_rows(&[vec![1.0, 1.0, 1.0, 1.0]]);
+        let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
+        HcInstance::new(g, sys).unwrap()
+    }
+
+    #[test]
+    fn readiness_tracking() {
+        let inst = instance();
+        let mut b = ListScheduleBuilder::new(&inst);
+        assert_eq!(b.ready_tasks(), vec![TaskId::new(0)]);
+        assert!(!b.is_complete());
+        b.schedule(TaskId::new(0), MachineId::new(0));
+        assert_eq!(b.ready_tasks(), vec![TaskId::new(1), TaskId::new(2)]);
+        b.schedule(TaskId::new(1), MachineId::new(1));
+        b.schedule(TaskId::new(2), MachineId::new(1));
+        assert_eq!(b.ready_tasks(), vec![TaskId::new(3)]);
+        b.schedule(TaskId::new(3), MachineId::new(0));
+        assert!(b.is_complete());
+        assert_eq!(b.scheduled_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not ready")]
+    fn scheduling_unready_task_panics() {
+        let inst = instance();
+        let mut b = ListScheduleBuilder::new(&inst);
+        b.schedule(TaskId::new(3), MachineId::new(0));
+    }
+
+    #[test]
+    fn est_accounts_for_comm_and_availability() {
+        let inst = instance();
+        let mut b = ListScheduleBuilder::new(&inst);
+        b.schedule(TaskId::new(0), MachineId::new(0)); // finish 2
+        // s1 on m0: machine free at 2, data co-located => est 2
+        assert_eq!(b.est(TaskId::new(1), MachineId::new(0)), 2.0);
+        // s1 on m1: machine free at 0, data arrives 2+1=3 => est 3
+        assert_eq!(b.est(TaskId::new(1), MachineId::new(1)), 3.0);
+        // EFTs: m0: 2+3=5, m1: 3+1=4 => best is m1
+        assert_eq!(b.best_eft(TaskId::new(1)), (MachineId::new(1), 4.0));
+    }
+
+    #[test]
+    fn builder_times_match_evaluator() {
+        let inst = instance();
+        let mut b = ListScheduleBuilder::new(&inst);
+        b.schedule(TaskId::new(0), MachineId::new(0));
+        b.schedule(TaskId::new(2), MachineId::new(1));
+        b.schedule(TaskId::new(1), MachineId::new(1));
+        b.schedule(TaskId::new(3), MachineId::new(0));
+        let internal_makespan = b.makespan();
+        let finishes: Vec<f64> = (0..4).map(|i| b.finish_of(TaskId::new(i))).collect();
+        let sol = b.into_solution();
+        let r = Evaluator::new(&inst).report(&sol);
+        assert_eq!(r.makespan, internal_makespan);
+        for (i, expected) in finishes.iter().enumerate() {
+            assert!((r.finish[i] - expected).abs() < 1e-12, "task {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incomplete")]
+    fn incomplete_into_solution_panics() {
+        let inst = instance();
+        let b = ListScheduleBuilder::new(&inst);
+        let _ = b.into_solution();
+    }
+
+    #[test]
+    #[should_panic(expected = "not scheduled yet")]
+    fn finish_of_unscheduled_panics() {
+        let inst = instance();
+        let b = ListScheduleBuilder::new(&inst);
+        let _ = b.finish_of(TaskId::new(0));
+    }
+}

@@ -1,0 +1,87 @@
+//! Typed errors for platform construction.
+
+use std::fmt;
+
+/// Errors produced when assembling an [`crate::HcSystem`] or
+/// [`crate::HcInstance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The machine set is empty.
+    NoMachines,
+    /// The execution-time matrix has the wrong shape.
+    ExecShape {
+        /// Expected `(machines, tasks)`.
+        expected: (usize, usize),
+        /// Actual `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// The transfer-time matrix has the wrong shape.
+    TransferShape {
+        /// Expected `(machine_pairs, data_items)`.
+        expected: (usize, usize),
+        /// Actual `(rows, cols)`.
+        actual: (usize, usize),
+    },
+    /// A cost entry was NaN, infinite or negative.
+    InvalidCost {
+        /// Which matrix: `"E"` or `"Tr"`.
+        matrix: &'static str,
+        /// Row of the offending entry.
+        row: usize,
+        /// Column of the offending entry.
+        col: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// An execution time was zero or negative — the paper's model requires
+    /// strictly positive execution times (goodness `O_i / C_i` divides by
+    /// finishing times).
+    NonPositiveExecution {
+        /// Machine row.
+        machine: usize,
+        /// Task column.
+        task: usize,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::NoMachines => write!(f, "HC system needs at least one machine"),
+            PlatformError::ExecShape { expected, actual } => write!(
+                f,
+                "execution matrix shape {actual:?} != expected (machines x tasks) {expected:?}"
+            ),
+            PlatformError::TransferShape { expected, actual } => write!(
+                f,
+                "transfer matrix shape {actual:?} != expected (machine pairs x data items) {expected:?}"
+            ),
+            PlatformError::InvalidCost { matrix, row, col, value } => {
+                write!(f, "{matrix}[{row}][{col}] = {value} is not a finite non-negative cost")
+            }
+            PlatformError::NonPositiveExecution { machine, task, value } => {
+                write!(f, "E[{machine}][{task}] = {value}; execution times must be > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(PlatformError::NoMachines.to_string().contains("at least one"));
+        let e = PlatformError::ExecShape { expected: (2, 7), actual: (3, 7) };
+        assert!(e.to_string().contains("(3, 7)"));
+        let e = PlatformError::InvalidCost { matrix: "Tr", row: 0, col: 1, value: f64::NAN };
+        assert!(e.to_string().contains("Tr[0][1]"));
+        let e = PlatformError::NonPositiveExecution { machine: 1, task: 2, value: 0.0 };
+        assert!(e.to_string().contains("E[1][2]"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Machines and their identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a machine `m_j` in the HC suite (`0 <= j < l`). Dense,
+/// so it doubles as an index into per-machine arrays and the rows of `E`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct MachineId(u32);
+
+impl MachineId {
+    /// Creates a machine id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        MachineId(index)
+    }
+
+    /// Creates a machine id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        MachineId(u32::try_from(index).expect("machine index exceeds u32::MAX"))
+    }
+
+    /// Raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Index for per-machine arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<u32> for MachineId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        MachineId(v)
+    }
+}
+
+/// Coarse architecture class of a machine. The paper's §2 mentions SIMD,
+/// MIMD and special-purpose (e.g. FFT) machines; the class is purely
+/// descriptive — all costs live in the `E`/`Tr` matrices — but examples and
+/// generators use it to shape heterogeneity realistically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArchClass {
+    /// Single-instruction multiple-data array machine.
+    Simd,
+    /// Multiple-instruction multiple-data multiprocessor.
+    Mimd,
+    /// Vector supercomputer.
+    Vector,
+    /// Special-purpose accelerator (FFT engine, signal processor, ...).
+    SpecialPurpose,
+    /// Commodity scalar workstation.
+    Scalar,
+}
+
+impl ArchClass {
+    /// All classes, for round-robin assignment in generators.
+    pub const ALL: [ArchClass; 5] = [
+        ArchClass::Simd,
+        ArchClass::Mimd,
+        ArchClass::Vector,
+        ArchClass::SpecialPurpose,
+        ArchClass::Scalar,
+    ];
+}
+
+impl fmt::Display for ArchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ArchClass::Simd => "SIMD",
+            ArchClass::Mimd => "MIMD",
+            ArchClass::Vector => "vector",
+            ArchClass::SpecialPurpose => "special-purpose",
+            ArchClass::Scalar => "scalar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A machine in the heterogeneous suite.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Machine {
+    /// Dense identifier.
+    pub id: MachineId,
+    /// Human-readable name (for Gantt charts and DOT output).
+    pub name: String,
+    /// Architecture class.
+    pub arch: ArchClass,
+}
+
+impl Machine {
+    /// Convenience constructor with a generated name `m<i> (<arch>)`.
+    pub fn new(id: MachineId, arch: ArchClass) -> Machine {
+        Machine { id, name: format!("m{} ({arch})", id.raw()), arch }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_id_basics() {
+        let m = MachineId::new(3);
+        assert_eq!(m.raw(), 3);
+        assert_eq!(m.index(), 3);
+        assert_eq!(m.to_string(), "m3");
+        assert_eq!(format!("{m:?}"), "m3");
+        assert_eq!(MachineId::from_usize(3), m);
+        assert!(MachineId::new(1) < MachineId::new(2));
+    }
+
+    #[test]
+    fn arch_display() {
+        assert_eq!(ArchClass::Simd.to_string(), "SIMD");
+        assert_eq!(ArchClass::SpecialPurpose.to_string(), "special-purpose");
+        assert_eq!(ArchClass::ALL.len(), 5);
+    }
+
+    #[test]
+    fn machine_new_names() {
+        let m = Machine::new(MachineId::new(0), ArchClass::Vector);
+        assert_eq!(m.name, "m0 (vector)");
+    }
+
+    #[test]
+    fn machine_id_is_small() {
+        assert_eq!(std::mem::size_of::<MachineId>(), 4);
+    }
+}

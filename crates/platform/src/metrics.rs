@@ -1,0 +1,150 @@
+//! Workload-characterization metrics (§5 of the paper).
+//!
+//! The paper classifies workloads by three axes:
+//!
+//! * **connectivity** — "the number of data items to be transferred
+//!   between the subtasks"; measured structurally by
+//!   [`mshc_taskgraph::GraphMetrics`], summarized here as data items per
+//!   task;
+//! * **heterogeneity** — "the difference in execution times of subtasks on
+//!   the different machines"; we measure the mean per-task coefficient of
+//!   variation of the columns of `E` (0 = homogeneous, larger = more
+//!   heterogeneous);
+//! * **CCR** — "the ratio of size of data item over execution time of the
+//!   subtask generating this item"; we measure the mean over data items of
+//!   `mean transfer time of d / mean execution time of the producer of d`.
+//!   CCR ≈ 0.1 means computation-dominated, CCR ≈ 1 heavy communication.
+
+use crate::instance::HcInstance;
+use serde::{Deserialize, Serialize};
+
+/// Measured characterization of an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceMetrics {
+    /// Tasks `k`.
+    pub tasks: usize,
+    /// Machines `l`.
+    pub machines: usize,
+    /// Data items `p`.
+    pub data_items: usize,
+    /// Data items per task (`p / k`) — connectivity summary.
+    pub connectivity: f64,
+    /// Mean per-task coefficient of variation of execution times.
+    pub heterogeneity: f64,
+    /// Mean communication-to-computation ratio.
+    pub ccr: f64,
+}
+
+impl InstanceMetrics {
+    /// Measures all axes on an instance.
+    pub fn compute(inst: &HcInstance) -> InstanceMetrics {
+        let g = inst.graph();
+        let s = inst.system();
+        let k = g.task_count();
+        let l = s.machine_count();
+        let p = g.data_count();
+
+        // Heterogeneity: mean over tasks of std/mean of the E column.
+        let mut cv_sum = 0.0;
+        for t in g.tasks() {
+            let mean = s.mean_exec_time(t);
+            let var = s
+                .exec_matrix()
+                .col_iter(t.index())
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f64>()
+                / l as f64;
+            cv_sum += var.sqrt() / mean;
+        }
+        let heterogeneity = cv_sum / k as f64;
+
+        // CCR: mean over data items of mean-transfer / producer's mean exec.
+        let ccr = if p == 0 {
+            0.0
+        } else {
+            g.edges()
+                .iter()
+                .map(|e| s.mean_transfer_time(e.id) / s.mean_exec_time(e.src))
+                .sum::<f64>()
+                / p as f64
+        };
+
+        InstanceMetrics {
+            tasks: k,
+            machines: l,
+            data_items: p,
+            connectivity: p as f64 / k as f64,
+            heterogeneity,
+            ccr,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::system::HcSystem;
+    use mshc_taskgraph::TaskGraphBuilder;
+
+    fn instance(exec: Matrix, transfer: Matrix) -> HcInstance {
+        let mut b = TaskGraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        let g = b.build().unwrap();
+        let l = exec.rows();
+        let sys = HcSystem::with_anonymous_machines(l, exec, transfer).unwrap();
+        HcInstance::new(g, sys).unwrap()
+    }
+
+    #[test]
+    fn homogeneous_system_has_zero_heterogeneity() {
+        let inst = instance(Matrix::filled(3, 3, 10.0), Matrix::filled(3, 2, 1.0));
+        let m = InstanceMetrics::compute(&inst);
+        assert_eq!(m.heterogeneity, 0.0);
+        assert_eq!(m.tasks, 3);
+        assert_eq!(m.machines, 3);
+        assert_eq!(m.data_items, 2);
+        assert!((m.connectivity - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heterogeneity_grows_with_spread() {
+        let narrow = instance(
+            Matrix::from_rows(&[vec![10.0; 3], vec![12.0; 3]]),
+            Matrix::filled(1, 2, 1.0),
+        );
+        let wide = instance(
+            Matrix::from_rows(&[vec![1.0; 3], vec![100.0; 3]]),
+            Matrix::filled(1, 2, 1.0),
+        );
+        let hn = InstanceMetrics::compute(&narrow).heterogeneity;
+        let hw = InstanceMetrics::compute(&wide).heterogeneity;
+        assert!(hw > 5.0 * hn, "wide spread must read as far more heterogeneous");
+    }
+
+    #[test]
+    fn ccr_matches_construction() {
+        // exec 10 everywhere, transfers 10 everywhere => CCR = 1.
+        let inst = instance(Matrix::filled(2, 3, 10.0), Matrix::filled(1, 2, 10.0));
+        let m = InstanceMetrics::compute(&inst);
+        assert!((m.ccr - 1.0).abs() < 1e-12);
+        // transfers 1 => CCR = 0.1.
+        let inst = instance(Matrix::filled(2, 3, 10.0), Matrix::filled(1, 2, 1.0));
+        let m = InstanceMetrics::compute(&inst);
+        assert!((m.ccr - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccr_zero_without_data_items() {
+        let g = TaskGraphBuilder::new(2).build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::filled(2, 2, 5.0),
+            Matrix::filled(1, 0, 0.0),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        assert_eq!(InstanceMetrics::compute(&inst).ccr, 0.0);
+    }
+}

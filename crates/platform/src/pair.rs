@@ -1,0 +1,99 @@
+//! Canonical indexing of unordered machine pairs.
+//!
+//! The paper's `Tr` matrix has `l(l-1)/2` rows, one per unordered pair of
+//! distinct machines. We index pairs `(a, b)` with `a < b` in the standard
+//! upper-triangular order:
+//!
+//! ```text
+//! (0,1) (0,2) ... (0,l-1) (1,2) ... (1,l-1) ... (l-2,l-1)
+//! ```
+
+use crate::machine::MachineId;
+
+/// Number of unordered machine pairs for `l` machines: `l(l-1)/2`.
+#[inline]
+pub const fn pair_count(machines: usize) -> usize {
+    machines * machines.saturating_sub(1) / 2
+}
+
+/// Row index of the unordered pair `{a, b}` in `Tr`.
+///
+/// # Panics
+/// Panics if `a == b` (co-located transfers have no `Tr` row — they cost
+/// zero by the model) or if either id is out of range.
+#[inline]
+pub fn pair_index(machines: usize, a: MachineId, b: MachineId) -> usize {
+    let (lo, hi) = if a.raw() < b.raw() { (a.index(), b.index()) } else { (b.index(), a.index()) };
+    assert!(lo != hi, "no Tr row for a machine with itself");
+    assert!(hi < machines, "machine id out of range");
+    // Rows before block `lo`: sum_{i<lo} (machines-1-i) = lo*machines - lo - lo(lo-1)/2
+    lo * (machines - 1) - lo * (lo.saturating_sub(1)) / 2 + (hi - lo - 1)
+}
+
+/// Inverse of [`pair_index`]: the pair `{a, b}` (with `a < b`) stored at
+/// `row`. O(l) scan; used only by debugging/reporting paths.
+pub fn pair_from_index(machines: usize, row: usize) -> (MachineId, MachineId) {
+    let mut remaining = row;
+    for lo in 0..machines {
+        let block = machines - 1 - lo;
+        if remaining < block {
+            return (MachineId::from_usize(lo), MachineId::from_usize(lo + 1 + remaining));
+        }
+        remaining -= block;
+    }
+    panic!("pair row {row} out of range for {machines} machines");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts() {
+        assert_eq!(pair_count(0), 0);
+        assert_eq!(pair_count(1), 0);
+        assert_eq!(pair_count(2), 1);
+        assert_eq!(pair_count(5), 10);
+        assert_eq!(pair_count(20), 190);
+    }
+
+    #[test]
+    fn index_is_bijective_and_symmetric() {
+        for l in [2usize, 3, 5, 8, 20] {
+            let mut seen = vec![false; pair_count(l)];
+            for a in 0..l {
+                for b in (a + 1)..l {
+                    let i = pair_index(l, MachineId::from_usize(a), MachineId::from_usize(b));
+                    let j = pair_index(l, MachineId::from_usize(b), MachineId::from_usize(a));
+                    assert_eq!(i, j, "symmetry");
+                    assert!(!seen[i], "collision at {i} for ({a},{b}) l={l}");
+                    seen[i] = true;
+                    assert_eq!(
+                        pair_from_index(l, i),
+                        (MachineId::from_usize(a), MachineId::from_usize(b)),
+                        "inverse"
+                    );
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "indexing covers all rows for l={l}");
+        }
+    }
+
+    #[test]
+    fn first_and_last_rows() {
+        assert_eq!(pair_index(4, MachineId::new(0), MachineId::new(1)), 0);
+        assert_eq!(pair_index(4, MachineId::new(2), MachineId::new(3)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn same_machine_panics() {
+        let _ = pair_index(4, MachineId::new(1), MachineId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let _ = pair_index(4, MachineId::new(0), MachineId::new(4));
+    }
+}

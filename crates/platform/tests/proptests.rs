@@ -1,0 +1,108 @@
+//! Property tests for the platform substrate.
+
+use mshc_platform::{pair_count, pair_index, HcSystem, MachineId, Matrix};
+use mshc_taskgraph::{DataId, TaskId};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Pair indexing is a symmetric bijection onto `0..l(l-1)/2`.
+    #[test]
+    fn pair_indexing_bijective(l in 2usize..40) {
+        let mut seen = vec![false; pair_count(l)];
+        for a in 0..l {
+            for b in (a + 1)..l {
+                let i = pair_index(l, MachineId::from_usize(a), MachineId::from_usize(b));
+                let j = pair_index(l, MachineId::from_usize(b), MachineId::from_usize(a));
+                prop_assert_eq!(i, j);
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// System accessors agree with the raw matrices, for random shapes
+    /// and costs.
+    #[test]
+    fn system_accessors_match_matrices(
+        l in 1usize..6,
+        k in 1usize..12,
+        p in 0usize..15,
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let exec = Matrix::from_fn(l, k, |_, _| rng.gen_range(0.5..100.0));
+        let transfer = Matrix::from_fn(pair_count(l), p, |_, _| rng.gen_range(0.0..50.0));
+        let sys = HcSystem::with_anonymous_machines(l, exec.clone(), transfer.clone()).unwrap();
+        for t in 0..k {
+            let task = TaskId::from_usize(t);
+            // best machine minimizes the column
+            let best = sys.best_machine(task);
+            for m in 0..l {
+                prop_assert!(
+                    sys.exec_time(best, task) <= exec.get(m, t) + 1e-12
+                );
+                prop_assert_eq!(sys.exec_time(MachineId::from_usize(m), task), exec.get(m, t));
+            }
+            // ranking is sorted ascending
+            let ranking = sys.machine_ranking(task);
+            prop_assert_eq!(ranking.len(), l);
+            for w in ranking.windows(2) {
+                prop_assert!(sys.exec_time(w[0], task) <= sys.exec_time(w[1], task));
+            }
+            prop_assert_eq!(ranking[0], best);
+            // mean matches direct computation
+            let mean: f64 = (0..l).map(|m| exec.get(m, t)).sum::<f64>() / l as f64;
+            prop_assert!((sys.mean_exec_time(task) - mean).abs() < 1e-9);
+        }
+        for d in 0..p {
+            let data = DataId::from_usize(d);
+            for a in 0..l {
+                for b in 0..l {
+                    let time = sys.transfer_time(
+                        data,
+                        MachineId::from_usize(a),
+                        MachineId::from_usize(b),
+                    );
+                    if a == b {
+                        prop_assert_eq!(time, 0.0);
+                    } else {
+                        let row = pair_index(
+                            l,
+                            MachineId::from_usize(a),
+                            MachineId::from_usize(b),
+                        );
+                        prop_assert_eq!(time, transfer.get(row, d));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Matrix column helpers agree with brute force.
+    #[test]
+    fn matrix_column_helpers(rows in 1usize..8, cols in 1usize..8, seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let m = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-10.0..10.0));
+        for c in 0..cols {
+            let col: Vec<f64> = m.col_iter(c).collect();
+            prop_assert_eq!(col.len(), rows);
+            let (ri, rv) = m.col_min(c).unwrap();
+            for (i, &v) in col.iter().enumerate() {
+                prop_assert!(rv <= v + 1e-12);
+                if v == rv {
+                    prop_assert!(ri <= i, "ties resolve to the smallest row");
+                    break;
+                }
+            }
+            let ranking = m.col_ranking(c);
+            for w in ranking.windows(2) {
+                prop_assert!(m.get(w[0], c) <= m.get(w[1], c));
+            }
+        }
+    }
+}

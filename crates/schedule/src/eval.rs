@@ -1,0 +1,478 @@
+//! Analytic makespan evaluation.
+//!
+//! Because a [`Solution`] string is a linear extension of the DAG, start
+//! and finish times follow from a single left-to-right pass (§4.1 makes
+//! per-machine order = string order; precedence arrivals come from
+//! already-finished tasks). Cost: O(k + p) per evaluation with zero
+//! allocations after the first call — the evaluator owns reusable buffers
+//! because the SE allocation step evaluates thousands of candidate strings
+//! per iteration (§4.5).
+
+use crate::encoding::Solution;
+use mshc_platform::HcInstance;
+use mshc_taskgraph::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// Start/finish times and makespan of one evaluated solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Start time of each task, indexed by task.
+    pub start: Vec<f64>,
+    /// Finish time of each task, indexed by task. The paper's `C_i`
+    /// (actual cost of individual `e_i`, §4.3) is exactly `finish[i]`.
+    pub finish: Vec<f64>,
+    /// Latest finish time — the schedule length the paper minimizes.
+    pub makespan: f64,
+}
+
+impl ScheduleReport {
+    /// Finish time of `t` (the paper's `C_i`).
+    #[inline]
+    pub fn finish_of(&self, t: TaskId) -> f64 {
+        self.finish[t.index()]
+    }
+
+    /// Start time of `t`.
+    #[inline]
+    pub fn start_of(&self, t: TaskId) -> f64 {
+        self.start[t.index()]
+    }
+}
+
+/// Reusable makespan evaluator for one instance.
+///
+/// ```
+/// use mshc_platform::{HcInstance, HcSystem, Matrix, MachineId};
+/// use mshc_schedule::{Evaluator, Solution, Segment};
+/// use mshc_taskgraph::{TaskGraphBuilder, TaskId};
+///
+/// let mut b = TaskGraphBuilder::new(2);
+/// b.add_edge(0, 1).unwrap();
+/// let g = b.build().unwrap();
+/// let sys = HcSystem::with_anonymous_machines(
+///     2,
+///     Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 2.0]]),
+///     Matrix::from_rows(&[vec![6.0]]),
+/// ).unwrap();
+/// let inst = HcInstance::new(g, sys).unwrap();
+/// let mut eval = Evaluator::new(&inst);
+///
+/// // Both on m0: 3 + 4 = 7, no communication.
+/// let s = Solution::from_order(
+///     inst.graph(), 2,
+///     &[TaskId::new(0), TaskId::new(1)],
+///     &[MachineId::new(0), MachineId::new(0)],
+/// ).unwrap();
+/// assert_eq!(eval.makespan(&s), 7.0);
+///
+/// // Split: 3 + 6 (transfer) + 2 = 11.
+/// let s = Solution::from_order(
+///     inst.graph(), 2,
+///     &[TaskId::new(0), TaskId::new(1)],
+///     &[MachineId::new(0), MachineId::new(1)],
+/// ).unwrap();
+/// assert_eq!(eval.makespan(&s), 11.0);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'a> {
+    inst: &'a HcInstance,
+    // Scratch buffers, reused across evaluations.
+    finish: Vec<f64>,
+    start: Vec<f64>,
+    machine_avail: Vec<f64>,
+    /// Number of full evaluations performed (the deterministic cost axis
+    /// reported alongside wall time by the Fig 5–7 harness).
+    evaluations: u64,
+    // Suffix-evaluation checkpoints (see `prime`). `ckpt_avail` holds
+    // `(k+1)` consecutive machine-availability vectors; `ckpt_max[p]` is
+    // the max finish time over positions `0..p`; `ckpt_finish` the primed
+    // per-task finish times.
+    ckpt_avail: Vec<f64>,
+    ckpt_max: Vec<f64>,
+    ckpt_finish: Vec<f64>,
+    primed_len: usize,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Creates an evaluator bound to one instance.
+    pub fn new(inst: &'a HcInstance) -> Evaluator<'a> {
+        let k = inst.task_count();
+        Evaluator {
+            inst,
+            finish: vec![0.0; k],
+            start: vec![0.0; k],
+            machine_avail: vec![0.0; inst.machine_count()],
+            evaluations: 0,
+            ckpt_avail: Vec::new(),
+            ckpt_max: Vec::new(),
+            ckpt_finish: vec![0.0; k],
+            primed_len: usize::MAX,
+        }
+    }
+
+    /// The bound instance.
+    #[inline]
+    pub fn instance(&self) -> &'a HcInstance {
+        self.inst
+    }
+
+    /// Total number of evaluations performed so far.
+    #[inline]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Adds externally performed evaluations to the counter (used when a
+    /// scheduler fans candidate evaluations out to worker threads with
+    /// their own short-lived evaluators, so the run's reported evaluation
+    /// count stays complete).
+    #[inline]
+    pub fn bump_evaluations(&mut self, n: u64) {
+        self.evaluations += n;
+    }
+
+    /// Evaluates `solution`, returning only the makespan (hot path).
+    ///
+    /// # Panics
+    /// Debug-asserts that the solution matches the instance dimensions.
+    pub fn makespan(&mut self, solution: &Solution) -> f64 {
+        self.pass(solution);
+        self.finish.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Evaluates `solution`, returning the full per-task report.
+    pub fn report(&mut self, solution: &Solution) -> ScheduleReport {
+        self.pass(solution);
+        ScheduleReport {
+            start: self.start.clone(),
+            finish: self.finish.clone(),
+            makespan: self.finish.iter().copied().fold(0.0, f64::max),
+        }
+    }
+
+    /// Primes the suffix cache: performs a full pass over `solution` and
+    /// snapshots, for every string position `p`, the machine-availability
+    /// vector and running finish-time maximum after processing positions
+    /// `0..p`. Subsequent [`makespan_suffix`](Self::makespan_suffix)
+    /// calls can then re-evaluate any solution that agrees with the
+    /// primed one on a prefix in O(k − from) instead of O(k).
+    ///
+    /// The memory cost is `(k+1) × l` floats — ~16 KiB at the paper's
+    /// 100-task / 20-machine scale.
+    pub fn prime(&mut self, solution: &Solution) {
+        let k = solution.len();
+        let l = self.machine_avail.len();
+        self.ckpt_avail.clear();
+        self.ckpt_avail.reserve((k + 1) * l);
+        self.ckpt_max.clear();
+        self.ckpt_max.reserve(k + 1);
+
+        let g = self.inst.graph();
+        let sys = self.inst.system();
+        self.machine_avail.fill(0.0);
+        self.evaluations += 1;
+        let mut running_max = 0.0f64;
+        self.ckpt_avail.extend_from_slice(&self.machine_avail);
+        self.ckpt_max.push(running_max);
+        for seg in solution.segments() {
+            let (t, m) = (seg.task, seg.machine);
+            let mut ready = 0.0f64;
+            for e in g.in_edges(t) {
+                let src_m = solution.machine_of(e.src);
+                ready = ready
+                    .max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
+            }
+            let start = ready.max(self.machine_avail[m.index()]);
+            let finish = start + sys.exec_time(m, t);
+            self.start[t.index()] = start;
+            self.finish[t.index()] = finish;
+            self.machine_avail[m.index()] = finish;
+            running_max = running_max.max(finish);
+            self.ckpt_avail.extend_from_slice(&self.machine_avail);
+            self.ckpt_max.push(running_max);
+        }
+        self.ckpt_finish.clear();
+        self.ckpt_finish.extend_from_slice(&self.finish);
+        self.primed_len = k;
+    }
+
+    /// Makespan of `solution`, given that its segments at positions
+    /// `0..from` are identical (same task, same machine) to those of the
+    /// solution passed to the last [`prime`](Self::prime) call. Only the
+    /// suffix `from..` is recomputed.
+    ///
+    /// Debug builds verify the prefix-agreement precondition against the
+    /// primed finish times.
+    pub fn makespan_suffix(&mut self, solution: &Solution, from: usize) -> f64 {
+        assert!(self.primed_len == solution.len(), "prime() the evaluator first");
+        assert!(from <= solution.len(), "suffix start out of range");
+        let l = self.machine_avail.len();
+        let g = self.inst.graph();
+        let sys = self.inst.system();
+        self.evaluations += 1;
+        // Restore the checkpointed state after the unchanged prefix.
+        self.machine_avail.copy_from_slice(&self.ckpt_avail[from * l..(from + 1) * l]);
+        let mut running_max = self.ckpt_max[from];
+        // Prefix tasks keep their primed finish times; suffix tasks are
+        // recomputed into a scratch copy so the cache stays valid.
+        self.finish.copy_from_slice(&self.ckpt_finish);
+        for seg in &solution.segments()[from..] {
+            let (t, m) = (seg.task, seg.machine);
+            let mut ready = 0.0f64;
+            for e in g.in_edges(t) {
+                let src_m = solution.machine_of(e.src);
+                debug_assert!(
+                    solution.position_of(e.src) < solution.position_of(t),
+                    "linear extension"
+                );
+                ready = ready
+                    .max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
+            }
+            let start = ready.max(self.machine_avail[m.index()]);
+            let finish = start + sys.exec_time(m, t);
+            self.finish[t.index()] = finish;
+            self.machine_avail[m.index()] = finish;
+            running_max = running_max.max(finish);
+        }
+        running_max
+    }
+
+    /// The single left-to-right pass computing start/finish times into the
+    /// scratch buffers.
+    fn pass(&mut self, solution: &Solution) {
+        debug_assert_eq!(solution.len(), self.inst.task_count(), "solution/instance mismatch");
+        debug_assert_eq!(
+            solution.machine_count(),
+            self.inst.machine_count(),
+            "solution/instance machine mismatch"
+        );
+        let g = self.inst.graph();
+        let sys = self.inst.system();
+        self.machine_avail.fill(0.0);
+        self.evaluations += 1;
+        for seg in solution.segments() {
+            let t = seg.task;
+            let m = seg.machine;
+            // Data-arrival constraint: every input item must have arrived.
+            let mut ready = 0.0f64;
+            for e in g.in_edges(t) {
+                let src_m = solution.machine_of(e.src);
+                let arrival = self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m);
+                ready = ready.max(arrival);
+            }
+            // Machine-order constraint: the machine must be free.
+            let start = ready.max(self.machine_avail[m.index()]);
+            let finish = start + sys.exec_time(m, t);
+            self.start[t.index()] = start;
+            self.finish[t.index()] = finish;
+            self.machine_avail[m.index()] = finish;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Segment;
+    use mshc_platform::{HcSystem, MachineId, Matrix};
+    use mshc_taskgraph::{TaskGraph, TaskGraphBuilder};
+
+    fn seg(t: u32, m: u32) -> Segment {
+        Segment { task: TaskId::new(t), machine: MachineId::new(m) }
+    }
+
+    /// Figure-1-style instance: 7 tasks, 6 data items, 2 machines, with
+    /// matrices chosen by us (the paper's are OCR-garbled — see DESIGN.md).
+    fn figure1_instance() -> HcInstance {
+        let mut b = TaskGraphBuilder::new(7);
+        for (s, d) in [(0, 2), (0, 3), (1, 4), (2, 5), (3, 5), (4, 6)] {
+            b.add_edge(s, d).unwrap();
+        }
+        let g = b.build().unwrap();
+        let exec = Matrix::from_rows(&[
+            vec![400.0, 700.0, 500.0, 300.0, 800.0, 600.0, 200.0],
+            vec![600.0, 500.0, 400.0, 900.0, 435.0, 450.0, 350.0],
+        ]);
+        let transfer = Matrix::from_rows(&[vec![120.0, 80.0, 200.0, 60.0, 90.0, 150.0]]);
+        let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
+        HcInstance::new(g, sys).unwrap()
+    }
+
+    fn figure2_solution(g: &TaskGraph) -> Solution {
+        Solution::new(
+            g,
+            2,
+            vec![seg(0, 0), seg(1, 1), seg(2, 1), seg(3, 0), seg(4, 0), seg(5, 1), seg(6, 1)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hand_computed_times() {
+        let inst = figure1_instance();
+        let mut eval = Evaluator::new(&inst);
+        let s = figure2_solution(inst.graph());
+        let r = eval.report(&s);
+        // m0 order: s0 s3 s4; m1 order: s1 s2 s5 s6.
+        // s0 on m0: [0, 400]
+        assert_eq!(r.start_of(TaskId::new(0)), 0.0);
+        assert_eq!(r.finish_of(TaskId::new(0)), 400.0);
+        // s1 on m1: [0, 500]
+        assert_eq!(r.finish_of(TaskId::new(1)), 500.0);
+        // s2 on m1 needs d0 from s0@m0: arrives 400+120=520; m1 free at 500
+        // => start 520, finish 920.
+        assert_eq!(r.start_of(TaskId::new(2)), 520.0);
+        assert_eq!(r.finish_of(TaskId::new(2)), 920.0);
+        // s3 on m0 needs d1 from s0@m0 (co-located, 0): start at max(400, 400)
+        // => finish 700.
+        assert_eq!(r.finish_of(TaskId::new(3)), 700.0);
+        // s4 on m0 needs d2 from s1@m1: arrives 500+200=700; m0 free at 700
+        // => start 700, finish 1500.
+        assert_eq!(r.start_of(TaskId::new(4)), 700.0);
+        assert_eq!(r.finish_of(TaskId::new(4)), 1500.0);
+        // s5 on m1 needs d3 from s2@m1 (920) and d4 from s3@m0 (700+90=790);
+        // m1 free at 920 => start 920, finish 1370.
+        assert_eq!(r.finish_of(TaskId::new(5)), 1370.0);
+        // s6 on m1 needs d5 from s4@m0: arrives 1500+150=1650; m1 free 1370
+        // => finish 1650+350=2000.
+        assert_eq!(r.finish_of(TaskId::new(6)), 2000.0);
+        assert_eq!(r.makespan, 2000.0);
+        let mk = eval.makespan(&s);
+        assert_eq!(mk, 2000.0);
+        assert_eq!(eval.evaluations(), 2);
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let inst = figure1_instance();
+        let mut eval = Evaluator::new(&inst);
+        let s = figure2_solution(inst.graph());
+        let r = eval.report(&s);
+        let max = r.finish.iter().copied().fold(0.0, f64::max);
+        assert_eq!(r.makespan, max);
+    }
+
+    #[test]
+    fn single_machine_serializes_everything() {
+        let inst = figure1_instance();
+        let g = inst.graph();
+        // All on m0: makespan = sum of m0 execution times (no comms, no idle
+        // gaps because the string is a linear extension).
+        let order: Vec<TaskId> = (0..7).map(TaskId::new).collect();
+        let s = Solution::from_order(g, 2, &order, &[MachineId::new(0); 7]).unwrap();
+        let mut eval = Evaluator::new(&inst);
+        let total: f64 = (0..7).map(|t| inst.system().exec_time(MachineId::new(0), TaskId::new(t))).sum();
+        assert_eq!(eval.makespan(&s), total);
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let g = TaskGraphBuilder::new(2).build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::from_rows(&[vec![10.0, 10.0], vec![10.0, 10.0]]),
+            Matrix::filled(1, 0, 0.0),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 1)]).unwrap();
+        let mut eval = Evaluator::new(&inst);
+        assert_eq!(eval.makespan(&s), 10.0, "parallel");
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 0)]).unwrap();
+        assert_eq!(eval.makespan(&s), 20.0, "serialized");
+    }
+
+    #[test]
+    fn string_order_affects_makespan() {
+        // Two independent tasks a (long) and b (short) plus a consumer of b.
+        // Putting a before b on the shared machine delays the consumer.
+        let mut b = TaskGraphBuilder::new(3);
+        b.add_edge(1, 2).unwrap(); // b -> c
+        let g = b.build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::from_rows(&[vec![100.0, 10.0, 10.0], vec![100.0, 10.0, 10.0]]),
+            Matrix::from_rows(&[vec![0.0]]),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let mut eval = Evaluator::new(&inst);
+        // a then b on m0, c on m1: c starts at 110 => 120. makespan 120.
+        let s1 = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 0), seg(2, 1)]).unwrap();
+        // b then a on m0: b finishes 10, c on m1 finishes 20, a finishes 110.
+        let s2 = Solution::new(inst.graph(), 2, vec![seg(1, 0), seg(0, 0), seg(2, 1)]).unwrap();
+        assert_eq!(eval.makespan(&s1), 120.0);
+        assert_eq!(eval.makespan(&s2), 110.0);
+    }
+
+    #[test]
+    fn evaluations_counter_increments() {
+        let inst = figure1_instance();
+        let mut eval = Evaluator::new(&inst);
+        let s = figure2_solution(inst.graph());
+        for _ in 0..5 {
+            eval.makespan(&s);
+        }
+        assert_eq!(eval.evaluations(), 5);
+    }
+
+    #[test]
+    fn suffix_eval_matches_full_eval() {
+        use rand::{Rng, SeedableRng};
+        let inst = figure1_instance();
+        let g = inst.graph();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let mut eval = Evaluator::new(&inst);
+        let mut full = Evaluator::new(&inst);
+        for _ in 0..100 {
+            let base = crate::init::random_solution(&inst, &mut rng);
+            eval.prime(&base);
+            // Mutate a random task within its valid range and compare the
+            // suffix evaluation (from the first disturbed position)
+            // against a from-scratch pass.
+            let t = TaskId::new(rng.gen_range(0..7));
+            let orig_pos = base.position_of(t);
+            let (lo, hi) = base.valid_range(g, t);
+            let pos = rng.gen_range(lo..=hi);
+            let m = mshc_platform::MachineId::new(rng.gen_range(0..2));
+            let mut cand = base.clone();
+            cand.move_task(g, t, pos, m).unwrap();
+            let from = orig_pos.min(pos);
+            let fast = eval.makespan_suffix(&cand, from);
+            let slow = full.makespan(&cand);
+            assert!((fast - slow).abs() < 1e-9, "suffix {fast} vs full {slow}");
+            // from = 0 degenerates to a full pass
+            assert!((eval.makespan_suffix(&cand, 0) - slow).abs() < 1e-9);
+            // re-evaluating the primed base itself from any position is a
+            // fixpoint
+            let anywhere = rng.gen_range(0..=7);
+            let back = eval.makespan_suffix(&base, anywhere);
+            assert!((back - full.makespan(&base)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prime()")]
+    fn suffix_eval_requires_priming() {
+        let inst = figure1_instance();
+        let s = figure2_solution(inst.graph());
+        let mut eval = Evaluator::new(&inst);
+        let _ = eval.makespan_suffix(&s, 0);
+    }
+
+    #[test]
+    fn report_times_are_consistent() {
+        let inst = figure1_instance();
+        let mut eval = Evaluator::new(&inst);
+        let s = figure2_solution(inst.graph());
+        let r = eval.report(&s);
+        let sys = inst.system();
+        for t in inst.graph().tasks() {
+            let m = s.machine_of(t);
+            assert!(
+                (r.finish_of(t) - r.start_of(t) - sys.exec_time(m, t)).abs() < 1e-9,
+                "finish - start == exec time for {t}"
+            );
+        }
+    }
+}

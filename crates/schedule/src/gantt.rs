@@ -1,0 +1,175 @@
+//! Gantt-chart extraction and terminal rendering.
+
+use crate::encoding::Solution;
+use crate::eval::ScheduleReport;
+use mshc_platform::{HcInstance, MachineId};
+use mshc_taskgraph::TaskId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One scheduled slot on a machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GanttSlot {
+    /// The task occupying the slot.
+    pub task: TaskId,
+    /// Start time.
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+}
+
+/// Per-machine timeline view of an evaluated solution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gantt {
+    lanes: Vec<Vec<GanttSlot>>,
+    makespan: f64,
+}
+
+impl Gantt {
+    /// Builds the chart from a solution and its evaluation report.
+    pub fn build(solution: &Solution, report: &ScheduleReport) -> Gantt {
+        let mut lanes = vec![Vec::new(); solution.machine_count()];
+        for seg in solution.segments() {
+            lanes[seg.machine.index()].push(GanttSlot {
+                task: seg.task,
+                start: report.start_of(seg.task),
+                finish: report.finish_of(seg.task),
+            });
+        }
+        Gantt { lanes, makespan: report.makespan }
+    }
+
+    /// Timeline of machine `m`, in execution order.
+    pub fn lane(&self, m: MachineId) -> &[GanttSlot] {
+        &self.lanes[m.index()]
+    }
+
+    /// Number of machine lanes.
+    pub fn machine_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The schedule length.
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
+    /// Fraction of total machine-time spent busy (`Σ exec / (l * makespan)`).
+    pub fn utilization(&self) -> f64 {
+        if self.makespan == 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self
+            .lanes
+            .iter()
+            .flat_map(|lane| lane.iter().map(|s| s.finish - s.start))
+            .sum();
+        busy / (self.makespan * self.lanes.len() as f64)
+    }
+
+    /// Verifies non-overlap within every lane (sanity check used in
+    /// tests): slots must be sorted and disjoint.
+    pub fn lanes_disjoint(&self) -> bool {
+        self.lanes.iter().all(|lane| {
+            lane.windows(2).all(|w| w[0].finish <= w[1].start + 1e-9)
+        })
+    }
+
+    /// Renders a fixed-width ASCII chart (each lane one row, `width`
+    /// character cells across the makespan).
+    pub fn render_ascii(&self, inst: &HcInstance, width: usize) -> String {
+        let mut out = String::new();
+        let scale = if self.makespan > 0.0 { width as f64 / self.makespan } else { 0.0 };
+        for (mi, lane) in self.lanes.iter().enumerate() {
+            let name = &inst.system().machines()[mi].name;
+            let mut row = vec![b'.'; width];
+            for slot in lane {
+                let a = (slot.start * scale).floor() as usize;
+                let b = ((slot.finish * scale).ceil() as usize).min(width).max(a + 1);
+                let label = format!("{}", slot.task.raw());
+                for (i, cell) in row[a..b.min(width)].iter_mut().enumerate() {
+                    *cell = if i < label.len() { label.as_bytes()[i] } else { b'#' };
+                }
+            }
+            let _ = writeln!(out, "{name:<22} |{}|", String::from_utf8_lossy(&row));
+        }
+        let _ = writeln!(out, "{:<22} 0 .. {:.1}", "time", self.makespan);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Segment;
+    use crate::eval::Evaluator;
+    use mshc_platform::{HcSystem, Matrix};
+    use mshc_taskgraph::TaskGraphBuilder;
+
+    fn instance() -> HcInstance {
+        let mut b = TaskGraphBuilder::new(3);
+        b.add_edge(0, 2).unwrap();
+        let g = b.build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::from_rows(&[vec![4.0, 2.0, 3.0], vec![4.0, 2.0, 3.0]]),
+            Matrix::from_rows(&[vec![1.0]]),
+        )
+        .unwrap();
+        HcInstance::new(g, sys).unwrap()
+    }
+
+    fn seg(t: u32, m: u32) -> Segment {
+        Segment { task: TaskId::new(t), machine: MachineId::new(m) }
+    }
+
+    #[test]
+    fn build_and_query() {
+        let inst = instance();
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 1), seg(2, 0)]).unwrap();
+        let mut eval = Evaluator::new(&inst);
+        let r = eval.report(&s);
+        let g = Gantt::build(&s, &r);
+        assert_eq!(g.machine_count(), 2);
+        assert_eq!(g.lane(MachineId::new(0)).len(), 2);
+        assert_eq!(g.lane(MachineId::new(1)).len(), 1);
+        assert_eq!(g.makespan(), r.makespan);
+        assert!(g.lanes_disjoint());
+    }
+
+    #[test]
+    fn utilization_bounds() {
+        let inst = instance();
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 1), seg(2, 0)]).unwrap();
+        let mut eval = Evaluator::new(&inst);
+        let r = eval.report(&s);
+        let g = Gantt::build(&s, &r);
+        let u = g.utilization();
+        assert!(u > 0.0 && u <= 1.0, "utilization {u} out of range");
+    }
+
+    #[test]
+    fn ascii_contains_machine_names() {
+        let inst = instance();
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 1), seg(2, 0)]).unwrap();
+        let mut eval = Evaluator::new(&inst);
+        let r = eval.report(&s);
+        let g = Gantt::build(&s, &r);
+        let art = g.render_ascii(&inst, 40);
+        assert!(art.contains("m0"));
+        assert!(art.contains("m1"));
+        assert!(art.contains("time"));
+        assert_eq!(art.lines().count(), 3);
+    }
+
+    #[test]
+    fn empty_machine_lane_is_idle() {
+        let inst = instance();
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 0), seg(2, 0)]).unwrap();
+        let mut eval = Evaluator::new(&inst);
+        let r = eval.report(&s);
+        let g = Gantt::build(&s, &r);
+        assert!(g.lane(MachineId::new(1)).is_empty());
+        assert!(g.lanes_disjoint());
+    }
+}

@@ -1,0 +1,52 @@
+//! # mshc-schedule
+//!
+//! Solution substrate for MSHC: the paper's combined matching+scheduling
+//! string encoding (§4.1), validity and valid-range machinery (§4.2/§4.5),
+//! the analytic makespan evaluator, Gantt extraction, and an independent
+//! discrete-event replay simulator used to cross-check the evaluator.
+//!
+//! ## The encoding
+//!
+//! A solution is a string of `k` segments, each pairing a subtask with a
+//! machine. Pairing `s_i` with `m_j` assigns `s_i` to `m_j` (*matching*);
+//! if `s_x` appears left of `s_y` and both are on the same machine, `s_x`
+//! runs first (*scheduling*). The paper's §4.2 constructs initial strings
+//! as topological orders and §4.5 only ever moves a task within its
+//! *valid range*, so strings remain **global linear extensions** of the
+//! DAG throughout. [`Solution`] enforces exactly that invariant.
+//!
+//! (The paper's Figure 2 prints a string whose global order is not a
+//! linear extension — `s5` appears left of `s3` although `s3` precedes
+//! `s5` — but the two sit on different machines, so the *schedule* it
+//! denotes is the same one our canonical string `s0 s1 s2 s3 s4 s5 s6`
+//! with the same assignment denotes. Keeping strings canonical linear
+//! extensions loses no schedules: any precedence-feasible combination of
+//! per-machine orders is induced by some linear extension.)
+//!
+//! ## Evaluation model
+//!
+//! The standard macro-dataflow model implied by §2: a task starts once
+//! (a) its machine has finished every task earlier in that machine's
+//! order and (b) every input data item has arrived; data item `d` sent
+//! from `m_a` to `m_b` takes `Tr[{a,b}][d]` (zero if `a == b`); links are
+//! contention-free and sends do not occupy the producer. The makespan is
+//! the latest finish time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod error;
+pub mod eval;
+pub mod gantt;
+pub mod init;
+pub mod runner;
+pub mod sim;
+
+pub use encoding::{Segment, Solution};
+pub use error::ScheduleError;
+pub use eval::{Evaluator, ScheduleReport};
+pub use gantt::Gantt;
+pub use init::random_solution;
+pub use runner::{RunBudget, RunResult, Scheduler};
+pub use sim::{replay, replay_with, NetworkModel, SimError};

@@ -1,0 +1,152 @@
+//! The common scheduler interface and run budgets.
+//!
+//! Every algorithm in the suite — simulated evolution (`mshc-core`), the
+//! Wang et al. genetic algorithm (`mshc-ga`), and the constructive /
+//! metaheuristic baselines (`mshc-heuristics`) — implements [`Scheduler`],
+//! so the comparison harness (Figs 5–7), the CLI and the examples treat
+//! them uniformly.
+//!
+//! [`RunBudget`] expresses the stopping criteria the paper uses:
+//! iteration counts for Figs 3–4 and wall-clock time for the SE-vs-GA
+//! races of Figs 5–7, plus an evaluation-count budget for deterministic
+//! comparisons and a stall window ("no improvement for N iterations").
+
+use crate::encoding::Solution;
+use mshc_platform::HcInstance;
+use mshc_trace::Trace;
+use std::time::Duration;
+
+/// Stopping criteria; a run stops as soon as *any* set limit is reached.
+/// A fully `None` budget never stops — constructive heuristics ignore
+/// budgets, iterative schedulers require at least one limit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Maximum iterations (SE) / generations (GA).
+    pub max_iterations: Option<u64>,
+    /// Maximum number of full schedule evaluations.
+    pub max_evaluations: Option<u64>,
+    /// Maximum wall-clock time.
+    pub max_wall: Option<Duration>,
+    /// Stop after this many consecutive iterations without improving the
+    /// best makespan.
+    pub max_stall: Option<u64>,
+}
+
+impl RunBudget {
+    /// Budget limited by iteration count only.
+    pub fn iterations(n: u64) -> RunBudget {
+        RunBudget { max_iterations: Some(n), ..Default::default() }
+    }
+
+    /// Budget limited by evaluation count only.
+    pub fn evaluations(n: u64) -> RunBudget {
+        RunBudget { max_evaluations: Some(n), ..Default::default() }
+    }
+
+    /// Budget limited by wall-clock time only.
+    pub fn wall(d: Duration) -> RunBudget {
+        RunBudget { max_wall: Some(d), ..Default::default() }
+    }
+
+    /// Adds a stall window to an existing budget.
+    pub fn with_stall(mut self, n: u64) -> RunBudget {
+        self.max_stall = Some(n);
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_bounded(&self) -> bool {
+        self.max_iterations.is_some()
+            || self.max_evaluations.is_some()
+            || self.max_wall.is_some()
+            || self.max_stall.is_some()
+    }
+
+    /// True once any limit is hit.
+    pub fn exhausted(
+        &self,
+        iterations: u64,
+        evaluations: u64,
+        elapsed: Duration,
+        stall: u64,
+    ) -> bool {
+        self.max_iterations.is_some_and(|m| iterations >= m)
+            || self.max_evaluations.is_some_and(|m| evaluations >= m)
+            || self.max_wall.is_some_and(|m| elapsed >= m)
+            || self.max_stall.is_some_and(|m| stall >= m)
+    }
+}
+
+/// Outcome of one scheduler run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The best solution found.
+    pub solution: Solution,
+    /// Its makespan.
+    pub makespan: f64,
+    /// Iterations (or generations) executed; 1 for one-shot heuristics.
+    pub iterations: u64,
+    /// Full schedule evaluations performed.
+    pub evaluations: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// A task matching-and-scheduling algorithm.
+pub trait Scheduler {
+    /// Short stable identifier used in figures, CSV columns and the CLI
+    /// (e.g. `"se"`, `"ga"`, `"heft"`).
+    fn name(&self) -> &str;
+
+    /// Runs on `inst` under `budget`, optionally recording a per-iteration
+    /// trace. Implementations must return a precedence-valid solution.
+    fn run(
+        &mut self,
+        inst: &HcInstance,
+        budget: &RunBudget,
+        trace: Option<&mut Trace>,
+    ) -> RunResult;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let b = RunBudget::iterations(5);
+        assert_eq!(b.max_iterations, Some(5));
+        assert!(b.is_bounded());
+        let b = RunBudget::evaluations(100).with_stall(10);
+        assert_eq!(b.max_evaluations, Some(100));
+        assert_eq!(b.max_stall, Some(10));
+        let b = RunBudget::wall(Duration::from_millis(50));
+        assert_eq!(b.max_wall, Some(Duration::from_millis(50)));
+        assert!(!RunBudget::default().is_bounded());
+    }
+
+    #[test]
+    fn exhaustion_each_axis() {
+        let b = RunBudget::iterations(3);
+        assert!(!b.exhausted(2, 0, Duration::ZERO, 0));
+        assert!(b.exhausted(3, 0, Duration::ZERO, 0));
+
+        let b = RunBudget::evaluations(10);
+        assert!(!b.exhausted(99, 9, Duration::ZERO, 0));
+        assert!(b.exhausted(0, 10, Duration::ZERO, 0));
+
+        let b = RunBudget::wall(Duration::from_secs(1));
+        assert!(!b.exhausted(0, 0, Duration::from_millis(999), 0));
+        assert!(b.exhausted(0, 0, Duration::from_secs(1), 0));
+
+        let b = RunBudget::default().with_stall(4);
+        assert!(!b.exhausted(100, 100, Duration::from_secs(100), 3));
+        assert!(b.exhausted(0, 0, Duration::ZERO, 4));
+    }
+
+    #[test]
+    fn unbounded_never_exhausts() {
+        let b = RunBudget::default();
+        assert!(!b.exhausted(u64::MAX, u64::MAX, Duration::from_secs(1 << 40), u64::MAX));
+    }
+}

@@ -1,0 +1,421 @@
+//! Discrete-event replay of a solution.
+//!
+//! The analytic evaluator ([`crate::Evaluator`]) computes times with a
+//! closed-form pass. This module *executes* the same schedule on an
+//! explicit event-driven simulator — machines hold FIFO work queues in the
+//! string's per-machine order, data transfers complete as timed events —
+//! and reports the observed finish times. Property tests across the suite
+//! assert the two agree exactly; this is the correctness anchor for every
+//! scheduler built on the evaluator.
+//!
+//! Unlike the analytic pass, the simulator does **not** require the string
+//! to be a global linear extension — only the per-machine orders matter —
+//! so it also serves as an oracle for the (strictly larger) space of
+//! schedules expressible with inconsistent strings, and it detects
+//! cross-machine ordering deadlocks that the `Solution` invariant rules
+//! out by construction.
+
+use crate::encoding::Solution;
+use crate::eval::ScheduleReport;
+use mshc_platform::HcInstance;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// No runnable event remains but some tasks never executed — the
+    /// per-machine orders and the DAG form a circular wait. Impossible for
+    /// validated [`Solution`]s; reachable via `Solution::new_unchecked`.
+    Deadlock {
+        /// Number of tasks that never ran.
+        stuck_tasks: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { stuck_tasks } => {
+                write!(f, "schedule deadlocked with {stuck_tasks} tasks never executed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A timed event in the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    /// A machine finished executing a task.
+    TaskFinish { task: u32, machine: u32 },
+    /// A data item arrived at its consumer's machine.
+    DataArrival { edge: u32 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64, // FIFO tie-break for equal times => deterministic replay
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other.time.total_cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Network model used by the replay simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetworkModel {
+    /// The paper's model (§2): links never contend; a transfer departs
+    /// the moment its producer finishes.
+    #[default]
+    ContentionFree,
+    /// Extension: one exclusive link per unordered machine pair;
+    /// transfers crossing the same pair serialize FIFO in the order
+    /// their producers finish. Probes how sensitive the paper's results
+    /// are to its contention-free assumption — makespans under this
+    /// model are always ≥ the contention-free ones.
+    PerPairLink,
+}
+
+/// Replays `solution` on `inst` under the paper's contention-free
+/// network, returning the observed report.
+pub fn replay(inst: &HcInstance, solution: &Solution) -> Result<ScheduleReport, SimError> {
+    replay_with(inst, solution, NetworkModel::ContentionFree)
+}
+
+/// Replays `solution` on `inst` under the chosen [`NetworkModel`].
+pub fn replay_with(
+    inst: &HcInstance,
+    solution: &Solution,
+    network: NetworkModel,
+) -> Result<ScheduleReport, SimError> {
+    let g = inst.graph();
+    let sys = inst.system();
+    let k = g.task_count();
+    let l = inst.machine_count();
+
+    // Per-machine FIFO queues in string order.
+    let mut queues: Vec<std::collections::VecDeque<u32>> =
+        vec![std::collections::VecDeque::new(); l];
+    for seg in solution.segments() {
+        queues[seg.machine.index()].push_back(seg.task.raw());
+    }
+
+    let mut inputs_missing: Vec<u32> = (0..k)
+        .map(|i| g.in_degree(mshc_taskgraph::TaskId::from_usize(i)) as u32)
+        .collect();
+    let mut machine_busy = vec![false; l];
+    let mut start = vec![f64::NAN; k];
+    let mut finish = vec![f64::NAN; k];
+    let mut executed = 0usize;
+
+    let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut push = |heap: &mut BinaryHeap<Event>, time: f64, kind: EventKind| {
+        heap.push(Event { time, seq, kind });
+        seq += 1;
+    };
+    // Per-pair link availability (only used by NetworkModel::PerPairLink).
+    let mut link_avail =
+        vec![0.0f64; mshc_platform::pair_count(l).max(1)];
+
+    // A machine dispatches its queue head when the head's inputs are all
+    // present and the machine is idle.
+    let try_dispatch = |mi: usize,
+                        now: f64,
+                        queues: &mut [std::collections::VecDeque<u32>],
+                        machine_busy: &mut [bool],
+                        inputs_missing: &[u32],
+                        start: &mut [f64],
+                        heap: &mut BinaryHeap<Event>,
+                        push: &mut dyn FnMut(&mut BinaryHeap<Event>, f64, EventKind)| {
+        if machine_busy[mi] {
+            return;
+        }
+        if let Some(&head) = queues[mi].front() {
+            if inputs_missing[head as usize] == 0 {
+                queues[mi].pop_front();
+                machine_busy[mi] = true;
+                start[head as usize] = now;
+                let m = mshc_platform::MachineId::from_usize(mi);
+                let t = mshc_taskgraph::TaskId::new(head);
+                let done = now + sys.exec_time(m, t);
+                push(heap, done, EventKind::TaskFinish { task: head, machine: mi as u32 });
+            }
+        }
+    };
+
+    // Kick off time zero on every machine.
+    for mi in 0..l {
+        try_dispatch(mi, 0.0, &mut queues, &mut machine_busy, &inputs_missing, &mut start, &mut heap, &mut push);
+    }
+
+    while let Some(Event { time, kind, .. }) = heap.pop() {
+        match kind {
+            EventKind::TaskFinish { task, machine } => {
+                finish[task as usize] = time;
+                executed += 1;
+                machine_busy[machine as usize] = false;
+                let t = mshc_taskgraph::TaskId::new(task);
+                // Emit each output data item as a timed arrival.
+                for e in g.out_edges(t) {
+                    let from = solution.machine_of(e.src);
+                    let to = solution.machine_of(e.dst);
+                    let cost = sys.transfer_time(e.id, from, to);
+                    let arrive = match network {
+                        NetworkModel::ContentionFree => time + cost,
+                        NetworkModel::PerPairLink => {
+                            if from == to {
+                                time // co-located: no link involved
+                            } else {
+                                let pair = mshc_platform::pair_index(l, from, to);
+                                let depart = time.max(link_avail[pair]);
+                                link_avail[pair] = depart + cost;
+                                depart + cost
+                            }
+                        }
+                    };
+                    push(&mut heap, arrive, EventKind::DataArrival { edge: e.id.raw() });
+                }
+                // The machine may now dispatch its next head.
+                try_dispatch(machine as usize, time, &mut queues, &mut machine_busy, &inputs_missing, &mut start, &mut heap, &mut push);
+            }
+            EventKind::DataArrival { edge } => {
+                let e = g.edge(mshc_taskgraph::DataId::new(edge));
+                inputs_missing[e.dst.index()] -= 1;
+                if inputs_missing[e.dst.index()] == 0 {
+                    // Its machine may have been blocked on this head.
+                    let mi = solution.machine_of(e.dst).index();
+                    try_dispatch(mi, time, &mut queues, &mut machine_busy, &inputs_missing, &mut start, &mut heap, &mut push);
+                }
+            }
+        }
+    }
+
+    if executed != k {
+        return Err(SimError::Deadlock { stuck_tasks: k - executed });
+    }
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    Ok(ScheduleReport { start, finish, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Segment;
+    use crate::eval::Evaluator;
+    use mshc_platform::{HcSystem, MachineId, Matrix};
+    use mshc_taskgraph::{TaskGraphBuilder, TaskId};
+
+    fn seg(t: u32, m: u32) -> Segment {
+        Segment { task: TaskId::new(t), machine: MachineId::new(m) }
+    }
+
+    fn figure1_instance() -> HcInstance {
+        let mut b = TaskGraphBuilder::new(7);
+        for (s, d) in [(0, 2), (0, 3), (1, 4), (2, 5), (3, 5), (4, 6)] {
+            b.add_edge(s, d).unwrap();
+        }
+        let g = b.build().unwrap();
+        let exec = Matrix::from_rows(&[
+            vec![400.0, 700.0, 500.0, 300.0, 800.0, 600.0, 200.0],
+            vec![600.0, 500.0, 400.0, 900.0, 435.0, 450.0, 350.0],
+        ]);
+        let transfer = Matrix::from_rows(&[vec![120.0, 80.0, 200.0, 60.0, 90.0, 150.0]]);
+        let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
+        HcInstance::new(g, sys).unwrap()
+    }
+
+    #[test]
+    fn replay_matches_analytic_on_figure1() {
+        let inst = figure1_instance();
+        let s = Solution::new(
+            inst.graph(),
+            2,
+            vec![seg(0, 0), seg(1, 1), seg(2, 1), seg(3, 0), seg(4, 0), seg(5, 1), seg(6, 1)],
+        )
+        .unwrap();
+        let analytic = Evaluator::new(&inst).report(&s);
+        let simulated = replay(&inst, &s).unwrap();
+        assert_eq!(analytic.makespan, simulated.makespan);
+        for t in inst.graph().tasks() {
+            assert!(
+                (analytic.finish_of(t) - simulated.finish_of(t)).abs() < 1e-9,
+                "finish mismatch for {t}: {} vs {}",
+                analytic.finish_of(t),
+                simulated.finish_of(t)
+            );
+        }
+    }
+
+    #[test]
+    fn replay_matches_analytic_on_random_solutions() {
+        use rand::{Rng, SeedableRng};
+        let inst = figure1_instance();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        let mut eval = Evaluator::new(&inst);
+        for _ in 0..200 {
+            let s = crate::init::random_solution(&inst, &mut rng);
+            let _ = rng.gen_range(0..3); // decouple streams a little
+            let a = eval.report(&s);
+            let b = replay(&inst, &s).unwrap();
+            assert!((a.makespan - b.makespan).abs() < 1e-9);
+            for t in inst.graph().tasks() {
+                assert!((a.finish_of(t) - b.finish_of(t)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deadlock_detected_on_inconsistent_string() {
+        // Tasks: a -> b, c -> d. Put [b-order-first then a] on m0 via an
+        // unchecked string whose per-machine order contradicts the DAG
+        // cross-machine: m0 runs d then a; m1 runs b then c.
+        // b waits for a (m0, behind d), d waits for c (m1, behind b):
+        // circular wait.
+        let mut bld = TaskGraphBuilder::new(4);
+        bld.add_edge(0, 1).unwrap(); // a -> b
+        bld.add_edge(2, 3).unwrap(); // c -> d
+        let g = bld.build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::filled(2, 4, 1.0),
+            Matrix::filled(1, 2, 1.0),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let s = Solution::new_unchecked(
+            2,
+            vec![seg(3, 0), seg(0, 0), seg(1, 1), seg(2, 1)],
+        );
+        // m0 queue: d, a — d waits on c. m1 queue: b, c — b waits on a.
+        let err = replay(&inst, &s).unwrap_err();
+        assert_eq!(err, SimError::Deadlock { stuck_tasks: 4 });
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn replay_handles_valid_but_nonextension_strings() {
+        // Per-machine consistent but global order not a linear extension:
+        // the simulator must still produce the schedule.
+        let mut bld = TaskGraphBuilder::new(3);
+        bld.add_edge(0, 1).unwrap();
+        let g = bld.build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::filled(2, 3, 2.0),
+            Matrix::from_rows(&[vec![5.0]]),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        // String order: s1 (m1), s0 (m0), s2 (m0) — s1 before its
+        // predecessor s0 but on another machine.
+        let s = Solution::new_unchecked(2, vec![seg(1, 1), seg(0, 0), seg(2, 0)]);
+        let r = replay(&inst, &s).unwrap();
+        // s0: [0,2] on m0; d0 arrives at m1 at 7; s1: [7,9]; s2 on m0 after
+        // s0: [2,4]. Makespan 9.
+        assert_eq!(r.finish_of(TaskId::new(0)), 2.0);
+        assert_eq!(r.finish_of(TaskId::new(1)), 9.0);
+        assert_eq!(r.finish_of(TaskId::new(2)), 4.0);
+        assert_eq!(r.makespan, 9.0);
+    }
+
+    #[test]
+    fn contention_model_never_faster() {
+        use rand::SeedableRng;
+        let inst = figure1_instance();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(44);
+        for _ in 0..100 {
+            let s = crate::init::random_solution(&inst, &mut rng);
+            let free = replay_with(&inst, &s, NetworkModel::ContentionFree).unwrap();
+            let link = replay_with(&inst, &s, NetworkModel::PerPairLink).unwrap();
+            assert!(link.makespan >= free.makespan - 1e-9);
+            for t in inst.graph().tasks() {
+                assert!(link.finish_of(t) >= free.finish_of(t) - 1e-9, "{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn contention_serializes_simultaneous_transfers() {
+        // Two producers on m0 finish back to back; both feed consumers on
+        // m1. With one link per pair the second transfer waits for the
+        // first.
+        let mut bld = TaskGraphBuilder::new(4);
+        bld.add_edge(0, 2).unwrap();
+        bld.add_edge(1, 3).unwrap();
+        let g = bld.build().unwrap();
+        let exec = Matrix::filled(2, 4, 1.0);
+        let transfer = Matrix::from_rows(&[vec![10.0, 10.0]]);
+        let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let s = Solution::new(
+            inst.graph(),
+            2,
+            vec![seg(0, 0), seg(1, 0), seg(2, 1), seg(3, 1)],
+        )
+        .unwrap();
+        let free = replay_with(&inst, &s, NetworkModel::ContentionFree).unwrap();
+        // free: s0 [0,1], s1 [1,2]; d0 arrives 11, d1 arrives 12;
+        // s2 [11,12], s3 [12,13].
+        assert_eq!(free.makespan, 13.0);
+        let link = replay_with(&inst, &s, NetworkModel::PerPairLink).unwrap();
+        // link: d0 occupies the pair link [1,11]; d1 departs at 11,
+        // arrives 21; s2 [11,12], s3 [21,22].
+        assert_eq!(link.finish_of(TaskId::new(2)), 12.0);
+        assert_eq!(link.finish_of(TaskId::new(3)), 22.0);
+        assert_eq!(link.makespan, 22.0);
+    }
+
+    #[test]
+    fn colocated_transfers_ignore_links() {
+        let mut bld = TaskGraphBuilder::new(2);
+        bld.add_edge(0, 1).unwrap();
+        let g = bld.build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::filled(2, 2, 3.0),
+            Matrix::from_rows(&[vec![50.0]]),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 0)]).unwrap();
+        let link = replay_with(&inst, &s, NetworkModel::PerPairLink).unwrap();
+        assert_eq!(link.makespan, 6.0, "same-machine data never crosses a link");
+    }
+
+    #[test]
+    fn event_ordering_is_earliest_first() {
+        let a = Event { time: 1.0, seq: 5, kind: EventKind::DataArrival { edge: 0 } };
+        let b = Event { time: 2.0, seq: 1, kind: EventKind::DataArrival { edge: 1 } };
+        let mut h = BinaryHeap::new();
+        h.push(b);
+        h.push(a);
+        assert_eq!(h.pop().unwrap().time, 1.0);
+    }
+
+    #[test]
+    fn equal_times_pop_in_insertion_order() {
+        let a = Event { time: 3.0, seq: 0, kind: EventKind::DataArrival { edge: 0 } };
+        let b = Event { time: 3.0, seq: 1, kind: EventKind::DataArrival { edge: 1 } };
+        let mut h = BinaryHeap::new();
+        h.push(b);
+        h.push(a);
+        assert_eq!(h.pop().unwrap().seq, 0);
+    }
+}

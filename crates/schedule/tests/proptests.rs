@@ -1,0 +1,154 @@
+//! Property tests for the solution substrate: encoding invariants,
+//! evaluator semantics and the DES cross-check, on random instances
+//! built without the workload crate (kept dependency-light).
+
+use mshc_platform::{HcInstance, HcSystem, MachineId, Matrix};
+use mshc_schedule::{random_solution, replay, replay_with, Evaluator, Gantt, NetworkModel};
+use mshc_taskgraph::gen::{erdos_dag, layered, LayeredConfig};
+use mshc_taskgraph::TaskId;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn instance_strategy() -> impl Strategy<Value = HcInstance> {
+    (1usize..25, 1usize..6, 0.0f64..0.9, any::<u64>(), prop::bool::ANY).prop_map(
+        |(k, l, p, seed, use_layered)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let graph = if use_layered {
+                layered(
+                    &LayeredConfig {
+                        tasks: k,
+                        mean_width: (k / 3).max(1),
+                        edge_prob: p,
+                        skip_prob: 0.0,
+                    },
+                    &mut rng,
+                )
+                .unwrap()
+            } else {
+                erdos_dag(k, p, &mut rng).unwrap()
+            };
+            let exec = Matrix::from_fn(l, k, |_, _| rng.gen_range(1.0..50.0));
+            let pairs = l * (l - 1) / 2;
+            let transfer =
+                Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(0.0..20.0));
+            let sys = HcSystem::with_anonymous_machines(l, exec, transfer).unwrap();
+            HcInstance::new(graph, sys).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The two independent time computations agree everywhere.
+    #[test]
+    fn analytic_and_des_agree(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sol = random_solution(&inst, &mut rng);
+        let a = Evaluator::new(&inst).report(&sol);
+        let b = replay(&inst, &sol).unwrap();
+        prop_assert!((a.makespan - b.makespan).abs() < 1e-9);
+        for t in inst.graph().tasks() {
+            prop_assert!((a.finish_of(t) - b.finish_of(t)).abs() < 1e-9);
+            prop_assert!((a.start_of(t) - b.start_of(t)).abs() < 1e-9);
+        }
+    }
+
+    /// Start/finish times satisfy the model's constraints directly:
+    /// machine exclusivity, data arrivals, exec durations.
+    #[test]
+    fn report_satisfies_model_constraints(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sol = random_solution(&inst, &mut rng);
+        let r = Evaluator::new(&inst).report(&sol);
+        let sys = inst.system();
+        // exec durations
+        for t in inst.graph().tasks() {
+            let m = sol.machine_of(t);
+            prop_assert!((r.finish_of(t) - r.start_of(t) - sys.exec_time(m, t)).abs() < 1e-9);
+            prop_assert!(r.start_of(t) >= -1e-12);
+        }
+        // data arrivals
+        for e in inst.graph().edges() {
+            let arrival = r.finish_of(e.src)
+                + sys.transfer_time(e.id, sol.machine_of(e.src), sol.machine_of(e.dst));
+            prop_assert!(r.start_of(e.dst) >= arrival - 1e-9, "{:?}", e);
+        }
+        // machine exclusivity: per-machine slots disjoint (via Gantt)
+        let g = Gantt::build(&sol, &r);
+        prop_assert!(g.lanes_disjoint());
+        prop_assert!(g.utilization() > 0.0 && g.utilization() <= 1.0 + 1e-12);
+        prop_assert_eq!(g.makespan(), r.makespan);
+    }
+
+    /// Valid ranges bracket exactly the insertions the checker accepts.
+    #[test]
+    fn valid_range_is_tight(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sol = random_solution(&inst, &mut rng);
+        let g = inst.graph();
+        let t = TaskId::new(rng.gen_range(0..inst.task_count() as u32));
+        let (lo, hi) = sol.valid_range(g, t);
+        for pos in 0..sol.len() {
+            let mut probe = sol.clone();
+            let ok = probe.move_task(g, t, pos, probe.machine_of(t)).is_ok();
+            prop_assert_eq!(ok, (lo..=hi).contains(&pos));
+            if ok {
+                prop_assert!(probe.check(g).is_ok());
+            } else {
+                prop_assert_eq!(&probe, &sol, "failed move must not mutate");
+            }
+        }
+    }
+
+    /// Per-machine orders derived from the string are subsequences of the
+    /// string order and partition the task set.
+    #[test]
+    fn machine_orders_partition_tasks(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sol = random_solution(&inst, &mut rng);
+        let mut seen = vec![false; inst.task_count()];
+        for m in inst.system().machine_ids() {
+            let lane = sol.machine_order(m);
+            for w in lane.windows(2) {
+                prop_assert!(sol.position_of(w[0]) < sol.position_of(w[1]));
+            }
+            for t in lane {
+                prop_assert!(!seen[t.index()], "task on two machines");
+                seen[t.index()] = true;
+                prop_assert_eq!(sol.machine_of(t), m);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Contention can only delay: the per-pair-link network dominates the
+    /// contention-free one pointwise.
+    #[test]
+    fn contention_dominates_pointwise(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sol = random_solution(&inst, &mut rng);
+        let free = replay_with(&inst, &sol, NetworkModel::ContentionFree).unwrap();
+        let link = replay_with(&inst, &sol, NetworkModel::PerPairLink).unwrap();
+        prop_assert!(link.makespan >= free.makespan - 1e-9);
+        for t in inst.graph().tasks() {
+            prop_assert!(link.finish_of(t) >= free.finish_of(t) - 1e-9);
+        }
+    }
+
+    /// Reassigning a machine keeps the string order intact.
+    #[test]
+    fn solution_reassign_keeps_order(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut sol = random_solution(&inst, &mut rng);
+        let before: Vec<TaskId> = sol.order().collect();
+        let t = TaskId::new(rng.gen_range(0..inst.task_count() as u32));
+        let m = MachineId::new(rng.gen_range(0..inst.machine_count() as u32));
+        sol.reassign(t, m).unwrap();
+        let after: Vec<TaskId> = sol.order().collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(sol.machine_of(t), m);
+        prop_assert!(sol.check(inst.graph()).is_ok());
+    }
+}

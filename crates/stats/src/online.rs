@@ -1,0 +1,158 @@
+//! Welford's online mean/variance accumulator — numerically stable and
+//! O(1) memory, used where a run streams thousands of observations.
+
+/// Streaming mean/variance/extremes accumulator.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    pub fn new() -> OnlineStats {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Feeds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "observations must be finite");
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Sample variance (n−1; 0 when n < 2).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel reduction — Chan et al.).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / total as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / total as f64;
+        self.n = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_batch() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut o = OnlineStats::new();
+        for &x in &data {
+            o.push(x);
+        }
+        assert_eq!(o.count(), 8);
+        assert!((o.mean() - 5.0).abs() < 1e-12);
+        assert!((o.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(o.min(), 2.0);
+        assert_eq!(o.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let o = OnlineStats::new();
+        assert_eq!(o.count(), 0);
+        assert_eq!(o.variance(), 0.0);
+        let mut o = OnlineStats::new();
+        o.push(4.0);
+        assert_eq!(o.mean(), 4.0);
+        assert_eq!(o.std(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..57).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..20] {
+            a.push(x);
+        }
+        for &x in &data[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(2.0);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        let mut o = OnlineStats::new();
+        for i in 0..1000 {
+            o.push(1e9 + (i % 7) as f64);
+        }
+        assert!(o.variance() >= 0.0);
+        assert!(o.variance() < 10.0);
+    }
+}

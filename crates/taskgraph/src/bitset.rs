@@ -1,0 +1,179 @@
+//! A small fixed-capacity bit set used for reachability/transitive-closure
+//! computations.
+//!
+//! We deliberately hand-roll this rather than pull in `fixedbitset`: the
+//! operations needed (set, test, word-wise OR) are tiny, and keeping the
+//! dependency set to the sanctioned list matters more than reuse here.
+
+/// A fixed-capacity set of small integers backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    bits: Box<[u64]>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        let words = capacity.div_ceil(64);
+        BitSet {
+            bits: vec![0u64; words].into_boxed_slice(),
+            capacity,
+        }
+    }
+
+    /// Number of values the set can hold (`0..capacity`).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `value`. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    /// Panics if `value >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value out of range");
+        let word = value / 64;
+        let mask = 1u64 << (value % 64);
+        let was = self.bits[word] & mask != 0;
+        self.bits[word] |= mask;
+        !was
+    }
+
+    /// Removes `value`. Returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset value out of range");
+        let word = value / 64;
+        let mask = 1u64 << (value % 64);
+        let was = self.bits[word] & mask != 0;
+        self.bits[word] &= !mask;
+        was
+    }
+
+    /// Tests membership.
+    #[inline]
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.bits[value / 64] & (1u64 << (value % 64)) != 0
+    }
+
+    /// In-place union: `self |= other`.
+    ///
+    /// # Panics
+    /// Panics if capacities differ.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.bits.iter_mut().zip(other.bits.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of elements currently in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+    }
+
+    /// Iterates over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "double insert reports false");
+        assert!(s.contains(0));
+        assert!(s.contains(64));
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        let s = BitSet::new(10);
+        assert!(!s.contains(10));
+        assert!(!s.contains(1000));
+    }
+
+    #[test]
+    fn remove() {
+        let mut s = BitSet::new(70);
+        s.insert(65);
+        assert!(s.remove(65));
+        assert!(!s.remove(65));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn union() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        b.insert(99);
+        b.insert(1);
+        a.union_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity mismatch")]
+    fn union_capacity_mismatch_panics() {
+        let mut a = BitSet::new(10);
+        let b = BitSet::new(20);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn iter_order_and_clear() {
+        let mut s = BitSet::new(200);
+        for v in [5usize, 63, 64, 127, 128, 199] {
+            s.insert(v);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![5, 63, 64, 127, 128, 199]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(8).insert(8);
+    }
+}

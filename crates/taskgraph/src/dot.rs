@@ -1,0 +1,82 @@
+//! Graphviz DOT export for task graphs.
+//!
+//! Purely a debugging/documentation aid: `dot -Tsvg` on the output renders
+//! the DAG the way the paper's Figure 1a is drawn.
+
+use crate::graph::TaskGraph;
+use crate::ids::TaskId;
+use std::fmt::Write as _;
+
+/// Renders the graph in DOT syntax.
+///
+/// `label` supplies an optional extra line per task (e.g. execution times);
+/// return `None` for a bare `s<i>` label.
+pub fn to_dot(graph: &TaskGraph, mut label: impl FnMut(TaskId) -> Option<String>) -> String {
+    let mut out = String::with_capacity(64 + 32 * (graph.task_count() + graph.data_count()));
+    out.push_str("digraph task_graph {\n  rankdir=TB;\n  node [shape=circle];\n");
+    for t in graph.tasks() {
+        match label(t) {
+            Some(extra) => {
+                let _ = writeln!(out, "  t{} [label=\"{}\\n{}\"];", t.raw(), t, extra);
+            }
+            None => {
+                let _ = writeln!(out, "  t{} [label=\"{}\"];", t.raw(), t);
+            }
+        }
+    }
+    for e in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  t{} -> t{} [label=\"{}\"];",
+            e.src.raw(),
+            e.dst.raw(),
+            e.id
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders with bare labels.
+pub fn to_dot_plain(graph: &TaskGraph) -> String {
+    to_dot(graph, |_| None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraphBuilder;
+
+    fn tiny() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let g = tiny();
+        let dot = to_dot_plain(&g);
+        assert!(dot.starts_with("digraph task_graph {"));
+        assert!(dot.contains("t0 [label=\"s0\"];"));
+        assert!(dot.contains("t0 -> t1 [label=\"d0\"];"));
+        assert!(dot.contains("t0 -> t2 [label=\"d1\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_with_labels() {
+        let g = tiny();
+        let dot = to_dot(&g, |t| Some(format!("w={}", t.raw() * 10)));
+        assert!(dot.contains("s1\\nw=10"));
+    }
+
+    #[test]
+    fn dot_is_line_per_element() {
+        let g = tiny();
+        let dot = to_dot_plain(&g);
+        // 3 node lines + 2 edge lines + 3 boilerplate lines + closing brace
+        assert_eq!(dot.lines().count(), 9);
+    }
+}

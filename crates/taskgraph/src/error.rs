@@ -1,0 +1,81 @@
+//! Typed errors for task-graph construction and queries.
+
+use crate::ids::TaskId;
+use std::fmt;
+
+/// Errors produced when building or manipulating a [`crate::TaskGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referred to a task index `>= task_count`.
+    TaskOutOfRange {
+        /// The offending task index.
+        task: u32,
+        /// Number of tasks in the graph under construction.
+        task_count: u32,
+    },
+    /// A self-loop `s -> s` was added; DAGs cannot contain them.
+    SelfLoop(TaskId),
+    /// The same ordered pair of tasks was connected twice.
+    ///
+    /// The paper's model has at most one data item per task pair; multiple
+    /// logical transfers between the same pair are merged into one data item
+    /// whose size is the sum.
+    DuplicateEdge(TaskId, TaskId),
+    /// The edge set contains a directed cycle, so no topological order (and
+    /// hence no valid schedule string, §4.1) exists. Contains one task on a
+    /// cycle as a witness.
+    Cycle(TaskId),
+    /// The graph has no tasks. Every MSHC instance needs at least one
+    /// subtask.
+    Empty,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::TaskOutOfRange { task, task_count } => write!(
+                f,
+                "task index {task} out of range (graph has {task_count} tasks)"
+            ),
+            GraphError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            GraphError::DuplicateEdge(a, b) => {
+                write!(f, "duplicate edge {a} -> {b}; merge data items instead")
+            }
+            GraphError::Cycle(t) => {
+                write!(f, "edge set contains a directed cycle through {t}")
+            }
+            GraphError::Empty => write!(f, "task graph must contain at least one task"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            GraphError::TaskOutOfRange { task: 9, task_count: 3 }.to_string(),
+            "task index 9 out of range (graph has 3 tasks)"
+        );
+        assert_eq!(
+            GraphError::SelfLoop(TaskId::new(2)).to_string(),
+            "self-loop on task s2"
+        );
+        assert_eq!(
+            GraphError::DuplicateEdge(TaskId::new(0), TaskId::new(1)).to_string(),
+            "duplicate edge s0 -> s1; merge data items instead"
+        );
+        assert!(GraphError::Cycle(TaskId::new(4)).to_string().contains("s4"));
+        assert!(GraphError::Empty.to_string().contains("at least one"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&GraphError::Empty);
+    }
+}

@@ -1,0 +1,514 @@
+//! Deterministic random and structured DAG generators.
+//!
+//! The paper evaluates on randomly generated workloads because "a generally
+//! accepted set of HC benchmarks does not exist" (§5). The generators here
+//! produce the *topology*; execution/transfer times are layered on by
+//! `mshc-platform` / `mshc-workloads`.
+//!
+//! Two families:
+//!
+//! * **random** — [`layered`] (the shape used for the paper's experiments:
+//!   tasks in levels, edges between earlier and later levels with a
+//!   connectivity probability) and [`erdos_dag`] (uniform random DAG via a
+//!   random upper-triangular adjacency matrix);
+//! * **structured** — classic application kernels used throughout the
+//!   heterogeneous-scheduling literature and by our examples: [`chain`],
+//!   [`fork_join`], [`in_tree`], [`out_tree`], [`diamond`],
+//!   [`fft_butterfly`], [`gaussian_elimination`], [`series_parallel`],
+//!   [`independent`].
+//!
+//! Every generator is deterministic given its RNG; structured generators
+//! take no RNG at all.
+
+use crate::error::GraphError;
+use crate::graph::{TaskGraph, TaskGraphBuilder};
+use rand::Rng;
+
+/// Parameters for [`layered`] random DAG generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredConfig {
+    /// Total number of tasks `k` (>= 1).
+    pub tasks: usize,
+    /// Mean number of tasks per layer; layer sizes are sampled uniformly in
+    /// `[1, 2*mean_width - 1]` and the last layer absorbs the remainder.
+    pub mean_width: usize,
+    /// Probability of an edge between a task and each task in the *next*
+    /// layer. This is the paper's connectivity axis: ~0.2 gives sparse
+    /// ("low connectivity") graphs, ~0.8 dense ones.
+    pub edge_prob: f64,
+    /// Probability of an additional "skip" edge to each task two or more
+    /// layers down. Usually much smaller than `edge_prob`.
+    pub skip_prob: f64,
+}
+
+impl Default for LayeredConfig {
+    fn default() -> Self {
+        LayeredConfig { tasks: 50, mean_width: 5, edge_prob: 0.5, skip_prob: 0.05 }
+    }
+}
+
+/// Generates a layered random DAG.
+///
+/// Guarantees: every non-entry task has at least one predecessor in an
+/// earlier layer (so the DAG is "connected forward" and its depth equals
+/// the number of layers), and the result is acyclic by construction.
+pub fn layered<R: Rng + ?Sized>(cfg: &LayeredConfig, rng: &mut R) -> Result<TaskGraph, GraphError> {
+    if cfg.tasks == 0 {
+        return Err(GraphError::Empty);
+    }
+    assert!(cfg.mean_width >= 1, "mean_width must be >= 1");
+    assert!(
+        (0.0..=1.0).contains(&cfg.edge_prob) && (0.0..=1.0).contains(&cfg.skip_prob),
+        "probabilities must lie in [0,1]"
+    );
+    // Partition 0..tasks into layers.
+    let mut layers: Vec<Vec<u32>> = Vec::new();
+    let mut next = 0u32;
+    while (next as usize) < cfg.tasks {
+        let hi = (2 * cfg.mean_width).saturating_sub(1).max(1);
+        let mut w = rng.gen_range(1..=hi);
+        w = w.min(cfg.tasks - next as usize);
+        layers.push((next..next + w as u32).collect());
+        next += w as u32;
+    }
+    let mut b = TaskGraphBuilder::new(cfg.tasks);
+    for li in 1..layers.len() {
+        for &t in &layers[li] {
+            let mut has_pred = false;
+            // Edges from the immediately preceding layer.
+            for &p in &layers[li - 1] {
+                if rng.gen_bool(cfg.edge_prob) {
+                    b.add_edge(p, t).expect("layered edges are unique and forward");
+                    has_pred = true;
+                }
+            }
+            // Skip edges from any earlier layer.
+            if cfg.skip_prob > 0.0 {
+                for earlier in &layers[..li - 1] {
+                    for &p in earlier {
+                        if rng.gen_bool(cfg.skip_prob) {
+                            b.add_edge(p, t).expect("layered edges are unique and forward");
+                            has_pred = true;
+                        }
+                    }
+                }
+            }
+            // Ensure at least one predecessor so depth == #layers.
+            if !has_pred {
+                let prev = &layers[li - 1];
+                let p = prev[rng.gen_range(0..prev.len())];
+                b.add_edge(p, t).expect("fresh edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Generates a uniform random DAG on `k` tasks: each pair `(i, j)` with
+/// `i < j` carries an edge with probability `edge_prob` (a random
+/// upper-triangular adjacency matrix). Task ids are already a topological
+/// order.
+pub fn erdos_dag<R: Rng + ?Sized>(
+    k: usize,
+    edge_prob: f64,
+    rng: &mut R,
+) -> Result<TaskGraph, GraphError> {
+    if k == 0 {
+        return Err(GraphError::Empty);
+    }
+    assert!((0.0..=1.0).contains(&edge_prob), "edge_prob must lie in [0,1]");
+    let mut b = TaskGraphBuilder::new(k);
+    for i in 0..k as u32 {
+        for j in (i + 1)..k as u32 {
+            if rng.gen_bool(edge_prob) {
+                b.add_edge(i, j).expect("upper-triangular edges are unique");
+            }
+        }
+    }
+    b.build()
+}
+
+/// A linear chain `s0 -> s1 -> ... -> s{k-1}` — the fully sequential
+/// worst case (no matching freedom helps the makespan beyond picking the
+/// fastest machine per hop).
+pub fn chain(k: usize) -> Result<TaskGraph, GraphError> {
+    if k == 0 {
+        return Err(GraphError::Empty);
+    }
+    let mut b = TaskGraphBuilder::new(k);
+    for i in 0..(k as u32).saturating_sub(1) {
+        b.add_edge(i, i + 1).expect("chain edges unique");
+    }
+    b.build()
+}
+
+/// `k` independent tasks — the meta-task / bag-of-tasks extreme (the Braun
+/// et al. comparison-study setting the paper cites as [4]).
+pub fn independent(k: usize) -> Result<TaskGraph, GraphError> {
+    if k == 0 {
+        return Err(GraphError::Empty);
+    }
+    TaskGraphBuilder::new(k).build()
+}
+
+/// Fork–join: a source fans out to `branches` parallel chains of length
+/// `stage_len`, all joining into a sink. Total tasks:
+/// `2 + branches * stage_len`.
+pub fn fork_join(branches: usize, stage_len: usize) -> Result<TaskGraph, GraphError> {
+    assert!(branches >= 1 && stage_len >= 1, "fork_join needs >=1 branch and stage");
+    let k = 2 + branches * stage_len;
+    let mut b = TaskGraphBuilder::new(k);
+    let sink = (k - 1) as u32;
+    for br in 0..branches {
+        let first = (1 + br * stage_len) as u32;
+        b.add_edge(0, first).expect("unique");
+        for s in 0..stage_len - 1 {
+            let cur = first + s as u32;
+            b.add_edge(cur, cur + 1).expect("unique");
+        }
+        b.add_edge(first + (stage_len - 1) as u32, sink).expect("unique");
+    }
+    b.build()
+}
+
+/// Complete out-tree (task 0 is the root) with the given `fanout` and
+/// `depth` (depth 1 = just the root).
+pub fn out_tree(fanout: usize, depth: usize) -> Result<TaskGraph, GraphError> {
+    assert!(fanout >= 1 && depth >= 1, "out_tree needs fanout,depth >= 1");
+    let mut count = 1usize;
+    let mut level = 1usize;
+    for _ in 1..depth {
+        level *= fanout;
+        count += level;
+    }
+    let mut b = TaskGraphBuilder::new(count);
+    // children of node i are fanout*i + 1 ..= fanout*i + fanout
+    for i in 0..count {
+        for c in 1..=fanout {
+            let child = fanout * i + c;
+            if child < count {
+                b.add_edge(i as u32, child as u32).expect("unique tree edge");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete in-tree: the reverse of [`out_tree`]; the last task is the
+/// root every leaf eventually reaches.
+pub fn in_tree(fanin: usize, depth: usize) -> Result<TaskGraph, GraphError> {
+    let out = out_tree(fanin, depth)?;
+    let k = out.task_count();
+    let mut b = TaskGraphBuilder::new(k);
+    for e in out.edges() {
+        // reverse edge and mirror ids so the root becomes the last task
+        let src = (k - 1 - e.dst.index()) as u32;
+        let dst = (k - 1 - e.src.index()) as u32;
+        b.add_edge(src, dst).expect("mirrored tree edge unique");
+    }
+    b.build()
+}
+
+/// Diamond / wavefront stencil on an `rows x cols` grid: task `(r, c)`
+/// depends on `(r-1, c)` and `(r, c-1)` — the Smith–Waterman / dynamic-
+/// programming dependence pattern.
+pub fn diamond(rows: usize, cols: usize) -> Result<TaskGraph, GraphError> {
+    assert!(rows >= 1 && cols >= 1, "diamond needs rows,cols >= 1");
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut b = TaskGraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if r + 1 < rows {
+                b.add_edge(idx(r, c), idx(r + 1, c)).expect("unique");
+            }
+            if c + 1 < cols {
+                b.add_edge(idx(r, c), idx(r, c + 1)).expect("unique");
+            }
+        }
+    }
+    b.build()
+}
+
+/// FFT butterfly task graph for `points = 2^m` inputs: `m` butterfly
+/// ranks of `points` tasks each, preceded by a recursive bit-reversal
+/// layer, following the shape used by Topcuoglu et al. (HEFT). Tasks:
+/// `points * (m + 1)`.
+pub fn fft_butterfly(m: u32) -> Result<TaskGraph, GraphError> {
+    assert!(m >= 1, "fft needs at least one rank");
+    let points = 1usize << m;
+    let ranks = m as usize + 1; // input layer + m butterfly ranks
+    let idx = |rank: usize, i: usize| (rank * points + i) as u32;
+    let mut b = TaskGraphBuilder::new(points * ranks);
+    for rank in 1..ranks {
+        let span = 1usize << (rank - 1); // butterfly distance
+        for i in 0..points {
+            let partner = i ^ span;
+            b.add_edge(idx(rank - 1, i), idx(rank, i)).expect("unique");
+            b.add_edge(idx(rank - 1, partner), idx(rank, i)).expect("unique");
+        }
+    }
+    b.build()
+}
+
+/// Gaussian-elimination task graph for an `n x n` matrix: for each
+/// elimination step `j` a pivot task `P_j` followed by update tasks
+/// `U_{j,i}` for rows `i > j`, with the classic dependence pattern
+/// (Topcuoglu et al.). Tasks: `n-1` pivots + `n(n-1)/2` updates.
+pub fn gaussian_elimination(n: usize) -> Result<TaskGraph, GraphError> {
+    assert!(n >= 2, "gaussian elimination needs n >= 2");
+    // Number tasks: for step j in 0..n-1: pivot, then updates (j+1..n).
+    let mut ids = std::collections::HashMap::new();
+    let mut next = 0u32;
+    for j in 0..n - 1 {
+        ids.insert(("p", j, 0usize), next);
+        next += 1;
+        for i in j + 1..n {
+            ids.insert(("u", j, i), next);
+            next += 1;
+        }
+    }
+    let mut b = TaskGraphBuilder::new(next as usize);
+    for j in 0..n - 1 {
+        let p = ids[&("p", j, 0usize)];
+        for i in j + 1..n {
+            let u = ids[&("u", j, i)];
+            // pivot feeds each update of its step
+            b.add_edge(p, u).expect("unique");
+            // update (j, i) feeds the next step's pivot (if i == j+1) and
+            // the next step's update of the same row (if i > j+1).
+            if j + 1 < n - 1 || i > j + 1 {
+                if i == j + 1 {
+                    if let Some(&pn) = ids.get(&("p", j + 1, 0usize)) {
+                        b.add_edge(u, pn).expect("unique");
+                    }
+                } else if let Some(&un) = ids.get(&("u", j + 1, i)) {
+                    b.add_edge(u, un).expect("unique");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random series-parallel DAG built by recursive expansion: starting from a
+/// single edge, repeatedly replace a random edge by a series or parallel
+/// composition until `k` tasks exist. Series-parallel graphs are the
+/// classic "well-structured program" shape.
+pub fn series_parallel<R: Rng + ?Sized>(k: usize, rng: &mut R) -> Result<TaskGraph, GraphError> {
+    if k == 0 {
+        return Err(GraphError::Empty);
+    }
+    if k == 1 {
+        return TaskGraphBuilder::new(1).build();
+    }
+    // Maintain an edge list over a growing vertex set; vertices are tasks.
+    let mut edges: Vec<(u32, u32)> = vec![(0, 1)];
+    let mut vertices = 2u32;
+    while (vertices as usize) < k {
+        let ei = rng.gen_range(0..edges.len());
+        let (u, v) = edges[ei];
+        let w = vertices;
+        vertices += 1;
+        if rng.gen_bool(0.5) {
+            // series: u -> w -> v replaces u -> v
+            edges.swap_remove(ei);
+            edges.push((u, w));
+            edges.push((w, v));
+        } else {
+            // parallel: add u -> w -> v alongside u -> v
+            edges.push((u, w));
+            edges.push((w, v));
+        }
+    }
+    let mut b = TaskGraphBuilder::new(vertices as usize);
+    edges.sort_unstable();
+    edges.dedup();
+    for (u, v) in edges {
+        if !b.has_edge(u, v) {
+            b.add_edge(u, v).expect("deduped");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::GraphMetrics;
+    use crate::topo::TopoOrder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn layered_respects_task_count_and_acyclicity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for tasks in [1usize, 2, 10, 57, 100] {
+            let cfg = LayeredConfig { tasks, ..Default::default() };
+            let g = layered(&cfg, &mut rng).unwrap();
+            assert_eq!(g.task_count(), tasks);
+            let o = TopoOrder::kahn(&g);
+            assert!(g.is_linear_extension(o.as_slice()));
+        }
+    }
+
+    #[test]
+    fn layered_connectivity_scales_with_prob() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let lo = layered(
+            &LayeredConfig { tasks: 200, mean_width: 8, edge_prob: 0.15, skip_prob: 0.0 },
+            &mut rng,
+        )
+        .unwrap();
+        let hi = layered(
+            &LayeredConfig { tasks: 200, mean_width: 8, edge_prob: 0.85, skip_prob: 0.0 },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            hi.data_count() > 2 * lo.data_count(),
+            "high edge_prob should produce far more data items ({} vs {})",
+            hi.data_count(),
+            lo.data_count()
+        );
+    }
+
+    #[test]
+    fn layered_non_entry_tasks_have_predecessors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let cfg = LayeredConfig { tasks: 80, mean_width: 6, edge_prob: 0.1, skip_prob: 0.0 };
+        let g = layered(&cfg, &mut rng).unwrap();
+        let levels = crate::topo::Levels::compute(&g);
+        for t in g.tasks() {
+            if levels.level(t) > 0 {
+                assert!(g.in_degree(t) >= 1, "{t} at level>0 must have a predecessor");
+            }
+        }
+    }
+
+    #[test]
+    fn layered_zero_tasks_is_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let cfg = LayeredConfig { tasks: 0, ..Default::default() };
+        assert!(matches!(layered(&cfg, &mut rng), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn erdos_density_matches_probability() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let g = erdos_dag(100, 0.3, &mut rng).unwrap();
+        let m = GraphMetrics::compute(&g);
+        assert!((m.density - 0.3).abs() < 0.05, "density {} far from 0.3", m.density);
+    }
+
+    #[test]
+    fn erdos_extremes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        assert_eq!(erdos_dag(20, 0.0, &mut rng).unwrap().data_count(), 0);
+        assert_eq!(erdos_dag(20, 1.0, &mut rng).unwrap().data_count(), 190);
+    }
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5).unwrap();
+        assert_eq!(g.data_count(), 4);
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.depth, 5);
+        assert_eq!(m.width, 1);
+        assert!(chain(0).is_err());
+        assert_eq!(chain(1).unwrap().data_count(), 0);
+    }
+
+    #[test]
+    fn independent_shape() {
+        let g = independent(8).unwrap();
+        assert_eq!(g.data_count(), 0);
+        assert_eq!(GraphMetrics::compute(&g).width, 8);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(3, 2).unwrap();
+        assert_eq!(g.task_count(), 8);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 1);
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.depth, 4); // source, 2 stages, sink
+        assert_eq!(m.width, 3);
+    }
+
+    #[test]
+    fn out_tree_shape() {
+        let g = out_tree(2, 3).unwrap();
+        assert_eq!(g.task_count(), 7);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 4);
+        for t in g.tasks().skip(1) {
+            assert_eq!(g.in_degree(t), 1, "tree: one parent");
+        }
+    }
+
+    #[test]
+    fn in_tree_is_mirrored_out_tree() {
+        let g = in_tree(2, 3).unwrap();
+        assert_eq!(g.task_count(), 7);
+        assert_eq!(g.entry_tasks().len(), 4);
+        assert_eq!(g.exit_tasks().len(), 1);
+        for t in g.tasks().take(g.task_count() - 1) {
+            assert_eq!(g.out_degree(t), 1, "in-tree: one child except root");
+        }
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let g = diamond(3, 4).unwrap();
+        assert_eq!(g.task_count(), 12);
+        assert_eq!(g.entry_tasks().len(), 1);
+        assert_eq!(g.exit_tasks().len(), 1);
+        let m = GraphMetrics::compute(&g);
+        assert_eq!(m.depth, 3 + 4 - 1);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft_butterfly(3).unwrap(); // 8 points, 4 ranks
+        assert_eq!(g.task_count(), 32);
+        // every non-input task has exactly 2 predecessors
+        for t in g.tasks().skip(8) {
+            assert_eq!(g.in_degree(t), 2, "{t}");
+        }
+        assert_eq!(g.entry_tasks().len(), 8);
+        assert_eq!(g.exit_tasks().len(), 8);
+    }
+
+    #[test]
+    fn gaussian_elimination_shape() {
+        let g = gaussian_elimination(4).unwrap();
+        // pivots: 3, updates: 3+2+1 = 6 => 9 tasks
+        assert_eq!(g.task_count(), 9);
+        assert_eq!(g.entry_tasks().len(), 1, "first pivot is the only entry");
+        let o = TopoOrder::kahn(&g);
+        assert!(g.is_linear_extension(o.as_slice()));
+    }
+
+    #[test]
+    fn series_parallel_valid_and_sized() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        for k in [1usize, 2, 5, 30, 77] {
+            let g = series_parallel(k, &mut rng).unwrap();
+            assert_eq!(g.task_count(), k);
+            let o = TopoOrder::kahn(&g);
+            assert!(g.is_linear_extension(o.as_slice()));
+        }
+    }
+
+    #[test]
+    fn generators_deterministic_under_seed() {
+        let cfg = LayeredConfig::default();
+        let a = layered(&cfg, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        let b = layered(&cfg, &mut ChaCha8Rng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+        let c = series_parallel(40, &mut ChaCha8Rng::seed_from_u64(6)).unwrap();
+        let d = series_parallel(40, &mut ChaCha8Rng::seed_from_u64(6)).unwrap();
+        assert_eq!(c, d);
+    }
+}

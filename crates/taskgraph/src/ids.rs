@@ -1,0 +1,171 @@
+//! Strongly typed identifiers for tasks and data items.
+//!
+//! The perf-book guidance for this suite is to keep hot types small: ids are
+//! `u32` newtypes (4 bytes instead of 8 for `usize`), converted to `usize`
+//! only at indexing sites.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a subtask `s_i` in the application DAG (`0 <= i < k`).
+///
+/// `TaskId`s are dense: a graph with `k` tasks uses exactly the ids
+/// `0..k`, so they double as indices into per-task arrays.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TaskId(u32);
+
+impl TaskId {
+    /// Creates a task id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        TaskId(index)
+    }
+
+    /// Creates a task id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        TaskId(u32::try_from(index).expect("task index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, for indexing per-task arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for TaskId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        TaskId(v)
+    }
+}
+
+/// Identifier of a data item `d_i` transferred between two subtasks
+/// (`0 <= i < p`).
+///
+/// Data items are the edges of the DAG: each is produced by one task and
+/// consumed by one task. Like [`TaskId`], ids are dense and double as
+/// indices into per-data arrays (e.g. the columns of the transfer-time
+/// matrix `Tr` of the paper's §2).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct DataId(u32);
+
+impl DataId {
+    /// Creates a data-item id from a raw index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        DataId(index)
+    }
+
+    /// Creates a data-item id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_usize(index: usize) -> Self {
+        DataId(u32::try_from(index).expect("data index exceeds u32::MAX"))
+    }
+
+    /// Returns the raw `u32` index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the id as a `usize`, for indexing per-data arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl From<u32> for DataId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        DataId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_id_roundtrip() {
+        let t = TaskId::new(42);
+        assert_eq!(t.raw(), 42);
+        assert_eq!(t.index(), 42usize);
+        assert_eq!(TaskId::from_usize(42), t);
+        assert_eq!(TaskId::from(42u32), t);
+    }
+
+    #[test]
+    fn data_id_roundtrip() {
+        let d = DataId::new(7);
+        assert_eq!(d.raw(), 7);
+        assert_eq!(d.index(), 7usize);
+        assert_eq!(DataId::from_usize(7), d);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(TaskId::new(3).to_string(), "s3");
+        assert_eq!(DataId::new(5).to_string(), "d5");
+        assert_eq!(format!("{:?}", TaskId::new(0)), "s0");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(TaskId::new(1) < TaskId::new(2));
+        assert!(DataId::new(0) < DataId::new(9));
+    }
+
+    #[test]
+    fn ids_are_small() {
+        assert_eq!(std::mem::size_of::<TaskId>(), 4);
+        assert_eq!(std::mem::size_of::<DataId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<TaskId>>(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "task index exceeds u32::MAX")]
+    fn from_usize_overflow_panics() {
+        let _ = TaskId::from_usize(usize::MAX);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property tests for the DAG substrate.
+
+use mshc_taskgraph::gen::{erdos_dag, layered, series_parallel, LayeredConfig};
+use mshc_taskgraph::{
+    CriticalPath, GraphMetrics, Levels, TaskGraph, TaskId, TopoOrder, TransitiveClosure,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A random DAG from one of the three random generators.
+fn dag_strategy() -> impl Strategy<Value = TaskGraph> {
+    (1usize..40, 0.0f64..1.0, any::<u64>(), 0u8..3).prop_map(|(k, p, seed, which)| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        match which {
+            0 => erdos_dag(k, p, &mut rng).unwrap(),
+            1 => layered(
+                &LayeredConfig {
+                    tasks: k,
+                    mean_width: (k / 4).max(1),
+                    edge_prob: p,
+                    skip_prob: p / 10.0,
+                },
+                &mut rng,
+            )
+            .unwrap(),
+            _ => series_parallel(k, &mut rng).unwrap(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Both topological sorts emit linear extensions; positions invert.
+    #[test]
+    fn topo_orders_are_linear_extensions(g in dag_strategy(), seed in any::<u64>()) {
+        let kahn = TopoOrder::kahn(&g);
+        prop_assert!(g.is_linear_extension(kahn.as_slice()));
+        let rnd = TopoOrder::random(&g, &mut ChaCha8Rng::seed_from_u64(seed));
+        prop_assert!(g.is_linear_extension(rnd.as_slice()));
+        let pos = rnd.positions();
+        for (i, &t) in rnd.as_slice().iter().enumerate() {
+            prop_assert_eq!(pos[t.index()] as usize, i);
+        }
+    }
+
+    /// Levels are consistent: every edge increases the level by >= 1, and
+    /// level(t) == 0 iff t has no predecessors.
+    #[test]
+    fn levels_consistent(g in dag_strategy()) {
+        let levels = Levels::compute(&g);
+        for e in g.edges() {
+            prop_assert!(levels.level(e.dst) > levels.level(e.src));
+        }
+        for t in g.tasks() {
+            prop_assert_eq!(levels.level(t) == 0, g.in_degree(t) == 0);
+        }
+        let layers = levels.layers();
+        prop_assert_eq!(layers.iter().map(Vec::len).sum::<usize>(), g.task_count());
+        prop_assert_eq!(layers.len(), levels.max_level() as usize + 1);
+    }
+
+    /// The transitive closure agrees with a fresh DFS for sampled pairs,
+    /// and reachability implies a level increase.
+    #[test]
+    fn closure_matches_dfs(g in dag_strategy(), pair_seed in any::<u64>()) {
+        let tc = TransitiveClosure::compute(&g);
+        let levels = Levels::compute(&g);
+        let mut rng = ChaCha8Rng::seed_from_u64(pair_seed);
+        use rand::Rng;
+        for _ in 0..20 {
+            let a = TaskId::new(rng.gen_range(0..g.task_count() as u32));
+            let b = TaskId::new(rng.gen_range(0..g.task_count() as u32));
+            // DFS from a.
+            let mut stack = vec![a];
+            let mut seen = vec![false; g.task_count()];
+            let mut reach = false;
+            while let Some(t) = stack.pop() {
+                for s in g.successors(t) {
+                    if s == b { reach = true; }
+                    if !seen[s.index()] {
+                        seen[s.index()] = true;
+                        stack.push(s);
+                    }
+                }
+            }
+            prop_assert_eq!(tc.reaches(a, b), reach, "{} -> {}", a, b);
+            if reach {
+                prop_assert!(levels.level(b) > levels.level(a));
+            }
+        }
+    }
+
+    /// The unit-weight critical path length equals the depth metric, and
+    /// the path itself is a real path in the graph.
+    #[test]
+    fn critical_path_is_a_path(g in dag_strategy()) {
+        let cp = CriticalPath::compute(&g, |_| 1.0, |_, _| 0.0);
+        let m = GraphMetrics::compute(&g);
+        prop_assert_eq!(cp.length as usize, m.depth);
+        prop_assert_eq!(cp.tasks.len(), m.depth);
+        for w in cp.tasks.windows(2) {
+            prop_assert!(g.edge_between(w[0], w[1]).is_some(), "{} -> {}", w[0], w[1]);
+        }
+    }
+
+    /// Metrics are internally consistent.
+    #[test]
+    fn metrics_consistent(g in dag_strategy()) {
+        let m = GraphMetrics::compute(&g);
+        prop_assert_eq!(m.tasks, g.task_count());
+        prop_assert_eq!(m.data_items, g.data_count());
+        prop_assert!(m.width >= 1 && m.width <= m.tasks);
+        prop_assert!(m.depth >= 1 && m.depth <= m.tasks);
+        prop_assert!(m.entries >= 1 && m.exits >= 1);
+        prop_assert!((0.0..=1.0).contains(&m.density));
+    }
+
+    /// DOT export mentions every task and every edge exactly once.
+    #[test]
+    fn dot_export_complete(g in dag_strategy()) {
+        let dot = mshc_taskgraph::dot::to_dot_plain(&g);
+        for t in g.tasks() {
+            let needle = format!("t{} [label=", t.raw());
+            let found = dot.contains(&needle);
+            prop_assert!(found, "missing node line for {}", t);
+        }
+        prop_assert_eq!(dot.matches(" -> ").count(), g.data_count());
+    }
+}

@@ -1,0 +1,21 @@
+//! # mshc-trace
+//!
+//! Experiment tracing substrate for the `mshc` suite. Every figure in the
+//! paper's evaluation (§5) is a *series* plot — number of selected
+//! subtasks vs iteration (Fig 3a), schedule length vs iteration (Figs 3b,
+//! 4a, 4b), best schedule length vs wall time (Figs 5–7) — so the
+//! schedulers record per-iteration [`TraceRecord`]s into a [`Trace`], and
+//! the harness turns traces into CSV files and quick terminal plots.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod plot;
+pub mod record;
+pub mod series;
+
+pub use csv::{write_csv, CsvTable};
+pub use plot::AsciiPlot;
+pub use record::{Trace, TraceRecord};
+pub use series::Series;

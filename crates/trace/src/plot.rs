@@ -1,0 +1,110 @@
+//! Quick terminal line plots, enough to eyeball the paper's figure shapes
+//! without leaving the terminal.
+
+use crate::series::Series;
+use std::fmt::Write as _;
+
+/// Fixed-size character-grid plot of one or more series.
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    title: String,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: &[u8] = b"*o+x#@%&";
+
+impl AsciiPlot {
+    /// Creates a plot canvas; `width`/`height` are character cells.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> AsciiPlot {
+        assert!(width >= 16 && height >= 4, "plot too small to be legible");
+        AsciiPlot { width, height, title: title.into() }
+    }
+
+    /// Renders the series onto the canvas with a legend and axis labels.
+    pub fn render(&self, series: &[Series]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let bounds = series.iter().filter_map(Series::bounds).fold(
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY),
+            |acc, b| (acc.0.min(b.0), acc.1.max(b.1), acc.2.min(b.2), acc.3.max(b.3)),
+        );
+        if !bounds.0.is_finite() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let (x0, x1, y0, y1) = bounds;
+        let xr = (x1 - x0).max(f64::MIN_POSITIVE);
+        let yr = (y1 - y0).max(f64::MIN_POSITIVE);
+        let mut grid = vec![b' '; self.width * self.height];
+        for (si, s) in series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in s.points() {
+                let cx = (((x - x0) / xr) * (self.width - 1) as f64).round() as usize;
+                let cy = (((y - y0) / yr) * (self.height - 1) as f64).round() as usize;
+                let row = self.height - 1 - cy; // y grows upward
+                grid[row * self.width + cx] = glyph;
+            }
+        }
+        for r in 0..self.height {
+            let line = &grid[r * self.width..(r + 1) * self.width];
+            let y_here = y1 - (r as f64 / (self.height - 1) as f64) * (y1 - y0);
+            let _ = writeln!(out, "{y_here:>12.2} |{}|", String::from_utf8_lossy(line));
+        }
+        let _ = writeln!(
+            out,
+            "{:>12} +{}+\n{:>12}  x: {:.2} .. {:.2}",
+            "", "-".repeat(self.width), "", x0, x1
+        );
+        for (si, s) in series.iter().enumerate() {
+            let _ = writeln!(out, "  {} = {}", GLYPHS[si % GLYPHS.len()] as char, s.name());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_points_and_legend() {
+        let s = Series::from_points("cost", (0..20).map(|i| (i as f64, (20 - i) as f64)).collect());
+        let plot = AsciiPlot::new("fig3b", 40, 10);
+        let art = plot.render(&[s]);
+        assert!(art.contains("## fig3b"));
+        assert!(art.contains("* = cost"));
+        assert!(art.contains('*'));
+        assert!(art.contains("x: 0.00 .. 19.00"));
+    }
+
+    #[test]
+    fn empty_series_is_handled() {
+        let plot = AsciiPlot::new("empty", 30, 5);
+        assert!(plot.render(&[]).contains("(no data)"));
+        assert!(plot.render(&[Series::new("e")]).contains("(no data)"));
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_glyphs() {
+        let a = Series::from_points("se", vec![(0.0, 1.0), (1.0, 0.5)]);
+        let b = Series::from_points("ga", vec![(0.0, 2.0), (1.0, 1.5)]);
+        let art = AsciiPlot::new("cmp", 30, 8).render(&[a, b]);
+        assert!(art.contains("* = se"));
+        assert!(art.contains("o = ga"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_canvas_rejected() {
+        let _ = AsciiPlot::new("t", 5, 2);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let s = Series::from_points("flat", vec![(0.0, 3.0), (1.0, 3.0)]);
+        let art = AsciiPlot::new("flat", 20, 5).render(&[s]);
+        assert!(art.contains('*'));
+    }
+}

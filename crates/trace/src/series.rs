@@ -1,0 +1,155 @@
+//! Named (x, y) series with downsampling.
+
+use serde::{Deserialize, Serialize};
+
+/// A named sequence of `(x, y)` points, x non-decreasing by convention.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    name: String,
+    points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// An empty series.
+    pub fn new(name: impl Into<String>) -> Series {
+        Series { name: name.into(), points: Vec::new() }
+    }
+
+    /// Wraps existing points.
+    pub fn from_points(name: impl Into<String>, points: Vec<(f64, f64)>) -> Series {
+        Series { name: name.into(), points }
+    }
+
+    /// Series name (CSV column / plot legend).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the series, builder-style.
+    pub fn renamed(mut self, name: impl Into<String>) -> Series {
+        self.name = name.into();
+        self
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// The points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// `(min_x, max_x, min_y, max_y)`; `None` when empty.
+    pub fn bounds(&self) -> Option<(f64, f64, f64, f64)> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let mut b = (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &self.points {
+            b.0 = b.0.min(x);
+            b.1 = b.1.max(x);
+            b.2 = b.2.min(y);
+            b.3 = b.3.max(y);
+        }
+        Some(b)
+    }
+
+    /// Keeps at most `max_points` points by uniform stride sampling,
+    /// always retaining the first and last point. Figures with 10⁴+
+    /// iterations downsample before CSV export.
+    pub fn downsampled(&self, max_points: usize) -> Series {
+        assert!(max_points >= 2, "need at least first and last point");
+        if self.points.len() <= max_points {
+            return self.clone();
+        }
+        let stride = (self.points.len() - 1) as f64 / (max_points - 1) as f64;
+        let mut pts = Vec::with_capacity(max_points);
+        for i in 0..max_points {
+            let idx = (i as f64 * stride).round() as usize;
+            pts.push(self.points[idx.min(self.points.len() - 1)]);
+        }
+        pts.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        Series { name: self.name.clone(), points: pts }
+    }
+
+    /// Running minimum of y (turns a "current cost" series into a
+    /// "best so far" series).
+    pub fn running_min(&self) -> Series {
+        let mut best = f64::INFINITY;
+        let pts = self
+            .points
+            .iter()
+            .map(|&(x, y)| {
+                best = best.min(y);
+                (x, best)
+            })
+            .collect();
+        Series { name: format!("{}_min", self.name), points: pts }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_bounds() {
+        let mut s = Series::new("a");
+        assert!(s.is_empty());
+        assert_eq!(s.bounds(), None);
+        s.push(0.0, 5.0);
+        s.push(2.0, 1.0);
+        s.push(4.0, 3.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bounds(), Some((0.0, 4.0, 1.0, 5.0)));
+        assert_eq!(s.name(), "a");
+    }
+
+    #[test]
+    fn renamed_builder() {
+        let s = Series::from_points("x", vec![(0.0, 0.0)]).renamed("y");
+        assert_eq!(s.name(), "y");
+    }
+
+    #[test]
+    fn downsample_keeps_ends() {
+        let pts: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, (i * i) as f64)).collect();
+        let s = Series::from_points("big", pts);
+        let d = s.downsampled(50);
+        assert!(d.len() <= 50);
+        assert_eq!(d.points()[0], (0.0, 0.0));
+        assert_eq!(*d.points().last().unwrap(), (999.0, 998001.0));
+    }
+
+    #[test]
+    fn downsample_noop_when_small() {
+        let s = Series::from_points("s", vec![(0.0, 1.0), (1.0, 2.0)]);
+        assert_eq!(s.downsampled(10), s);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn downsample_rejects_tiny_budget() {
+        Series::from_points("s", vec![(0.0, 1.0)]).downsampled(1);
+    }
+
+    #[test]
+    fn running_min_monotone() {
+        let s = Series::from_points("c", vec![(0.0, 5.0), (1.0, 7.0), (2.0, 3.0), (3.0, 4.0)]);
+        let m = s.running_min();
+        assert_eq!(m.points(), &[(0.0, 5.0), (1.0, 5.0), (2.0, 3.0), (3.0, 3.0)]);
+        assert_eq!(m.name(), "c_min");
+    }
+}

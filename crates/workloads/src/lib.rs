@@ -1,0 +1,37 @@
+//! # mshc-workloads
+//!
+//! Random and structured MSHC workload generation, reproducing the
+//! experimental setup of §5 of the SE paper:
+//!
+//! > "randomly generated workloads are used \[because\] a generally
+//! > accepted set of HC benchmarks does not exist … Workloads are further
+//! > classified according to their connectivity, heterogeneity and
+//! > communication-to-cost ratio (CCR)."
+//!
+//! A [`WorkloadSpec`] names a point in that taxonomy — size (tasks ×
+//! machines), [`Connectivity`], [`Heterogeneity`], CCR — plus a seed, and
+//! [`WorkloadSpec::generate`] deterministically expands it into an
+//! [`HcInstance`]:
+//!
+//! * the DAG comes from the layered random generator with an edge
+//!   probability mapped from the connectivity class;
+//! * execution times use a range-based heterogeneity model (Braun et al.
+//!   style): task `t` draws a base cost `b_t`, and `E[m][t] = b_t · u`
+//!   with `u ~ U(1, 1 + h)`, `h` set by the heterogeneity class;
+//! * transfer times target the requested CCR: a data item produced by `t`
+//!   costs `ccr · mean_exec(t) · U(0.8, 1.2)` per machine pair.
+//!
+//! [`presets`] enumerates the exact workload classes behind each paper
+//! figure, and [`figure1`] ships the reconstructed 7-task worked example
+//! (the published matrices are OCR-garbled; DESIGN.md documents the
+//! substitution).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod presets;
+pub mod spec;
+pub mod structured;
+
+pub use presets::{figure1, FigureWorkload};
+pub use spec::{Connectivity, Heterogeneity, WorkloadSpec};

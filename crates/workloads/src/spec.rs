@@ -1,0 +1,294 @@
+//! The workload taxonomy and generator.
+
+use mshc_platform::{HcInstance, HcSystem, Matrix};
+use mshc_taskgraph::gen::{layered, LayeredConfig};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Connectivity class (§5): how many data items the DAG carries relative
+/// to its size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Connectivity {
+    /// Sparse DAG (edge probability ≈ 0.15).
+    Low,
+    /// Medium density (≈ 0.4).
+    Medium,
+    /// Dense DAG (≈ 0.8).
+    High,
+}
+
+impl Connectivity {
+    /// Edge probability between consecutive layers.
+    pub fn edge_prob(self) -> f64 {
+        match self {
+            Connectivity::Low => 0.15,
+            Connectivity::Medium => 0.4,
+            Connectivity::High => 0.8,
+        }
+    }
+
+    /// Stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Connectivity::Low => "low",
+            Connectivity::Medium => "medium",
+            Connectivity::High => "high",
+        }
+    }
+}
+
+/// Heterogeneity class (§5): how much execution times differ across
+/// machines for the same subtask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Heterogeneity {
+    /// Near-homogeneous machines (`u ~ U(1, 1.25)`).
+    Low,
+    /// Moderate spread (`u ~ U(1, 2.5)`).
+    Medium,
+    /// Strong spread (`u ~ U(1, 8)`) — "highly heterogeneous" workloads
+    /// where a task's best machine is ~8× faster than its worst.
+    High,
+}
+
+impl Heterogeneity {
+    /// Upper bound of the multiplicative factor range (lower bound is 1).
+    pub fn factor_range(self) -> f64 {
+        match self {
+            Heterogeneity::Low => 1.25,
+            Heterogeneity::Medium => 2.5,
+            Heterogeneity::High => 8.0,
+        }
+    }
+
+    /// Stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Heterogeneity::Low => "low",
+            Heterogeneity::Medium => "medium",
+            Heterogeneity::High => "high",
+        }
+    }
+}
+
+/// A fully specified random workload: one point of the paper's taxonomy
+/// plus a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of subtasks `k`.
+    pub tasks: usize,
+    /// Number of machines `l`.
+    pub machines: usize,
+    /// Connectivity class.
+    pub connectivity: Connectivity,
+    /// Heterogeneity class.
+    pub heterogeneity: Heterogeneity,
+    /// Target communication-to-cost ratio (paper uses 0.1 and 1.0).
+    pub ccr: f64,
+    /// RNG seed; generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's "small size" default: 20 tasks on 5 machines.
+    pub fn small(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            tasks: 20,
+            machines: 5,
+            connectivity: Connectivity::Medium,
+            heterogeneity: Heterogeneity::Medium,
+            ccr: 0.5,
+            seed,
+        }
+    }
+
+    /// The paper's "large size" comparison setting (§5.3): 100 tasks on
+    /// 20 machines.
+    pub fn large(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            tasks: 100,
+            machines: 20,
+            connectivity: Connectivity::Medium,
+            heterogeneity: Heterogeneity::Medium,
+            ccr: 0.5,
+            seed,
+        }
+    }
+
+    /// Builder-style setters.
+    pub fn with_connectivity(mut self, c: Connectivity) -> WorkloadSpec {
+        self.connectivity = c;
+        self
+    }
+
+    /// Sets the heterogeneity class.
+    pub fn with_heterogeneity(mut self, h: Heterogeneity) -> WorkloadSpec {
+        self.heterogeneity = h;
+        self
+    }
+
+    /// Sets the target CCR.
+    pub fn with_ccr(mut self, ccr: f64) -> WorkloadSpec {
+        self.ccr = ccr;
+        self
+    }
+
+    /// A short tag for file names: `k100_l20_chigh_hlow_ccr0.1_s42`.
+    pub fn tag(&self) -> String {
+        format!(
+            "k{}_l{}_c{}_h{}_ccr{}_s{}",
+            self.tasks,
+            self.machines,
+            self.connectivity.name(),
+            self.heterogeneity.name(),
+            self.ccr,
+            self.seed
+        )
+    }
+
+    /// Deterministically expands the spec into a full instance.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (0 tasks/machines, non-positive or
+    /// non-finite CCR target below 0).
+    pub fn generate(&self) -> HcInstance {
+        assert!(self.tasks >= 1, "need at least one task");
+        assert!(self.machines >= 1, "need at least one machine");
+        assert!(self.ccr.is_finite() && self.ccr >= 0.0, "CCR must be finite and >= 0");
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+
+        // --- DAG ---
+        let cfg = LayeredConfig {
+            tasks: self.tasks,
+            mean_width: (self.tasks / 10).clamp(2, 12).min(self.tasks),
+            edge_prob: self.connectivity.edge_prob(),
+            skip_prob: self.connectivity.edge_prob() / 8.0,
+        };
+        let graph = layered(&cfg, &mut rng).expect("tasks >= 1");
+
+        // --- execution times (range-based heterogeneity) ---
+        let hi = self.heterogeneity.factor_range();
+        let base: Vec<f64> = (0..self.tasks).map(|_| rng.gen_range(50.0..150.0)).collect();
+        let exec = Matrix::from_fn(self.machines, self.tasks, |_, t| {
+            base[t] * rng.gen_range(1.0..=hi)
+        });
+
+        // --- transfer times targeting the CCR ---
+        // mean_exec(t) = base[t] * E[u] = base[t] * (1 + hi) / 2.
+        let mean_factor = (1.0 + hi) / 2.0;
+        let pairs = self.machines * (self.machines - 1) / 2;
+        let transfer = Matrix::from_fn(pairs, graph.data_count(), |_, d| {
+            let producer = graph.edges()[d].src;
+            let mean_exec = base[producer.index()] * mean_factor;
+            self.ccr * mean_exec * rng.gen_range(0.8..1.2)
+        });
+
+        let sys = HcSystem::with_anonymous_machines(self.machines, exec, transfer)
+            .expect("generated matrices are valid by construction");
+        HcInstance::new(graph, sys).expect("dimensions agree by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mshc_platform::InstanceMetrics;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::large(7);
+        assert_eq!(spec.generate(), spec.generate());
+        let other = WorkloadSpec { seed: 8, ..spec };
+        assert_ne!(spec.generate(), other.generate());
+    }
+
+    #[test]
+    fn sizes_match_spec() {
+        let spec = WorkloadSpec::large(1);
+        let inst = spec.generate();
+        assert_eq!(inst.task_count(), 100);
+        assert_eq!(inst.machine_count(), 20);
+        let small = WorkloadSpec::small(1).generate();
+        assert_eq!(small.task_count(), 20);
+        assert_eq!(small.machine_count(), 5);
+    }
+
+    #[test]
+    fn connectivity_orders_data_item_counts() {
+        let base = WorkloadSpec::large(3);
+        let lo = base.with_connectivity(Connectivity::Low).generate();
+        let hi = base.with_connectivity(Connectivity::High).generate();
+        assert!(
+            hi.data_count() as f64 > 2.5 * lo.data_count() as f64,
+            "high {} vs low {}",
+            hi.data_count(),
+            lo.data_count()
+        );
+    }
+
+    #[test]
+    fn heterogeneity_orders_measured_cv() {
+        let base = WorkloadSpec::large(4);
+        let measure = |h| {
+            InstanceMetrics::compute(&base.with_heterogeneity(h).generate()).heterogeneity
+        };
+        let (lo, mid, hi) = (
+            measure(Heterogeneity::Low),
+            measure(Heterogeneity::Medium),
+            measure(Heterogeneity::High),
+        );
+        assert!(lo < mid && mid < hi, "CV ordering violated: {lo} {mid} {hi}");
+        assert!(lo < 0.15, "low heterogeneity should be nearly homogeneous: {lo}");
+        assert!(hi > 0.4, "high heterogeneity should spread widely: {hi}");
+    }
+
+    #[test]
+    fn measured_ccr_tracks_target() {
+        for target in [0.1, 0.5, 1.0] {
+            let spec = WorkloadSpec::large(5).with_ccr(target);
+            let m = InstanceMetrics::compute(&spec.generate());
+            assert!(
+                (m.ccr - target).abs() < target * 0.15 + 0.01,
+                "target {target}, measured {}",
+                m.ccr
+            );
+        }
+    }
+
+    #[test]
+    fn zero_ccr_means_free_communication() {
+        let inst = WorkloadSpec::small(6).with_ccr(0.0).generate();
+        assert!(inst.system().transfer_matrix().as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_machine_workload() {
+        let spec = WorkloadSpec {
+            tasks: 10,
+            machines: 1,
+            connectivity: Connectivity::Medium,
+            heterogeneity: Heterogeneity::Low,
+            ccr: 1.0,
+            seed: 0,
+        };
+        let inst = spec.generate();
+        assert_eq!(inst.machine_count(), 1);
+        assert_eq!(inst.system().transfer_matrix().rows(), 0);
+    }
+
+    #[test]
+    fn tag_is_filename_safe() {
+        let tag = WorkloadSpec::large(42)
+            .with_connectivity(Connectivity::High)
+            .with_ccr(0.1)
+            .tag();
+        assert_eq!(tag, "k100_l20_chigh_hmedium_ccr0.1_s42");
+        assert!(!tag.contains(' ') && !tag.contains('/'));
+    }
+
+    #[test]
+    #[should_panic(expected = "CCR")]
+    fn negative_ccr_rejected() {
+        let _ = WorkloadSpec::small(0).with_ccr(-1.0).generate();
+    }
+}

@@ -1,0 +1,54 @@
+//! Domain example: offloading a fork–join sensor-fusion pipeline.
+//!
+//! Four parallel preprocessing chains (one per sensor) feed a fusion
+//! stage. The communication-to-cost ratio decides whether spreading the
+//! chains across machines pays: with cheap communication (CCR 0.1)
+//! distribution wins; with expensive links (CCR 1.5) the scheduler should
+//! consolidate. This example sweeps CCR and reports how SE's placement
+//! responds — the crossover the paper's CCR axis (§5) is about.
+//!
+//! ```text
+//! cargo run --release --example pipeline_offload
+//! ```
+
+use mshc::prelude::*;
+use mshc::workloads::structured;
+
+fn distinct_machines(sol: &Solution) -> usize {
+    let mut used = std::collections::BTreeSet::new();
+    for seg in sol.segments() {
+        used.insert(seg.machine);
+    }
+    used.len()
+}
+
+fn main() {
+    println!("fork-join pipeline: 4 branches x 5 stages + source/sink, 6 machines\n");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>18}",
+        "CCR", "se", "heft", "min-min", "machines used (se)"
+    );
+    for &ccr in &[0.1, 0.5, 1.0, 1.5] {
+        let inst = structured::fork_join(4, 5, 6, Heterogeneity::Medium, ccr, 7);
+        let mut se = SeScheduler::new(SeConfig {
+            seed: 7,
+            selection_bias: -0.1,
+            ..SeConfig::default()
+        });
+        let se_r = se.run(&inst, &RunBudget::iterations(150), None);
+        let heft = HeftScheduler::new().run(&inst, &RunBudget::default(), None);
+        let minmin =
+            ListScheduler::new(ListPolicy::MinMin).run(&inst, &RunBudget::default(), None);
+        println!(
+            "{:>6.1} {:>12.0} {:>12.0} {:>12.0} {:>18}",
+            ccr,
+            se_r.makespan,
+            heft.makespan,
+            minmin.makespan,
+            distinct_machines(&se_r.solution)
+        );
+    }
+
+    println!("\nexpectation: as CCR grows, schedule lengths rise and SE consolidates");
+    println!("work onto fewer machines (communication stops paying for parallelism).");
+}

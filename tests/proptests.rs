@@ -1,0 +1,156 @@
+//! Cross-crate property tests: the suite's core invariants under
+//! randomized instances, solutions and operator sequences.
+
+use mshc::ga::chromosome::{order_valid_range, Chromosome};
+use mshc::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a workload spec over the full taxonomy at property-test
+/// scale.
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        2usize..30,
+        1usize..6,
+        prop_oneof![
+            Just(Connectivity::Low),
+            Just(Connectivity::Medium),
+            Just(Connectivity::High)
+        ],
+        prop_oneof![
+            Just(Heterogeneity::Low),
+            Just(Heterogeneity::Medium),
+            Just(Heterogeneity::High)
+        ],
+        0.0f64..1.5,
+        any::<u64>(),
+    )
+        .prop_map(|(tasks, machines, connectivity, heterogeneity, ccr, seed)| WorkloadSpec {
+            tasks,
+            machines,
+            connectivity,
+            heterogeneity,
+            ccr,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The analytic evaluator and the discrete-event replay agree on
+    /// every random (instance, solution) pair — the suite's correctness
+    /// anchor.
+    #[test]
+    fn analytic_equals_des_replay(spec in spec_strategy(), sol_seed in any::<u64>()) {
+        let inst = spec.generate();
+        let mut rng = ChaCha8Rng::seed_from_u64(sol_seed);
+        let sol = mshc::schedule::random_solution(&inst, &mut rng);
+        let analytic = Evaluator::new(&inst).report(&sol);
+        let sim = replay(&inst, &sol).expect("valid solutions never deadlock");
+        prop_assert!((analytic.makespan - sim.makespan).abs() < 1e-9);
+        for t in inst.graph().tasks() {
+            prop_assert!((analytic.finish_of(t) - sim.finish_of(t)).abs() < 1e-9);
+        }
+    }
+
+    /// Random solutions satisfy the full string invariant, and any
+    /// sequence of valid-range moves preserves it.
+    #[test]
+    fn valid_range_moves_preserve_invariant(
+        spec in spec_strategy(),
+        sol_seed in any::<u64>(),
+        moves in prop::collection::vec((any::<u32>(), any::<u32>(), any::<u32>()), 0..40),
+    ) {
+        let inst = spec.generate();
+        let g = inst.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(sol_seed);
+        let mut sol = mshc::schedule::random_solution(&inst, &mut rng);
+        sol.check(g).unwrap();
+        for (traw, praw, mraw) in moves {
+            let t = TaskId::new(traw % inst.task_count() as u32);
+            let (lo, hi) = sol.valid_range(g, t);
+            let pos = lo + (praw as usize) % (hi - lo + 1);
+            let m = MachineId::new(mraw % inst.machine_count() as u32);
+            sol.move_task(g, t, pos, m).unwrap();
+        }
+        prop_assert!(sol.check(g).is_ok());
+    }
+
+    /// GA crossover preserves the linear-extension invariant for every
+    /// cut point on random parents.
+    #[test]
+    fn ga_crossover_preserves_validity(spec in spec_strategy(), seeds in any::<(u64, u64)>()) {
+        let inst = spec.generate();
+        let a = Chromosome::random(&inst, &mut ChaCha8Rng::seed_from_u64(seeds.0));
+        let b = Chromosome::random(&inst, &mut ChaCha8Rng::seed_from_u64(seeds.1));
+        for cut in 0..=inst.task_count() {
+            let order = a.crossover_order(&b, cut);
+            prop_assert!(inst.graph().is_linear_extension(&order), "cut {cut}");
+            let matching = a.crossover_matching(&b, cut);
+            prop_assert!(matching.iter().all(|m| m.index() < inst.machine_count()));
+        }
+    }
+
+    /// `order_valid_range` brackets exactly the insertions that keep the
+    /// order a linear extension.
+    #[test]
+    fn order_valid_range_is_tight(spec in spec_strategy(), seed in any::<u64>()) {
+        let inst = spec.generate();
+        let g = inst.graph();
+        let c = Chromosome::random(&inst, &mut ChaCha8Rng::seed_from_u64(seed));
+        let t = c.order[seed as usize % c.order.len()];
+        let (lo, hi) = order_valid_range(g, &c.order, t);
+        for pos in 0..c.order.len() {
+            let mut probe = c.clone();
+            let mut removed = probe.order.clone();
+            removed.retain(|&x| x != t);
+            removed.insert(pos, t);
+            probe.order = removed;
+            let valid = g.is_linear_extension(&probe.order);
+            prop_assert_eq!(valid, (lo..=hi).contains(&pos), "pos {} range [{},{}]", pos, lo, hi);
+        }
+    }
+
+    /// Goodness values derived from any schedule lie in (0, 1].
+    #[test]
+    fn goodness_in_unit_interval(spec in spec_strategy(), sol_seed in any::<u64>()) {
+        let inst = spec.generate();
+        let optimal = mshc::core::optimal_costs(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(sol_seed);
+        let sol = mshc::schedule::random_solution(&inst, &mut rng);
+        let report = Evaluator::new(&inst).report(&sol);
+        for t in inst.graph().tasks() {
+            let gi = mshc::core::goodness(optimal[t.index()], report.finish_of(t));
+            prop_assert!(gi > 0.0 && gi <= 1.0, "{} -> {}", t, gi);
+        }
+    }
+
+    /// Workload generation is a pure function of the spec.
+    #[test]
+    fn generation_is_pure(spec in spec_strategy()) {
+        prop_assert_eq!(spec.generate(), spec.generate());
+    }
+
+    /// Constructive heuristics produce valid, replay-consistent schedules
+    /// on arbitrary taxonomy points.
+    #[test]
+    fn constructive_heuristics_always_valid(spec in spec_strategy()) {
+        let inst = spec.generate();
+        let budget = RunBudget::default();
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(HeftScheduler::new()),
+            Box::new(CpopScheduler::new()),
+            Box::new(ListScheduler::new(ListPolicy::MinMin)),
+            Box::new(ListScheduler::new(ListPolicy::MaxMin)),
+            Box::new(ListScheduler::new(ListPolicy::Mct)),
+        ];
+        for s in schedulers.iter_mut() {
+            let r = s.run(&inst, &budget, None);
+            prop_assert!(r.solution.check(inst.graph()).is_ok(), "{}", s.name());
+            let sim = replay(&inst, &r.solution).expect("no deadlock");
+            prop_assert!((sim.makespan - r.makespan).abs() < 1e-9, "{}", s.name());
+        }
+    }
+}
