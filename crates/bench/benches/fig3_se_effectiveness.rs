@@ -13,11 +13,8 @@ fn bench_se_iterations(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_se");
     group.bench_function("5_iterations_serial", |b| {
         b.iter(|| {
-            let mut se = SeScheduler::new(SeConfig {
-                seed: 1,
-                selection_bias: 0.05,
-                ..SeConfig::default()
-            });
+            let mut se =
+                SeScheduler::new(SeConfig { seed: 1, selection_bias: 0.05, ..SeConfig::default() });
             black_box(se.run(&inst, &RunBudget::iterations(5), None).makespan)
         })
     });

@@ -11,27 +11,21 @@ use std::hint::black_box;
 
 fn bench_y_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_y_sweep");
-    for (label, figure) in [
-        ("lowH", FigureWorkload::Fig4Low),
-        ("highH", FigureWorkload::Fig4High),
-    ] {
+    for (label, figure) in [("lowH", FigureWorkload::Fig4Low), ("highH", FigureWorkload::Fig4High)]
+    {
         let inst = figure.spec(2001).generate();
         for &y in &[5usize, 9, 12] {
-            group.bench_with_input(
-                BenchmarkId::new(label, y),
-                &y,
-                |b, &y| {
-                    b.iter(|| {
-                        let mut se = SeScheduler::new(SeConfig {
-                            seed: 3,
-                            selection_bias: 0.05,
-                            y_limit: Some(y),
-                            ..SeConfig::default()
-                        });
-                        black_box(se.run(&inst, &RunBudget::iterations(3), None).makespan)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, y), &y, |b, &y| {
+                b.iter(|| {
+                    let mut se = SeScheduler::new(SeConfig {
+                        seed: 3,
+                        selection_bias: 0.05,
+                        y_limit: Some(y),
+                        ..SeConfig::default()
+                    });
+                    black_box(se.run(&inst, &RunBudget::iterations(3), None).makespan)
+                })
+            });
         }
         let _ = Heterogeneity::Low; // documents the axis the group sweeps
     }

@@ -20,15 +20,9 @@ fn bench_constructive(c: &mut Criterion) {
         b.iter(|| black_box(CpopScheduler::new().run(&inst, &budget, None).makespan))
     });
     for policy in ListPolicy::ALL {
-        group.bench_with_input(
-            BenchmarkId::new("list", policy.name()),
-            &policy,
-            |b, &policy| {
-                b.iter(|| {
-                    black_box(ListScheduler::new(policy).run(&inst, &budget, None).makespan)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("list", policy.name()), &policy, |b, &policy| {
+            b.iter(|| black_box(ListScheduler::new(policy).run(&inst, &budget, None).makespan))
+        });
     }
     group.finish();
 }

@@ -33,20 +33,17 @@ fn parse_args() -> Args {
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
-            "all" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "band" | "agg"
-            | "contention" => figures.push(a),
+            "all" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "band" | "agg" | "contention" => {
+                figures.push(a)
+            }
             "--fast" => scale = ExperimentScale::fast(),
             "--iters" => {
-                scale.iterations = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--iters needs an integer");
+                scale.iterations =
+                    argv.next().and_then(|v| v.parse().ok()).expect("--iters needs an integer");
             }
             "--wall" => {
-                let secs: f64 = argv
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--wall needs seconds");
+                let secs: f64 =
+                    argv.next().and_then(|v| v.parse().ok()).expect("--wall needs seconds");
                 scale.wall = Duration::from_secs_f64(secs);
             }
             "--seed" => {
@@ -118,11 +115,8 @@ fn main() {
         ] {
             let r = fig4(het, &ys, &scale);
             print!("{}", emit_fig4(&r, &args.out, file).expect("write fig4"));
-            let finals: Vec<String> = r
-                .runs
-                .iter()
-                .map(|(y, _, res)| format!("Y={y}:{:.0}", res.makespan))
-                .collect();
+            let finals: Vec<String> =
+                r.runs.iter().map(|(y, _, res)| format!("Y={y}:{:.0}", res.makespan)).collect();
             summary.push(format!("{label}: final schedule lengths {}", finals.join(" ")));
         }
     }
@@ -153,9 +147,8 @@ fn main() {
     if args.figures.iter().any(|f| f == "agg") {
         let seeds = [scale.seed, scale.seed + 1, scale.seed + 2, scale.seed + 3, scale.seed + 4];
         let evals = 300_000u64;
-        let mut table = mshc_trace::CsvTable::new([
-            "workload", "algo", "n", "mean", "std", "min", "max",
-        ]);
+        let mut table =
+            mshc_trace::CsvTable::new(["workload", "algo", "n", "mean", "std", "min", "max"]);
         for figure in [FigureWorkload::Fig5, FigureWorkload::Fig6, FigureWorkload::Fig7] {
             for row in aggregate_races(figure, &seeds, evals) {
                 let s = row.summary;
@@ -206,8 +199,7 @@ fn main() {
             let band = baseline_band(&inst);
             emit_band(&band, &args.out, &format!("band_{}.csv", figure.name()))
                 .expect("write band");
-            let row: Vec<String> =
-                band.iter().map(|(n, mk)| format!("{n}:{mk:.0}")).collect();
+            let row: Vec<String> = band.iter().map(|(n, mk)| format!("{n}:{mk:.0}")).collect();
             summary.push(format!("band {}: {}", figure.name(), row.join(" ")));
         }
     }

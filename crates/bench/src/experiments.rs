@@ -177,16 +177,8 @@ pub fn aggregate_races(figure: FigureWorkload, seeds: &[u64], evals: u64) -> Vec
     let se: Vec<f64> = runs.iter().map(|r| r.0).collect();
     let ga: Vec<f64> = runs.iter().map(|r| r.1).collect();
     vec![
-        AggregateRow {
-            workload: figure.name(),
-            algo: "se",
-            summary: mshc_stats::Summary::of(&se),
-        },
-        AggregateRow {
-            workload: figure.name(),
-            algo: "ga",
-            summary: mshc_stats::Summary::of(&ga),
-        },
+        AggregateRow { workload: figure.name(), algo: "se", summary: mshc_stats::Summary::of(&se) },
+        AggregateRow { workload: figure.name(), algo: "ga", summary: mshc_stats::Summary::of(&ga) },
     ]
 }
 
@@ -203,8 +195,7 @@ pub fn contention_probe(figure: FigureWorkload, scale: &ExperimentScale) -> (f64
         selection_bias: SeConfig::recommended_bias(inst.task_count()),
         ..SeConfig::default()
     };
-    let result =
-        SeScheduler::new(cfg).run(&inst, &RunBudget::iterations(scale.iterations), None);
+    let result = SeScheduler::new(cfg).run(&inst, &RunBudget::iterations(scale.iterations), None);
     let linked = replay_with(&inst, &result.solution, NetworkModel::PerPairLink)
         .expect("valid solutions never deadlock");
     (result.makespan, linked.makespan)
@@ -242,11 +233,9 @@ mod tests {
         assert!(r.trace.records().iter().all(|rec| rec.selected.is_some()));
         // Decay: mean of last 15 below first iteration.
         let first = r.trace.records()[0].selected.unwrap() as f64;
-        let tail: f64 = r.trace.records()[45..]
-            .iter()
-            .map(|rec| rec.selected.unwrap() as f64)
-            .sum::<f64>()
-            / 15.0;
+        let tail: f64 =
+            r.trace.records()[45..].iter().map(|rec| rec.selected.unwrap() as f64).sum::<f64>()
+                / 15.0;
         assert!(tail < first, "selection should decay: first {first}, tail {tail}");
         r.result.solution.check(r.instance.graph()).unwrap();
     }

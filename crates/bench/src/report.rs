@@ -14,11 +14,9 @@ pub fn emit_fig3(r: &Fig3Result, dir: &Path) -> io::Result<String> {
     let length = r.trace.current_cost_series().downsampled(MAX_POINTS);
     write_csv("iteration", std::slice::from_ref(&selected)).write_file(dir.join("fig3a.csv"))?;
     write_csv("iteration", std::slice::from_ref(&length)).write_file(dir.join("fig3b.csv"))?;
-    let mut out = AsciiPlot::new("Fig 3a: selected subtasks vs iteration", 72, 14)
-        .render(&[selected]);
-    out.push_str(
-        &AsciiPlot::new("Fig 3b: schedule length vs iteration", 72, 14).render(&[length]),
-    );
+    let mut out =
+        AsciiPlot::new("Fig 3a: selected subtasks vs iteration", 72, 14).render(&[selected]);
+    out.push_str(&AsciiPlot::new("Fig 3b: schedule length vs iteration", 72, 14).render(&[length]));
     Ok(out)
 }
 
@@ -116,12 +114,8 @@ mod tests {
     #[test]
     fn band_emission() {
         let d = tmpdir("band");
-        emit_band(
-            &[("heft".to_string(), 10.0), ("min-min".to_string(), 12.5)],
-            &d,
-            "band.csv",
-        )
-        .unwrap();
+        emit_band(&[("heft".to_string(), 10.0), ("min-min".to_string(), 12.5)], &d, "band.csv")
+            .unwrap();
         let t = std::fs::read_to_string(d.join("band.csv")).unwrap();
         assert_eq!(t, "algorithm,makespan\nheft,10\nmin-min,12.5\n");
     }

@@ -33,8 +33,16 @@ commands:
 
 /// Entry point: dispatches `argv` to a subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
     let parsed = parse(argv);
     match parsed.positional.first().map(String::as_str) {
+        Some("help") => {
+            print!("{USAGE}");
+            Ok(())
+        }
         Some("generate") => cmd_generate(&parsed),
         Some("run") => cmd_run(&parsed),
         Some("compare") => cmd_compare(&parsed),
@@ -151,8 +159,14 @@ fn cmd_generate(p: &Parsed) -> Result<(), String> {
     match p.get("out") {
         Some(path) => {
             std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
-            println!("wrote {} ({} tasks, {} machines, {} data items) tag={}",
-                path, inst.task_count(), inst.machine_count(), inst.data_count(), spec.tag());
+            println!(
+                "wrote {} ({} tasks, {} machines, {} data items) tag={}",
+                path,
+                inst.task_count(),
+                inst.machine_count(),
+                inst.data_count(),
+                spec.tag()
+            );
         }
         None => println!("{json}"),
     }
@@ -186,9 +200,7 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
     if let Some(path) = p.get("trace") {
         let mut series = vec![trace.best_vs_time_series().renamed("best")];
         series.push(trace.current_cost_series().renamed("current"));
-        mshc_trace::write_csv("x", &series)
-            .write_file(path)
-            .map_err(|e| format!("{path}: {e}"))?;
+        mshc_trace::write_csv("x", &series).write_file(path).map_err(|e| format!("{path}: {e}"))?;
         println!("trace written to {path} ({} records)", trace.len());
     }
     Ok(())
@@ -207,7 +219,10 @@ fn cmd_compare(p: &Parsed) -> Result<(), String> {
         inst.machine_count(),
         inst.data_count()
     );
-    println!("{:<10} {:>12} {:>12} {:>12} {:>9}", "algorithm", "makespan", "iterations", "evals", "secs");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>9}",
+        "algorithm", "makespan", "iterations", "evals", "secs"
+    );
     let mut rows: Vec<(String, f64)> = Vec::new();
     for name in names {
         let mut s = make_scheduler(p, name)?;
@@ -222,10 +237,7 @@ fn cmd_compare(p: &Parsed) -> Result<(), String> {
         );
         rows.push((name.to_string(), r.makespan));
     }
-    let best = rows
-        .iter()
-        .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("non-empty");
+    let best = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
     println!("best: {} ({:.2})", best.0, best.1);
     Ok(())
 }
@@ -270,7 +282,16 @@ mod tests {
     #[test]
     fn run_se_small_budget() {
         dispatch(&argv(&[
-            "run", "--algo", "se", "--tasks", "12", "--machines", "3", "--iters", "5", "--gantt",
+            "run",
+            "--algo",
+            "se",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "5",
+            "--gantt",
         ]))
         .unwrap();
     }
@@ -282,14 +303,19 @@ mod tests {
         let file = dir.join("wl.json");
         let file_s = file.to_str().unwrap();
         dispatch(&argv(&[
-            "generate", "--tasks", "15", "--machines", "3", "--seed", "4", "--out", file_s,
+            "generate",
+            "--tasks",
+            "15",
+            "--machines",
+            "3",
+            "--seed",
+            "4",
+            "--out",
+            file_s,
         ]))
         .unwrap();
         dispatch(&argv(&["info", "--instance", file_s])).unwrap();
-        dispatch(&argv(&[
-            "run", "--algo", "min-min", "--instance", file_s,
-        ]))
-        .unwrap();
+        dispatch(&argv(&["run", "--algo", "min-min", "--instance", file_s])).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -313,8 +339,17 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let file = dir.join("t.csv");
         dispatch(&argv(&[
-            "run", "--algo", "sa", "--tasks", "10", "--machines", "3", "--iters", "50",
-            "--trace", file.to_str().unwrap(),
+            "run",
+            "--algo",
+            "sa",
+            "--tasks",
+            "10",
+            "--machines",
+            "3",
+            "--iters",
+            "50",
+            "--trace",
+            file.to_str().unwrap(),
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&file).unwrap();

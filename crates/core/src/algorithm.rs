@@ -97,8 +97,7 @@ impl Scheduler for SeScheduler {
                 // under-selection lowers it (loosens). Clamped to the
                 // paper's published range.
                 let fraction = selected_count as f64 / inst.task_count() as f64;
-                bias = (bias + adapt.gain * (fraction - adapt.target_fraction))
-                    .clamp(-0.3, 0.1);
+                bias = (bias + adapt.gain * (fraction - adapt.target_fraction)).clamp(-0.3, 0.1);
             }
             levels.sort_by_level(&mut selected);
 
@@ -264,8 +263,7 @@ mod tests {
         let graph = layered(&cfg, &mut rng).unwrap();
         let exec = Matrix::from_fn(machines, tasks, |_, _| rng.gen_range(10.0..100.0));
         let pairs = machines * (machines - 1) / 2;
-        let transfer =
-            Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
+        let transfer = Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
         let sys = HcSystem::with_anonymous_machines(machines, exec, transfer).unwrap();
         HcInstance::new(graph, sys).unwrap()
     }
@@ -280,7 +278,8 @@ mod tests {
             .map(|_| eval.makespan(&mshc_schedule::random_solution(&inst, &mut rng)))
             .sum::<f64>()
             / 20.0;
-        let mut se = SeScheduler::new(SeConfig { seed: 5, selection_bias: -0.1, ..Default::default() });
+        let mut se =
+            SeScheduler::new(SeConfig { seed: 5, selection_bias: -0.1, ..Default::default() });
         let result = se.run(&inst, &RunBudget::iterations(60), None);
         assert!(
             result.makespan < baseline * 0.85,
@@ -304,9 +303,7 @@ mod tests {
     #[test]
     fn se_is_deterministic_under_seed() {
         let inst = random_instance(20, 3, 4);
-        let run = |seed| {
-            SeScheduler::with_seed(seed).run(&inst, &RunBudget::iterations(25), None)
-        };
+        let run = |seed| SeScheduler::with_seed(seed).run(&inst, &RunBudget::iterations(25), None);
         let a = run(11);
         let b = run(11);
         assert_eq!(a.solution, b.solution);
@@ -318,8 +315,11 @@ mod tests {
     #[test]
     fn parallel_allocation_matches_serial() {
         let inst = random_instance(18, 4, 6);
-        let serial = SeScheduler::new(SeConfig { seed: 21, ..Default::default() })
-            .run(&inst, &RunBudget::iterations(15), None);
+        let serial = SeScheduler::new(SeConfig { seed: 21, ..Default::default() }).run(
+            &inst,
+            &RunBudget::iterations(15),
+            None,
+        );
         let parallel = SeScheduler::new(SeConfig {
             seed: 21,
             parallel_allocation: true,
@@ -347,10 +347,8 @@ mod tests {
         // Mean selection fraction over the second half of the run should
         // hover near the target; a fixed bias on the same instance drifts
         // to near-zero selection as goodness saturates.
-        let tail: Vec<f64> = trace.records()[60..]
-            .iter()
-            .map(|rec| rec.selected.unwrap() as f64 / 40.0)
-            .collect();
+        let tail: Vec<f64> =
+            trace.records()[60..].iter().map(|rec| rec.selected.unwrap() as f64 / 40.0).collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!(
             (mean - target).abs() < 0.12,
@@ -364,18 +362,12 @@ mod tests {
         // decision: whole runs are bit-identical with the flag on/off.
         for seed in [3u64, 17, 91] {
             let inst = random_instance(22, 4, seed);
-            let fast = SeScheduler::new(SeConfig {
-                seed,
-                incremental_eval: true,
-                ..Default::default()
-            })
-            .run(&inst, &RunBudget::iterations(20), None);
-            let slow = SeScheduler::new(SeConfig {
-                seed,
-                incremental_eval: false,
-                ..Default::default()
-            })
-            .run(&inst, &RunBudget::iterations(20), None);
+            let fast =
+                SeScheduler::new(SeConfig { seed, incremental_eval: true, ..Default::default() })
+                    .run(&inst, &RunBudget::iterations(20), None);
+            let slow =
+                SeScheduler::new(SeConfig { seed, incremental_eval: false, ..Default::default() })
+                    .run(&inst, &RunBudget::iterations(20), None);
             assert_eq!(fast.solution, slow.solution, "seed {seed}");
             assert_eq!(fast.makespan, slow.makespan);
         }
@@ -406,7 +398,8 @@ mod tests {
     #[test]
     fn trace_records_selected_counts_and_costs() {
         let inst = random_instance(20, 3, 9);
-        let mut se = SeScheduler::new(SeConfig { seed: 4, selection_bias: -0.2, ..Default::default() });
+        let mut se =
+            SeScheduler::new(SeConfig { seed: 4, selection_bias: -0.2, ..Default::default() });
         let mut trace = Trace::new();
         let r = se.run(&inst, &RunBudget::iterations(30), Some(&mut trace));
         assert_eq!(trace.len(), 30);
@@ -428,13 +421,13 @@ mod tests {
         // Fig 3a shape: the mean selected count over the last quarter of a
         // run should be well below the first iteration's.
         let inst = random_instance(40, 5, 10);
-        let mut se = SeScheduler::new(SeConfig { seed: 6, selection_bias: 0.0, ..Default::default() });
+        let mut se =
+            SeScheduler::new(SeConfig { seed: 6, selection_bias: 0.0, ..Default::default() });
         let mut trace = Trace::new();
         se.run(&inst, &RunBudget::iterations(80), Some(&mut trace));
         let recs = trace.records();
         let first = recs[0].selected.unwrap() as f64;
-        let tail: Vec<f64> =
-            recs[60..].iter().map(|r| r.selected.unwrap() as f64).collect();
+        let tail: Vec<f64> = recs[60..].iter().map(|r| r.selected.unwrap() as f64).collect();
         let tail_mean = tail.iter().sum::<f64>() / tail.len() as f64;
         assert!(
             tail_mean < first * 0.7,
@@ -467,7 +460,8 @@ mod tests {
     #[test]
     fn y_larger_than_machine_count_clamps() {
         let inst = random_instance(12, 3, 12);
-        let mut se = SeScheduler::new(SeConfig { seed: 1, y_limit: Some(99), ..Default::default() });
+        let mut se =
+            SeScheduler::new(SeConfig { seed: 1, y_limit: Some(99), ..Default::default() });
         let r = se.run(&inst, &RunBudget::iterations(5), None);
         r.solution.check(inst.graph()).unwrap();
     }
@@ -475,8 +469,11 @@ mod tests {
     #[test]
     fn first_improvement_strategy_runs_and_is_valid() {
         let inst = random_instance(20, 3, 14);
-        let best_fit = SeScheduler::new(SeConfig { seed: 5, ..Default::default() })
-            .run(&inst, &RunBudget::iterations(20), None);
+        let best_fit = SeScheduler::new(SeConfig { seed: 5, ..Default::default() }).run(
+            &inst,
+            &RunBudget::iterations(20),
+            None,
+        );
         let first = SeScheduler::new(SeConfig {
             seed: 5,
             allocation: AllocationStrategy::FirstImprovement,

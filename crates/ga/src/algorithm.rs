@@ -80,8 +80,7 @@ impl Scheduler for GaScheduler {
         if cfg.seed_with_heuristic {
             pop[0] = Chromosome::seeded(inst);
         }
-        let mut costs: Vec<f64> =
-            pop.iter().map(|c| eval.makespan(&c.to_solution(inst))).collect();
+        let mut costs: Vec<f64> = pop.iter().map(|c| eval.makespan(&c.to_solution(inst))).collect();
 
         let mut best_idx = argmin(&costs);
         let mut best = pop[best_idx].clone();
@@ -185,8 +184,7 @@ mod tests {
         let graph = layered(&cfg, &mut rng).unwrap();
         let exec = Matrix::from_fn(machines, tasks, |_, _| rng.gen_range(10.0..100.0));
         let pairs = machines * (machines - 1) / 2;
-        let transfer =
-            Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
+        let transfer = Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
         let sys = HcSystem::with_anonymous_machines(machines, exec, transfer).unwrap();
         HcInstance::new(graph, sys).unwrap()
     }
@@ -285,11 +283,7 @@ mod tests {
     fn budget_wall_clock_stops() {
         let inst = random_instance(30, 4, 26);
         let mut ga = GaScheduler::with_seed(10);
-        let r = ga.run(
-            &inst,
-            &RunBudget::wall(std::time::Duration::from_millis(50)),
-            None,
-        );
+        let r = ga.run(&inst, &RunBudget::wall(std::time::Duration::from_millis(50)), None);
         assert!(r.elapsed >= std::time::Duration::from_millis(50));
         assert!(r.elapsed < std::time::Duration::from_secs(10));
         assert!(r.iterations > 0);

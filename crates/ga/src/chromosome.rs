@@ -24,9 +24,8 @@ impl Chromosome {
     pub fn random<R: Rng + ?Sized>(inst: &HcInstance, rng: &mut R) -> Chromosome {
         let order = TopoOrder::random(inst.graph(), rng).into_vec();
         let l = inst.machine_count();
-        let matching = (0..inst.task_count())
-            .map(|_| MachineId::from_usize(rng.gen_range(0..l)))
-            .collect();
+        let matching =
+            (0..inst.task_count()).map(|_| MachineId::from_usize(rng.gen_range(0..l))).collect();
         Chromosome { order, matching }
     }
 
@@ -208,6 +207,7 @@ mod tests {
     fn mutate_order_respects_range() {
         let inst = instance();
         let mut c = Chromosome::seeded(&inst); // order 0..7
+
         // s4: pred s1@1, succ s6@6 => range [2,5]
         assert!(!c.mutate_order(inst.graph(), TaskId::new(4), 1));
         assert!(c.mutate_order(inst.graph(), TaskId::new(4), 2));

@@ -123,11 +123,8 @@ impl<'a> ListScheduleBuilder<'a> {
     /// # Panics
     /// Panics if `t` is not ready.
     pub fn schedule(&mut self, t: TaskId, m: MachineId) -> f64 {
-        let pos = self
-            .ready
-            .iter()
-            .position(|&x| x == t)
-            .unwrap_or_else(|| panic!("{t} is not ready"));
+        let pos =
+            self.ready.iter().position(|&x| x == t).unwrap_or_else(|| panic!("{t} is not ready"));
         self.ready.swap_remove(pos);
         let finish = self.eft(t, m);
         self.finish[t.index()] = finish;
@@ -178,10 +175,7 @@ mod tests {
             b.add_edge(s, d).unwrap();
         }
         let g = b.build().unwrap();
-        let exec = Matrix::from_rows(&[
-            vec![2.0, 3.0, 4.0, 1.0],
-            vec![4.0, 1.0, 2.0, 3.0],
-        ]);
+        let exec = Matrix::from_rows(&[vec![2.0, 3.0, 4.0, 1.0], vec![4.0, 1.0, 2.0, 3.0]]);
         let transfer = Matrix::from_rows(&[vec![1.0, 1.0, 1.0, 1.0]]);
         let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
         HcInstance::new(g, sys).unwrap()
@@ -216,6 +210,7 @@ mod tests {
         let inst = instance();
         let mut b = ListScheduleBuilder::new(&inst);
         b.schedule(TaskId::new(0), MachineId::new(0)); // finish 2
+
         // s1 on m0: machine free at 2, data co-located => est 2
         assert_eq!(b.est(TaskId::new(1), MachineId::new(0)), 2.0);
         // s1 on m1: machine free at 0, data arrives 2+1=3 => est 3

@@ -142,9 +142,7 @@ impl HeftScheduler {
                 let eft = est + exec;
                 let better = match best {
                     None => true,
-                    Some((bf, _, bm)) => {
-                        eft < bf - 1e-12 || ((eft - bf).abs() <= 1e-12 && m < bm)
-                    }
+                    Some((bf, _, bm)) => eft < bf - 1e-12 || ((eft - bf).abs() <= 1e-12 && m < bm),
                 };
                 if better {
                     best = Some((eft, est, m));
@@ -192,18 +190,9 @@ impl Scheduler for HeftScheduler {
         _trace: Option<&mut Trace>,
     ) -> RunResult {
         let start = Instant::now();
-        let (solution, makespan, evaluations) = if self.insertion {
-            self.run_insertion(inst)
-        } else {
-            self.run_append(inst)
-        };
-        RunResult {
-            solution,
-            makespan,
-            iterations: 1,
-            evaluations,
-            elapsed: start.elapsed(),
-        }
+        let (solution, makespan, evaluations) =
+            if self.insertion { self.run_insertion(inst) } else { self.run_append(inst) };
+        RunResult { solution, makespan, iterations: 1, evaluations, elapsed: start.elapsed() }
     }
 }
 
@@ -240,11 +229,7 @@ impl Scheduler for CpopScheduler {
         let priority: Vec<f64> = (0..k).map(|i| up[i] + down[i]).collect();
         // Critical path: tasks whose priority equals the maximum entry
         // priority (within epsilon).
-        let cp_len = g
-            .entry_tasks()
-            .iter()
-            .map(|t| priority[t.index()])
-            .fold(0.0f64, f64::max);
+        let cp_len = g.entry_tasks().iter().map(|t| priority[t.index()]).fold(0.0f64, f64::max);
         let on_cp: Vec<bool> =
             (0..k).map(|i| (priority[i] - cp_len).abs() < 1e-9 * cp_len.max(1.0)).collect();
         // Pin CP tasks to the machine minimizing their total execution.
@@ -271,9 +256,7 @@ impl Scheduler for CpopScheduler {
                 .ready_tasks()
                 .into_iter()
                 .max_by(|&a, &b| {
-                    priority[a.index()]
-                        .total_cmp(&priority[b.index()])
-                        .then(b.raw().cmp(&a.raw()))
+                    priority[a.index()].total_cmp(&priority[b.index()]).then(b.raw().cmp(&a.raw()))
                 })
                 .expect("ready set non-empty");
             let m = if on_cp[t.index()] {
@@ -412,10 +395,7 @@ mod tests {
         bld.add_edge(0, 2).unwrap(); // src -> short
         bld.add_edge(2, 3).unwrap(); // short -> dependent
         let g = bld.build().unwrap();
-        let exec = Matrix::from_rows(&[
-            vec![1.0, 50.0, 1.0, 1.0],
-            vec![2.0, 60.0, 2.0, 2.0],
-        ]);
+        let exec = Matrix::from_rows(&[vec![1.0, 50.0, 1.0, 1.0], vec![2.0, 60.0, 2.0, 2.0]]);
         let transfer = Matrix::from_rows(&[vec![100.0, 100.0, 100.0]]);
         let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
         let inst = HcInstance::new(g, sys).unwrap();

@@ -149,7 +149,11 @@ impl Scheduler for ListScheduler {
 
 /// The data-arrival component of `est` (so OLB can subtract it and rank
 /// machines purely by availability).
-fn arrivals_only(b: &ListScheduleBuilder<'_>, t: mshc_taskgraph::TaskId, m: mshc_platform::MachineId) -> f64 {
+fn arrivals_only(
+    b: &ListScheduleBuilder<'_>,
+    t: mshc_taskgraph::TaskId,
+    m: mshc_platform::MachineId,
+) -> f64 {
     let inst = b.instance();
     let mut latest = 0.0f64;
     for e in inst.graph().in_edges(t) {
@@ -178,10 +182,8 @@ mod tests {
             b.add_edge(s, d).unwrap();
         }
         let g = b.build().unwrap();
-        let exec = Matrix::from_rows(&[
-            vec![5.0, 9.0, 3.0, 7.0, 2.0],
-            vec![8.0, 4.0, 6.0, 2.0, 9.0],
-        ]);
+        let exec =
+            Matrix::from_rows(&[vec![5.0, 9.0, 3.0, 7.0, 2.0], vec![8.0, 4.0, 6.0, 2.0, 9.0]]);
         let transfer = Matrix::from_rows(&[vec![2.0, 2.0, 2.0, 2.0]]);
         let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
         HcInstance::new(g, sys).unwrap()
@@ -244,8 +246,12 @@ mod tests {
         let inst = HcInstance::new(g, sys).unwrap();
         for policy in ListPolicy::ALL {
             let r = ListScheduler::new(policy).run(&inst, &RunBudget::default(), None);
-            assert!(r.makespan == 3.0 || policy == ListPolicy::Olb && r.makespan == 7.0,
-                "{}: {}", policy.name(), r.makespan);
+            assert!(
+                r.makespan == 3.0 || policy == ListPolicy::Olb && r.makespan == 7.0,
+                "{}: {}",
+                policy.name(),
+                r.makespan
+            );
             let _ = (TaskId::new(0), MachineId::new(0));
         }
     }

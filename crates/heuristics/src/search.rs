@@ -317,8 +317,7 @@ mod tests {
         let graph = layered(&cfg, &mut rng).unwrap();
         let exec = Matrix::from_fn(machines, tasks, |_, _| rng.gen_range(10.0..100.0));
         let pairs = machines * (machines - 1) / 2;
-        let transfer =
-            Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
+        let transfer = Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
         let sys = HcSystem::with_anonymous_machines(machines, exec, transfer).unwrap();
         HcInstance::new(graph, sys).unwrap()
     }
@@ -350,7 +349,8 @@ mod tests {
         // Validity after thousands of accept/undo cycles is the regression
         // this guards.
         let inst = random_instance(15, 3, 33);
-        let mut sa = SimulatedAnnealing::new(SaConfig { seed: 3, cooling: 0.9, ..Default::default() });
+        let mut sa =
+            SimulatedAnnealing::new(SaConfig { seed: 3, cooling: 0.9, ..Default::default() });
         let r = sa.run(&inst, &RunBudget::iterations(3_000), None);
         r.solution.check(inst.graph()).unwrap();
         let mk = Evaluator::new(&inst).makespan(&r.solution);
@@ -377,10 +377,10 @@ mod tests {
         let b = SimulatedAnnealing::new(SaConfig { seed: 7, ..Default::default() })
             .run(&inst, &budget, None);
         assert_eq!(a.solution, b.solution);
-        let c = TabuSearch::new(TabuConfig { seed: 7, ..Default::default() })
-            .run(&inst, &budget, None);
-        let d = TabuSearch::new(TabuConfig { seed: 7, ..Default::default() })
-            .run(&inst, &budget, None);
+        let c =
+            TabuSearch::new(TabuConfig { seed: 7, ..Default::default() }).run(&inst, &budget, None);
+        let d =
+            TabuSearch::new(TabuConfig { seed: 7, ..Default::default() }).run(&inst, &budget, None);
         assert_eq!(c.solution, d.solution);
         let e = RandomSearch::new(7).run(&inst, &budget, None);
         let f = RandomSearch::new(7).run(&inst, &budget, None);

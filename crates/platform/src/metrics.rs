@@ -48,12 +48,9 @@ impl InstanceMetrics {
         let mut cv_sum = 0.0;
         for t in g.tasks() {
             let mean = s.mean_exec_time(t);
-            let var = s
-                .exec_matrix()
-                .col_iter(t.index())
-                .map(|v| (v - mean) * (v - mean))
-                .sum::<f64>()
-                / l as f64;
+            let var =
+                s.exec_matrix().col_iter(t.index()).map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                    / l as f64;
             cv_sum += var.sqrt() / mean;
         }
         let heterogeneity = cv_sum / k as f64;
@@ -110,14 +107,10 @@ mod tests {
 
     #[test]
     fn heterogeneity_grows_with_spread() {
-        let narrow = instance(
-            Matrix::from_rows(&[vec![10.0; 3], vec![12.0; 3]]),
-            Matrix::filled(1, 2, 1.0),
-        );
-        let wide = instance(
-            Matrix::from_rows(&[vec![1.0; 3], vec![100.0; 3]]),
-            Matrix::filled(1, 2, 1.0),
-        );
+        let narrow =
+            instance(Matrix::from_rows(&[vec![10.0; 3], vec![12.0; 3]]), Matrix::filled(1, 2, 1.0));
+        let wide =
+            instance(Matrix::from_rows(&[vec![1.0; 3], vec![100.0; 3]]), Matrix::filled(1, 2, 1.0));
         let hn = InstanceMetrics::compute(&narrow).heterogeneity;
         let hw = InstanceMetrics::compute(&wide).heterogeneity;
         assert!(hw > 5.0 * hn, "wide spread must read as far more heterogeneous");

@@ -53,10 +53,19 @@ impl HcSystem {
             for c in 0..exec.cols() {
                 let v = exec.get(r, c);
                 if !v.is_finite() {
-                    return Err(PlatformError::InvalidCost { matrix: "E", row: r, col: c, value: v });
+                    return Err(PlatformError::InvalidCost {
+                        matrix: "E",
+                        row: r,
+                        col: c,
+                        value: v,
+                    });
                 }
                 if v <= 0.0 {
-                    return Err(PlatformError::NonPositiveExecution { machine: r, task: c, value: v });
+                    return Err(PlatformError::NonPositiveExecution {
+                        machine: r,
+                        task: c,
+                        value: v,
+                    });
                 }
             }
         }
@@ -64,7 +73,12 @@ impl HcSystem {
             for c in 0..transfer.cols() {
                 let v = transfer.get(r, c);
                 if !v.is_finite() || v < 0.0 {
-                    return Err(PlatformError::InvalidCost { matrix: "Tr", row: r, col: c, value: v });
+                    return Err(PlatformError::InvalidCost {
+                        matrix: "Tr",
+                        row: r,
+                        col: c,
+                        value: v,
+                    });
                 }
             }
         }
@@ -79,7 +93,9 @@ impl HcSystem {
         transfer: Matrix,
     ) -> Result<HcSystem, PlatformError> {
         let machines = (0..l)
-            .map(|i| Machine::new(MachineId::from_usize(i), ArchClass::ALL[i % ArchClass::ALL.len()]))
+            .map(|i| {
+                Machine::new(MachineId::from_usize(i), ArchClass::ALL[i % ArchClass::ALL.len()])
+            })
             .collect();
         HcSystem::new(machines, exec, transfer)
     }
@@ -211,10 +227,7 @@ mod tests {
         let s = two_machine_system();
         assert_eq!(s.best_machine(TaskId::new(0)), MachineId::new(0));
         assert_eq!(s.best_machine(TaskId::new(1)), MachineId::new(1));
-        assert_eq!(
-            s.machine_ranking(TaskId::new(2)),
-            vec![MachineId::new(0), MachineId::new(1)]
-        );
+        assert_eq!(s.machine_ranking(TaskId::new(2)), vec![MachineId::new(0), MachineId::new(1)]);
     }
 
     #[test]
@@ -230,10 +243,7 @@ mod tests {
         let transfer = Matrix::filled(0, 3, 0.0);
         let s = HcSystem::with_anonymous_machines(1, exec, transfer).unwrap();
         assert_eq!(s.machine_count(), 1);
-        assert_eq!(
-            s.transfer_time(DataId::new(0), MachineId::new(0), MachineId::new(0)),
-            0.0
-        );
+        assert_eq!(s.transfer_time(DataId::new(0), MachineId::new(0), MachineId::new(0)), 0.0);
         assert_eq!(s.mean_transfer_time(DataId::new(0)), 0.0);
     }
 
@@ -262,7 +272,10 @@ mod tests {
     fn rejects_nonpositive_exec() {
         let exec = Matrix::from_rows(&[vec![1.0, 0.0]]);
         let r = HcSystem::with_anonymous_machines(1, exec, Matrix::filled(0, 0, 0.0));
-        assert!(matches!(r.unwrap_err(), PlatformError::NonPositiveExecution { machine: 0, task: 1, .. }));
+        assert!(matches!(
+            r.unwrap_err(),
+            PlatformError::NonPositiveExecution { machine: 0, task: 1, .. }
+        ));
     }
 
     #[test]

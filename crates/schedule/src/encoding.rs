@@ -82,10 +82,8 @@ impl Solution {
                 expected: graph.task_count(),
             });
         }
-        let segments = order
-            .iter()
-            .map(|&t| Segment { task: t, machine: assignment[t.index()] })
-            .collect();
+        let segments =
+            order.iter().map(|&t| Segment { task: t, machine: assignment[t.index()] }).collect();
         Solution::new(graph, machine_count, segments)
     }
 
@@ -331,7 +329,8 @@ mod tests {
     fn rejects_precedence_violation() {
         let g = figure1();
         // s5 before its predecessor s2
-        let segs = vec![seg(0, 0), seg(1, 0), seg(5, 0), seg(2, 0), seg(3, 0), seg(4, 0), seg(6, 0)];
+        let segs =
+            vec![seg(0, 0), seg(1, 0), seg(5, 0), seg(2, 0), seg(3, 0), seg(4, 0), seg(6, 0)];
         assert!(matches!(
             Solution::new(&g, 2, segs).unwrap_err(),
             ScheduleError::PrecedenceViolation { .. }

@@ -74,21 +74,15 @@ mod tests {
     #[test]
     fn messages() {
         assert!(ScheduleError::NotAPermutation.to_string().contains("exactly once"));
-        let e = ScheduleError::PrecedenceViolation {
-            earlier: TaskId::new(1),
-            later: TaskId::new(4),
-        };
+        let e =
+            ScheduleError::PrecedenceViolation { earlier: TaskId::new(1), later: TaskId::new(4) };
         assert!(e.to_string().contains("s4"));
         assert!(e.to_string().contains("s1"));
         let e = ScheduleError::MachineOutOfRange { machine: 9, machine_count: 2 };
         assert!(e.to_string().contains('9'));
         let e = ScheduleError::LengthMismatch { got: 3, expected: 7 };
         assert!(e.to_string().contains('7'));
-        let e = ScheduleError::OutOfValidRange {
-            task: TaskId::new(2),
-            position: 5,
-            range: (1, 3),
-        };
+        let e = ScheduleError::OutOfValidRange { task: TaskId::new(2), position: 5, range: (1, 3) };
         assert!(e.to_string().contains("[1, 3]"));
     }
 }

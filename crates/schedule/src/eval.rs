@@ -179,8 +179,7 @@ impl<'a> Evaluator<'a> {
             let mut ready = 0.0f64;
             for e in g.in_edges(t) {
                 let src_m = solution.machine_of(e.src);
-                ready = ready
-                    .max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
+                ready = ready.max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
             }
             let start = ready.max(self.machine_avail[m.index()]);
             let finish = start + sys.exec_time(m, t);
@@ -225,8 +224,7 @@ impl<'a> Evaluator<'a> {
                     solution.position_of(e.src) < solution.position_of(t),
                     "linear extension"
                 );
-                ready = ready
-                    .max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
+                ready = ready.max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
             }
             let start = ready.max(self.machine_avail[m.index()]);
             let finish = start + sys.exec_time(m, t);
@@ -361,7 +359,8 @@ mod tests {
         let order: Vec<TaskId> = (0..7).map(TaskId::new).collect();
         let s = Solution::from_order(g, 2, &order, &[MachineId::new(0); 7]).unwrap();
         let mut eval = Evaluator::new(&inst);
-        let total: f64 = (0..7).map(|t| inst.system().exec_time(MachineId::new(0), TaskId::new(t))).sum();
+        let total: f64 =
+            (0..7).map(|t| inst.system().exec_time(MachineId::new(0), TaskId::new(t))).sum();
         assert_eq!(eval.makespan(&s), total);
     }
 

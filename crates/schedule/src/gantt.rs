@@ -59,20 +59,15 @@ impl Gantt {
         if self.makespan == 0.0 {
             return 0.0;
         }
-        let busy: f64 = self
-            .lanes
-            .iter()
-            .flat_map(|lane| lane.iter().map(|s| s.finish - s.start))
-            .sum();
+        let busy: f64 =
+            self.lanes.iter().flat_map(|lane| lane.iter().map(|s| s.finish - s.start)).sum();
         busy / (self.makespan * self.lanes.len() as f64)
     }
 
     /// Verifies non-overlap within every lane (sanity check used in
     /// tests): slots must be sorted and disjoint.
     pub fn lanes_disjoint(&self) -> bool {
-        self.lanes.iter().all(|lane| {
-            lane.windows(2).all(|w| w[0].finish <= w[1].start + 1e-9)
-        })
+        self.lanes.iter().all(|lane| lane.windows(2).all(|w| w[0].finish <= w[1].start + 1e-9))
     }
 
     /// Renders a fixed-width ASCII chart (each lane one row, `width`

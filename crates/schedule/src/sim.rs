@@ -116,9 +116,8 @@ pub fn replay_with(
         queues[seg.machine.index()].push_back(seg.task.raw());
     }
 
-    let mut inputs_missing: Vec<u32> = (0..k)
-        .map(|i| g.in_degree(mshc_taskgraph::TaskId::from_usize(i)) as u32)
-        .collect();
+    let mut inputs_missing: Vec<u32> =
+        (0..k).map(|i| g.in_degree(mshc_taskgraph::TaskId::from_usize(i)) as u32).collect();
     let mut machine_busy = vec![false; l];
     let mut start = vec![f64::NAN; k];
     let mut finish = vec![f64::NAN; k];
@@ -131,38 +130,47 @@ pub fn replay_with(
         seq += 1;
     };
     // Per-pair link availability (only used by NetworkModel::PerPairLink).
-    let mut link_avail =
-        vec![0.0f64; mshc_platform::pair_count(l).max(1)];
+    let mut link_avail = vec![0.0f64; mshc_platform::pair_count(l).max(1)];
 
     // A machine dispatches its queue head when the head's inputs are all
     // present and the machine is idle.
-    let try_dispatch = |mi: usize,
-                        now: f64,
-                        queues: &mut [std::collections::VecDeque<u32>],
-                        machine_busy: &mut [bool],
-                        inputs_missing: &[u32],
-                        start: &mut [f64],
-                        heap: &mut BinaryHeap<Event>,
-                        push: &mut dyn FnMut(&mut BinaryHeap<Event>, f64, EventKind)| {
-        if machine_busy[mi] {
-            return;
-        }
-        if let Some(&head) = queues[mi].front() {
-            if inputs_missing[head as usize] == 0 {
-                queues[mi].pop_front();
-                machine_busy[mi] = true;
-                start[head as usize] = now;
-                let m = mshc_platform::MachineId::from_usize(mi);
-                let t = mshc_taskgraph::TaskId::new(head);
-                let done = now + sys.exec_time(m, t);
-                push(heap, done, EventKind::TaskFinish { task: head, machine: mi as u32 });
+    let try_dispatch =
+        |mi: usize,
+         now: f64,
+         queues: &mut [std::collections::VecDeque<u32>],
+         machine_busy: &mut [bool],
+         inputs_missing: &[u32],
+         start: &mut [f64],
+         heap: &mut BinaryHeap<Event>,
+         push: &mut dyn FnMut(&mut BinaryHeap<Event>, f64, EventKind)| {
+            if machine_busy[mi] {
+                return;
             }
-        }
-    };
+            if let Some(&head) = queues[mi].front() {
+                if inputs_missing[head as usize] == 0 {
+                    queues[mi].pop_front();
+                    machine_busy[mi] = true;
+                    start[head as usize] = now;
+                    let m = mshc_platform::MachineId::from_usize(mi);
+                    let t = mshc_taskgraph::TaskId::new(head);
+                    let done = now + sys.exec_time(m, t);
+                    push(heap, done, EventKind::TaskFinish { task: head, machine: mi as u32 });
+                }
+            }
+        };
 
     // Kick off time zero on every machine.
     for mi in 0..l {
-        try_dispatch(mi, 0.0, &mut queues, &mut machine_busy, &inputs_missing, &mut start, &mut heap, &mut push);
+        try_dispatch(
+            mi,
+            0.0,
+            &mut queues,
+            &mut machine_busy,
+            &inputs_missing,
+            &mut start,
+            &mut heap,
+            &mut push,
+        );
     }
 
     while let Some(Event { time, kind, .. }) = heap.pop() {
@@ -193,7 +201,16 @@ pub fn replay_with(
                     push(&mut heap, arrive, EventKind::DataArrival { edge: e.id.raw() });
                 }
                 // The machine may now dispatch its next head.
-                try_dispatch(machine as usize, time, &mut queues, &mut machine_busy, &inputs_missing, &mut start, &mut heap, &mut push);
+                try_dispatch(
+                    machine as usize,
+                    time,
+                    &mut queues,
+                    &mut machine_busy,
+                    &inputs_missing,
+                    &mut start,
+                    &mut heap,
+                    &mut push,
+                );
             }
             EventKind::DataArrival { edge } => {
                 let e = g.edge(mshc_taskgraph::DataId::new(edge));
@@ -201,7 +218,16 @@ pub fn replay_with(
                 if inputs_missing[e.dst.index()] == 0 {
                     // Its machine may have been blocked on this head.
                     let mi = solution.machine_of(e.dst).index();
-                    try_dispatch(mi, time, &mut queues, &mut machine_busy, &inputs_missing, &mut start, &mut heap, &mut push);
+                    try_dispatch(
+                        mi,
+                        time,
+                        &mut queues,
+                        &mut machine_busy,
+                        &inputs_missing,
+                        &mut start,
+                        &mut heap,
+                        &mut push,
+                    );
                 }
             }
         }
@@ -299,10 +325,7 @@ mod tests {
         )
         .unwrap();
         let inst = HcInstance::new(g, sys).unwrap();
-        let s = Solution::new_unchecked(
-            2,
-            vec![seg(3, 0), seg(0, 0), seg(1, 1), seg(2, 1)],
-        );
+        let s = Solution::new_unchecked(2, vec![seg(3, 0), seg(0, 0), seg(1, 1), seg(2, 1)]);
         // m0 queue: d, a — d waits on c. m1 queue: b, c — b waits on a.
         let err = replay(&inst, &s).unwrap_err();
         assert_eq!(err, SimError::Deadlock { stuck_tasks: 4 });
@@ -364,12 +387,8 @@ mod tests {
         let transfer = Matrix::from_rows(&[vec![10.0, 10.0]]);
         let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
         let inst = HcInstance::new(g, sys).unwrap();
-        let s = Solution::new(
-            inst.graph(),
-            2,
-            vec![seg(0, 0), seg(1, 0), seg(2, 1), seg(3, 1)],
-        )
-        .unwrap();
+        let s = Solution::new(inst.graph(), 2, vec![seg(0, 0), seg(1, 0), seg(2, 1), seg(3, 1)])
+            .unwrap();
         let free = replay_with(&inst, &s, NetworkModel::ContentionFree).unwrap();
         // free: s0 [0,1], s1 [1,2]; d0 arrives 11, d1 arrives 12;
         // s2 [11,12], s3 [12,13].

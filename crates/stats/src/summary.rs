@@ -34,19 +34,9 @@ impl Summary {
         };
         let mut sorted = samples.to_vec();
         sorted.sort_by(f64::total_cmp);
-        let median = if n % 2 == 1 {
-            sorted[n / 2]
-        } else {
-            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-        };
-        Summary {
-            n,
-            mean,
-            std: var.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
-            median,
-        }
+        let median =
+            if n % 2 == 1 { sorted[n / 2] } else { (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0 };
+        Summary { n, mean, std: var.sqrt(), min: sorted[0], max: sorted[n - 1], median }
     }
 
     /// Half-width of the ~95% confidence interval on the mean

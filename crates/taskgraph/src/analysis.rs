@@ -115,11 +115,8 @@ impl CriticalPath {
                 }
             }
         }
-        let (end, &length) = dist
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .expect("graph is non-empty");
+        let (end, &length) =
+            dist.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).expect("graph is non-empty");
         let mut tasks = vec![TaskId::from_usize(end)];
         while let Some(p) = parent[tasks.last().unwrap().index()] {
             tasks.push(p);

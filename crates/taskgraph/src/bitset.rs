@@ -16,10 +16,7 @@ impl BitSet {
     /// Creates an empty set able to hold values in `0..capacity`.
     pub fn new(capacity: usize) -> Self {
         let words = capacity.div_ceil(64);
-        BitSet {
-            bits: vec![0u64; words].into_boxed_slice(),
-            capacity,
-        }
+        BitSet { bits: vec![0u64; words].into_boxed_slice(), capacity }
     }
 
     /// Number of values the set can hold (`0..capacity`).

@@ -25,13 +25,7 @@ pub fn to_dot(graph: &TaskGraph, mut label: impl FnMut(TaskId) -> Option<String>
         }
     }
     for e in graph.edges() {
-        let _ = writeln!(
-            out,
-            "  t{} -> t{} [label=\"{}\"];",
-            e.src.raw(),
-            e.dst.raw(),
-            e.id
-        );
+        let _ = writeln!(out, "  t{} -> t{} [label=\"{}\"];", e.src.raw(), e.dst.raw(), e.id);
     }
     out.push_str("}\n");
     out

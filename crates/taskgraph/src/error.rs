@@ -33,10 +33,9 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::TaskOutOfRange { task, task_count } => write!(
-                f,
-                "task index {task} out of range (graph has {task_count} tasks)"
-            ),
+            GraphError::TaskOutOfRange { task, task_count } => {
+                write!(f, "task index {task} out of range (graph has {task_count} tasks)")
+            }
             GraphError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
             GraphError::DuplicateEdge(a, b) => {
                 write!(f, "duplicate edge {a} -> {b}; merge data items instead")
@@ -61,10 +60,7 @@ mod tests {
             GraphError::TaskOutOfRange { task: 9, task_count: 3 }.to_string(),
             "task index 9 out of range (graph has 3 tasks)"
         );
-        assert_eq!(
-            GraphError::SelfLoop(TaskId::new(2)).to_string(),
-            "self-loop on task s2"
-        );
+        assert_eq!(GraphError::SelfLoop(TaskId::new(2)).to_string(), "self-loop on task s2");
         assert_eq!(
             GraphError::DuplicateEdge(TaskId::new(0), TaskId::new(1)).to_string(),
             "duplicate edge s0 -> s1; merge data items instead"

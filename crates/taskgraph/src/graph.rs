@@ -141,9 +141,7 @@ impl TaskGraph {
             }
             position[t.index()] = pos as u32;
         }
-        self.edges
-            .iter()
-            .all(|e| position[e.src.index()] < position[e.dst.index()])
+        self.edges.iter().all(|e| position[e.src.index()] < position[e.dst.index()])
     }
 
     /// Returns the data edge from `src` to `dst`, if one exists.
@@ -268,10 +266,7 @@ impl TaskGraphBuilder {
         let mut indeg: Vec<u32> = (0..graph.task_count())
             .map(|i| graph.in_degree(TaskId::from_usize(i)) as u32)
             .collect();
-        let mut queue: Vec<TaskId> = graph
-            .tasks()
-            .filter(|&t| indeg[t.index()] == 0)
-            .collect();
+        let mut queue: Vec<TaskId> = graph.tasks().filter(|&t| indeg[t.index()] == 0).collect();
         let mut visited = 0usize;
         while let Some(t) = queue.pop() {
             visited += 1;
@@ -354,14 +349,8 @@ mod tests {
     #[test]
     fn builder_rejects_bad_edges() {
         let mut b = TaskGraphBuilder::new(3);
-        assert_eq!(
-            b.add_edge(0, 3),
-            Err(GraphError::TaskOutOfRange { task: 3, task_count: 3 })
-        );
-        assert_eq!(
-            b.add_edge(7, 0),
-            Err(GraphError::TaskOutOfRange { task: 7, task_count: 3 })
-        );
+        assert_eq!(b.add_edge(0, 3), Err(GraphError::TaskOutOfRange { task: 3, task_count: 3 }));
+        assert_eq!(b.add_edge(7, 0), Err(GraphError::TaskOutOfRange { task: 7, task_count: 3 }));
         assert_eq!(b.add_edge(1, 1), Err(GraphError::SelfLoop(TaskId::new(1))));
         b.add_edge(0, 1).unwrap();
         assert_eq!(

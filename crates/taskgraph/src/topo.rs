@@ -31,16 +31,13 @@ impl TopoOrder {
     /// platforms.
     pub fn kahn(graph: &TaskGraph) -> TopoOrder {
         let k = graph.task_count();
-        let mut indeg: Vec<u32> = (0..k)
-            .map(|i| graph.in_degree(TaskId::from_usize(i)) as u32)
-            .collect();
+        let mut indeg: Vec<u32> =
+            (0..k).map(|i| graph.in_degree(TaskId::from_usize(i)) as u32).collect();
         // Min-heap via sorted insertion into a Vec kept reverse-sorted;
         // for scheduling-sized graphs (k <= a few thousand) a BinaryHeap of
         // Reverse<u32> is clearer.
-        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> = (0..k as u32)
-            .filter(|&i| indeg[i as usize] == 0)
-            .map(std::cmp::Reverse)
-            .collect();
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<u32>> =
+            (0..k as u32).filter(|&i| indeg[i as usize] == 0).map(std::cmp::Reverse).collect();
         let mut order = Vec::with_capacity(k);
         while let Some(std::cmp::Reverse(i)) = heap.pop() {
             let t = TaskId::new(i);
@@ -63,9 +60,8 @@ impl TopoOrder {
     /// initializers need.)
     pub fn random<R: Rng + ?Sized>(graph: &TaskGraph, rng: &mut R) -> TopoOrder {
         let k = graph.task_count();
-        let mut indeg: Vec<u32> = (0..k)
-            .map(|i| graph.in_degree(TaskId::from_usize(i)) as u32)
-            .collect();
+        let mut indeg: Vec<u32> =
+            (0..k).map(|i| graph.in_degree(TaskId::from_usize(i)) as u32).collect();
         let mut ready: Vec<TaskId> = graph.tasks().filter(|&t| indeg[t.index()] == 0).collect();
         let mut order = Vec::with_capacity(k);
         while !ready.is_empty() {

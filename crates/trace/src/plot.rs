@@ -55,7 +55,11 @@ impl AsciiPlot {
         let _ = writeln!(
             out,
             "{:>12} +{}+\n{:>12}  x: {:.2} .. {:.2}",
-            "", "-".repeat(self.width), "", x0, x1
+            "",
+            "-".repeat(self.width),
+            "",
+            x0,
+            x1
         );
         for (si, s) in series.iter().enumerate() {
             let _ = writeln!(out, "  {} = {}", GLYPHS[si % GLYPHS.len()] as char, s.name());

@@ -125,17 +125,8 @@ mod tests {
         t.push(rec(1, 8.0, 8.0, None));
         t.push(rec(2, 9.0, 8.0, Some(2)));
         assert_eq!(t.selected_series().points(), &[(0.0, 5.0), (2.0, 2.0)]);
-        assert_eq!(
-            t.current_cost_series().points(),
-            &[(0.0, 10.0), (1.0, 8.0), (2.0, 9.0)]
-        );
-        assert_eq!(
-            t.best_vs_time_series().points(),
-            &[(0.0, 10.0), (0.5, 8.0), (1.0, 8.0)]
-        );
-        assert_eq!(
-            t.best_vs_evals_series().points(),
-            &[(0.0, 10.0), (10.0, 8.0), (20.0, 8.0)]
-        );
+        assert_eq!(t.current_cost_series().points(), &[(0.0, 10.0), (1.0, 8.0), (2.0, 9.0)]);
+        assert_eq!(t.best_vs_time_series().points(), &[(0.0, 10.0), (0.5, 8.0), (1.0, 8.0)]);
+        assert_eq!(t.best_vs_evals_series().points(), &[(0.0, 10.0), (10.0, 8.0), (20.0, 8.0)]);
     }
 }

@@ -83,8 +83,8 @@ pub fn figure1() -> HcInstance {
         vec![600.0, 500.0, 400.0, 900.0, 435.0, 450.0, 350.0],
     ]);
     let transfer = Matrix::from_rows(&[vec![120.0, 80.0, 200.0, 60.0, 90.0, 150.0]]);
-    let sys = HcSystem::with_anonymous_machines(2, exec, transfer)
-        .expect("figure-1 matrices are valid");
+    let sys =
+        HcSystem::with_anonymous_machines(2, exec, transfer).expect("figure-1 matrices are valid");
     HcInstance::new(graph, sys).expect("figure-1 dimensions agree")
 }
 

@@ -169,9 +169,8 @@ impl WorkloadSpec {
         // --- execution times (range-based heterogeneity) ---
         let hi = self.heterogeneity.factor_range();
         let base: Vec<f64> = (0..self.tasks).map(|_| rng.gen_range(50.0..150.0)).collect();
-        let exec = Matrix::from_fn(self.machines, self.tasks, |_, t| {
-            base[t] * rng.gen_range(1.0..=hi)
-        });
+        let exec =
+            Matrix::from_fn(self.machines, self.tasks, |_, t| base[t] * rng.gen_range(1.0..=hi));
 
         // --- transfer times targeting the CCR ---
         // mean_exec(t) = base[t] * E[u] = base[t] * (1 + hi) / 2.
@@ -229,9 +228,8 @@ mod tests {
     #[test]
     fn heterogeneity_orders_measured_cv() {
         let base = WorkloadSpec::large(4);
-        let measure = |h| {
-            InstanceMetrics::compute(&base.with_heterogeneity(h).generate()).heterogeneity
-        };
+        let measure =
+            |h| InstanceMetrics::compute(&base.with_heterogeneity(h).generate()).heterogeneity;
         let (lo, mid, hi) = (
             measure(Heterogeneity::Low),
             measure(Heterogeneity::Medium),
@@ -278,10 +276,7 @@ mod tests {
 
     #[test]
     fn tag_is_filename_safe() {
-        let tag = WorkloadSpec::large(42)
-            .with_connectivity(Connectivity::High)
-            .with_ccr(0.1)
-            .tag();
+        let tag = WorkloadSpec::large(42).with_connectivity(Connectivity::High).with_ccr(0.1).tag();
         assert_eq!(tag, "k100_l20_chigh_hmedium_ccr0.1_s42");
         assert!(!tag.contains(' ') && !tag.contains('/'));
     }

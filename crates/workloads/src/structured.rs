@@ -43,7 +43,13 @@ pub fn with_platform(
 }
 
 /// FFT butterfly application on `2^m` points.
-pub fn fft(m: u32, machines: usize, heterogeneity: Heterogeneity, ccr: f64, seed: u64) -> HcInstance {
+pub fn fft(
+    m: u32,
+    machines: usize,
+    heterogeneity: Heterogeneity,
+    ccr: f64,
+    seed: u64,
+) -> HcInstance {
     with_platform(gen::fft_butterfly(m).expect("m >= 1"), machines, heterogeneity, ccr, seed)
 }
 
@@ -67,7 +73,13 @@ pub fn stencil(
     ccr: f64,
     seed: u64,
 ) -> HcInstance {
-    with_platform(gen::diamond(rows, cols).expect("grid >= 1x1"), machines, heterogeneity, ccr, seed)
+    with_platform(
+        gen::diamond(rows, cols).expect("grid >= 1x1"),
+        machines,
+        heterogeneity,
+        ccr,
+        seed,
+    )
 }
 
 /// Fork–join pipeline: `branches` parallel chains of `stage_len` stages.

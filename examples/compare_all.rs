@@ -57,9 +57,7 @@ fn main() {
             r.elapsed.as_secs_f64()
         );
     }
-    let (best, r) = rows
-        .iter()
-        .min_by(|a, b| a.1.makespan.total_cmp(&b.1.makespan))
-        .expect("non-empty");
+    let (best, r) =
+        rows.iter().min_by(|a, b| a.1.makespan.total_cmp(&b.1.makespan)).expect("non-empty");
     println!("\nwinner: {best} at {:.0}", r.makespan);
 }

@@ -30,15 +30,11 @@ fn main() {
     );
     for &ccr in &[0.1, 0.5, 1.0, 1.5] {
         let inst = structured::fork_join(4, 5, 6, Heterogeneity::Medium, ccr, 7);
-        let mut se = SeScheduler::new(SeConfig {
-            seed: 7,
-            selection_bias: -0.1,
-            ..SeConfig::default()
-        });
+        let mut se =
+            SeScheduler::new(SeConfig { seed: 7, selection_bias: -0.1, ..SeConfig::default() });
         let se_r = se.run(&inst, &RunBudget::iterations(150), None);
         let heft = HeftScheduler::new().run(&inst, &RunBudget::default(), None);
-        let minmin =
-            ListScheduler::new(ListPolicy::MinMin).run(&inst, &RunBudget::default(), None);
+        let minmin = ListScheduler::new(ListPolicy::MinMin).run(&inst, &RunBudget::default(), None);
         println!(
             "{:>6.1} {:>12.0} {:>12.0} {:>12.0} {:>18}",
             ccr,

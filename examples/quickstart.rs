@@ -45,8 +45,7 @@ fn main() {
         ..SeConfig::default()
     };
     let mut trace = Trace::new();
-    let result =
-        SeScheduler::new(cfg).run(&inst, &RunBudget::iterations(100), Some(&mut trace));
+    let result = SeScheduler::new(cfg).run(&inst, &RunBudget::iterations(100), Some(&mut trace));
     println!("SE best string:  {}", result.solution.display_string());
     println!("SE schedule length: {:.0} after {} iterations", result.makespan, result.iterations);
 

@@ -39,33 +39,20 @@ fn main() {
     // graph is wide (16 entry tasks) and highly heterogeneous, so the
     // thorough end of the paper's bias range pays off here.
     let budget = RunBudget::evaluations(1_000_000);
-    let mut se = SeScheduler::new(SeConfig {
-        seed: 42,
-        selection_bias: -0.3,
-        ..SeConfig::default()
-    });
+    let mut se =
+        SeScheduler::new(SeConfig { seed: 42, selection_bias: -0.3, ..SeConfig::default() });
     let se_result = se.run(&inst, &budget, None);
     let mut ga = GaScheduler::new(GaConfig { seed: 42, ..GaConfig::default() });
     let ga_result = ga.run(&inst, &budget, None);
     println!("\niterative (1M evaluations each):");
-    println!(
-        "  se      {:>10.0}   ({} iterations)",
-        se_result.makespan, se_result.iterations
-    );
-    println!(
-        "  ga      {:>10.0}   ({} generations)",
-        ga_result.makespan, ga_result.iterations
-    );
+    println!("  se      {:>10.0}   ({} iterations)", se_result.makespan, se_result.iterations);
+    println!("  ga      {:>10.0}   ({} generations)", ga_result.makespan, ga_result.iterations);
 
     // Where did SE put the butterfly ranks? Count tasks per machine.
     println!("\nSE task placement:");
     for m in inst.system().machine_ids() {
         let lane = se_result.solution.machine_order(m);
-        println!(
-            "  {:<22} {:>3} tasks",
-            inst.system().machines()[m.index()].name,
-            lane.len()
-        );
+        println!("  {:<22} {:>3} tasks", inst.system().machines()[m.index()].name, lane.len());
     }
 
     let best = se_result.makespan.min(ga_result.makespan).min(heft.makespan);

@@ -13,11 +13,7 @@ fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
     (
         2usize..30,
         1usize..6,
-        prop_oneof![
-            Just(Connectivity::Low),
-            Just(Connectivity::Medium),
-            Just(Connectivity::High)
-        ],
+        prop_oneof![Just(Connectivity::Low), Just(Connectivity::Medium), Just(Connectivity::High)],
         prop_oneof![
             Just(Heterogeneity::Low),
             Just(Heterogeneity::Medium),

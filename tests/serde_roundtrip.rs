@@ -64,9 +64,7 @@ fn malformed_instance_json_is_rejected() {
 
 #[test]
 fn workload_spec_roundtrips() {
-    let spec = WorkloadSpec::large(9)
-        .with_heterogeneity(Heterogeneity::High)
-        .with_ccr(0.1);
+    let spec = WorkloadSpec::large(9).with_heterogeneity(Heterogeneity::High).with_ccr(0.1);
     let json = serde_json::to_string(&spec).unwrap();
     let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
     assert_eq!(spec, back);

@@ -1,0 +1,518 @@
+//! Hermetic stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! this workspace uses, backed by the vendored ChaCha8 RNG. Cases are
+//! sampled deterministically (a fixed seed mixed with the case index), so
+//! failures reproduce exactly across runs and machines; there is **no
+//! shrinking** — a failing case reports its case index and message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-runner configuration (`ProptestConfig`).
+pub mod test_runner {
+    /// How many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to sample per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Failure raised by `prop_assert*` inside a property body.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failed property with a message.
+        pub fn fail(msg: impl std::fmt::Display) -> TestCaseError {
+            TestCaseError(msg.to_string())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// The RNG handed to strategies while sampling a case.
+#[derive(Clone, Debug)]
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// Deterministic per-case RNG: fixed base seed mixed with the case
+    /// index and a per-property salt (the test function name hash).
+    pub fn for_case(salt: u64, case: u64) -> TestRng {
+        TestRng(ChaCha8Rng::seed_from_u64(
+            0x9e37_79b9_7f4a_7c15_u64
+                ^ salt.rotate_left(17)
+                ^ case.wrapping_mul(0xff51_afd7_ed55_8ccd),
+        ))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// FNV-1a hash of a string, for per-property RNG salts.
+pub fn salt_of(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325_u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A generator of values of an output type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform sampled values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A uniform union over the given alternatives.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one alternative");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7),
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Sample a full-domain value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::RngCore::$via(rng) as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int! {
+    u8 => next_u32, u16 => next_u32, u32 => next_u32, u64 => next_u64,
+    usize => next_u64, i8 => next_u32, i16 => next_u32, i32 => next_u32,
+    i64 => next_u64, isize => next_u64,
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, broadly scaled values; the suite never needs NaN/inf.
+        let mantissa: f64 = rng.gen_range(-1.0..1.0);
+        let exp: i32 = rng.gen_range(-30..30);
+        mantissa * (2.0f64).powi(exp)
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($(($($name:ident),+)),* $(,)?) => {$(
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_tuple! {
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+}
+
+/// Strategy over the full domain of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `any::<T>()` entry point.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// A vector of `element` samples whose length is drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Boolean strategies (`prop::bool`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A fair coin.
+    #[derive(Clone, Copy, Debug)]
+    pub struct BoolStrategy;
+
+    /// Uniform `bool` strategy (`prop::bool::ANY`).
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Formatting helper: pretty panic message for a failing case.
+pub fn fail_case(test: &str, case: u64, msg: &fmt::Arguments<'_>) -> ! {
+    panic!("proptest case failure in `{test}` (case #{case}): {msg}")
+}
+
+/// Assert a condition inside a property, failing the case (not
+/// panicking) so the runner can report the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `prop_assert!` for equality, with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), a, b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)*), a, b
+        );
+    }};
+}
+
+/// `prop_assert!` for inequality, with `{:?}` diagnostics.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($a), stringify!($b), a
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: `{} != {}` ({})\n  both: {:?}",
+            stringify!($a), stringify!($b), format!($($fmt)*), a
+        );
+    }};
+}
+
+/// Uniform choice among alternative strategies for the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` sampled executions.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr;) => {};
+    (
+        config = $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let salt = $crate::salt_of(concat!(module_path!(), "::", stringify!($name)));
+            $(let $arg = &$strategy;)+
+            for case in 0..config.cases as u64 {
+                let mut rng = $crate::TestRng::for_case(salt, case);
+                $(let $arg = $crate::Strategy::sample($arg, &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    $crate::fail_case(stringify!($name), case, &format_args!("{}", e));
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, Strategy,
+    };
+
+    /// Module alias so `prop::collection::vec` etc. resolve after a glob
+    /// import, like the real proptest prelude.
+    pub use crate as prop;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_sample_deterministically() {
+        let strat = (1usize..10, prop_oneof![Just(1u8), Just(2u8)]).prop_map(|(a, b)| (a, b));
+        let mut r1 = crate::TestRng::for_case(1, 7);
+        let mut r2 = crate::TestRng::for_case(1, 7);
+        assert_eq!(strat.sample(&mut r1), strat.sample(&mut r2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..17, y in 0.0f64..1.0, z in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert_eq!(z, z);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<u32>(), 2..9), b in prop::bool::ANY) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            let coin = b;
+            prop_assert!(usize::from(coin) <= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failure")]
+    #[allow(unnameable_test_items)]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[test]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

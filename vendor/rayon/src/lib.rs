@@ -1,0 +1,154 @@
+//! Hermetic stand-in for `rayon`.
+//!
+//! The offline build vendors the subset of rayon's API the suite uses
+//! (`par_iter`, `map_init`, `join`) with **sequential** execution. Every
+//! "parallel" iterator here is an ordinary [`Iterator`], so downstream
+//! combinators (`enumerate`, `map`, `min_by`, `collect`, ...) come from
+//! the standard library. Replacing this crate with the real rayon is a
+//! manifest-only change — call sites compile unmodified either way.
+//!
+//! **Caveat while this shim is in use:** determinism tests that compare
+//! a `parallel_*` code path against its serial twin (e.g.
+//! `mshc-core`'s `parallel_allocation_matches_serial`) are vacuous —
+//! both paths execute sequentially here, so they cannot catch
+//! order-dependent reductions. Re-check those tests when swapping the
+//! real rayon back in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Run two closures and return both results (sequentially, `a` first).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Borrowing conversion into a "parallel" iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type produced.
+    type Item: 'a;
+
+    /// Iterate the collection "in parallel" (sequentially here).
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
+        self.iter()
+    }
+}
+
+/// Owning conversion into a "parallel" iterator (`.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// The iterator type produced.
+    type Iter: Iterator<Item = Self::Item>;
+    /// The item type produced.
+    type Item;
+
+    /// Consume the collection into a "parallel" iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {
+    type Iter = I::IntoIter;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> I::IntoIter {
+        self.into_iter()
+    }
+}
+
+/// rayon-only iterator adaptors, grafted onto every [`Iterator`].
+pub trait ParallelIterator: Iterator + Sized {
+    /// Map with per-"thread" scratch state. Sequential execution means a
+    /// single `init()` call whose value is threaded through every item.
+    fn map_init<St, Init, F, R>(self, init: Init, f: F) -> MapInit<Self, St, F>
+    where
+        Init: FnOnce() -> St,
+        F: FnMut(&mut St, Self::Item) -> R,
+    {
+        MapInit { iter: self, state: init(), f }
+    }
+
+    /// rayon's `with_min_len` splitting hint: a no-op here.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// Iterator returned by [`ParallelIterator::map_init`].
+pub struct MapInit<I, St, F> {
+    iter: I,
+    state: St,
+    f: F,
+}
+
+impl<I, St, F, R> Iterator for MapInit<I, St, F>
+where
+    I: Iterator,
+    F: FnMut(&mut St, I::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        let item = self.iter.next()?;
+        Some((self.f)(&mut self.state, item))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.iter.size_hint()
+    }
+}
+
+/// The glob-import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_map_init_matches_sequential() {
+        let xs = vec![1u32, 2, 3, 4];
+        let out: Vec<u64> = xs
+            .par_iter()
+            .enumerate()
+            .map_init(
+                || 10u64,
+                |acc, (i, &x)| {
+                    *acc += 1;
+                    *acc + i as u64 + x as u64
+                },
+            )
+            .collect();
+        assert_eq!(out, vec![12, 15, 18, 21]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+}

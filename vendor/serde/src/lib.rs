@@ -1,0 +1,430 @@
+//! Hermetic stand-in for `serde`.
+//!
+//! The offline build vendors a simplified serialization framework with
+//! the same *spelling* as serde — `#[derive(Serialize, Deserialize)]`,
+//! `#[serde(transparent)]`, `use serde::{Serialize, Deserialize}` — but a
+//! much smaller data model: values serialize into an in-memory [`Value`]
+//! tree and deserialize back out of one. The companion `serde_json`
+//! crate renders that tree to and from JSON text.
+//!
+//! The API intentionally mirrors how this workspace *uses* serde, not
+//! serde's full visitor architecture; swapping the real serde back in is
+//! a manifest-only change for downstream crates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+// Let the `::serde::...` paths emitted by the derive macros resolve when
+// the derives are exercised inside this crate's own tests.
+#[cfg(test)]
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing tree every value (de)serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / Rust `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (struct fields, map entries).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Look up a field in a map value.
+    pub fn get_field(&self, name: &str) -> Option<&Value> {
+        self.as_map()?.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// A short name for error messages ("map", "seq", "number", ...).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::U64(_) | Value::I64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "seq",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// A free-form error.
+    pub fn custom(msg: impl fmt::Display) -> Error {
+        Error(msg.to_string())
+    }
+
+    /// "expected X while deserializing Y, found Z".
+    pub fn expected(what: &str, target: &str, found: &Value) -> Error {
+        Error(format!("expected {what} for {target}, found {}", found.kind()))
+    }
+
+    /// A struct field is absent from the map.
+    pub fn missing_field(target: &str, field: &str) -> Error {
+        Error(format!("missing field `{field}` while deserializing {target}"))
+    }
+
+    /// An enum string names no known variant.
+    pub fn unknown_variant(target: &str, variant: &str) -> Error {
+        Error(format!("unknown variant `{variant}` for {target}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`] tree.
+pub trait Serialize {
+    /// Serialize `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserialize an instance from the data model.
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+// ---- primitive impls -------------------------------------------------------
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| Error::custom(format!(
+                            "integer {n} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::expected("unsigned integer", stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                if *self >= 0 { Value::U64(*self as u64) } else { Value::I64(*self as i64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::U64(n) => <$t>::try_from(n)
+                        .map_err(|_| Error::custom(format!(
+                            "integer {n} out of range for {}", stringify!($t)))),
+                    Value::I64(n) => <$t>::try_from(n)
+                        .map_err(|_| Error::custom(format!(
+                            "integer {n} out of range for {}", stringify!($t)))),
+                    _ => Err(Error::expected("integer", stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<$t, Error> {
+                match *v {
+                    Value::F64(x) => Ok(x as $t),
+                    Value::U64(n) => Ok(n as $t),
+                    Value::I64(n) => Ok(n as $t),
+                    _ => Err(Error::expected("number", stringify!($t), v)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<bool, Error> {
+        match *v {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::expected("bool", "bool", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<String, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Option<T>, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Vec<T>, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::expected("seq", "Vec", v)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(v: &Value) -> Result<Box<T>, Error> {
+        T::deserialize(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<[T]> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<[T]> {
+    fn deserialize(v: &Value) -> Result<Box<[T]>, Error> {
+        Vec::<T>::deserialize(v).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<[T; N], Error> {
+        let items = v.as_seq().ok_or_else(|| Error::expected("seq", "array", v))?;
+        if items.len() != N {
+            return Err(Error::custom(format!("expected {N} elements, found {}", items.len())));
+        }
+        let vec: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        Ok(vec.try_into().expect("length checked above"))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+)),* $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let items = v.as_seq().ok_or_else(|| Error::expected("seq", "tuple", v))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if items.len() != expected {
+                    return Err(Error::custom(format!(
+                        "expected a {expected}-tuple, found {} elements", items.len())));
+                }
+                Ok(($($name::deserialize(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+}
+
+impl<K, V> Serialize for BTreeMap<K, V>
+where
+    K: fmt::Display,
+    V: Serialize,
+{
+    fn serialize(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.serialize())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let entries = v.as_map().ok_or_else(|| Error::expected("map", "BTreeMap", v))?;
+        entries.iter().map(|(k, v)| Ok((k.clone(), V::deserialize(v)?))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Serialize, Deserialize)]
+    struct Derived {
+        name: String,
+        #[allow(dead_code)]
+        hook: fn(u32) -> u32,
+        count: usize,
+    }
+
+    impl Serialize for fn(u32) -> u32 {
+        fn serialize(&self) -> Value {
+            Value::Null
+        }
+    }
+
+    impl Deserialize for fn(u32) -> u32 {
+        fn deserialize(_: &Value) -> Result<Self, Error> {
+            Ok(std::convert::identity)
+        }
+    }
+
+    #[rustfmt::skip]
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct TrailingTuple(u32, u32,);
+
+    #[test]
+    fn derive_handles_fn_pointer_fields_and_trailing_commas() {
+        // `->` in the field type must not swallow the following field.
+        let d = Derived { name: "x".into(), hook: std::convert::identity, count: 7 };
+        let v = d.serialize();
+        assert_eq!(v.get_field("count"), Some(&Value::U64(7)));
+        assert_eq!(Derived::deserialize(&v).unwrap().count, 7);
+        // A trailing comma must not inflate the tuple arity.
+        let t = TrailingTuple(1, 2);
+        assert_eq!(TrailingTuple::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&17u32.serialize()).unwrap(), 17);
+        assert_eq!(i64::deserialize(&(-4i64).serialize()).unwrap(), -4);
+        assert_eq!(f64::deserialize(&3.25f64.serialize()).unwrap(), 3.25);
+        assert_eq!(Option::<u8>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Vec::<u8>::deserialize(&vec![1u8, 2].serialize()).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn type_errors_are_rejected() {
+        assert!(u32::deserialize(&Value::Str("x".into())).is_err());
+        assert!(u8::deserialize(&Value::U64(300)).is_err());
+        assert!(Vec::<u8>::deserialize(&Value::Bool(true)).is_err());
+    }
+}

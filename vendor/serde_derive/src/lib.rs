@@ -1,0 +1,418 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! `syn`/`quote` are unavailable in this offline workspace, so the item
+//! is parsed directly from the raw [`TokenStream`]. The parser covers
+//! exactly the shapes this workspace derives on: non-generic structs
+//! with named fields, tuple structs, and enums whose variants are all
+//! unit variants, plus the `#[serde(transparent)]` container attribute.
+//! Anything else fails the build with a clear compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derive `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Struct with named fields.
+    Named { fields: Vec<String>, transparent: bool },
+    /// Tuple struct with `n` unnamed fields.
+    Tuple { arity: usize },
+    /// Enum whose variants are all unit variants.
+    UnitEnum { variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => render(&name, &shape, which).parse().expect("generated impl parses"),
+        Err(msg) => {
+            let msg = msg.replace('"', "\\\"");
+            format!("::std::compile_error!(\"serde shim derive: {msg}\");")
+                .parse()
+                .expect("compile_error parses")
+        }
+    }
+}
+
+/// Parse the derive input into (type name, shape).
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Container attributes and visibility precede the struct/enum keyword.
+    let keyword = loop {
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if parse_serde_attr(&g.stream())? {
+                        transparent = true;
+                    }
+                } else {
+                    return Err("malformed attribute".into());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Consume an optional `(crate)`-style restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let kw = id.to_string();
+                if kw == "struct" || kw == "enum" {
+                    break kw;
+                }
+                return Err(format!("unsupported item kind `{kw}`"));
+            }
+            Some(_) => continue,
+            None => return Err("ran out of tokens before struct/enum keyword".into()),
+        }
+    };
+
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("expected type name".into()),
+    };
+
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            Err(format!("generic type `{name}` is not supported by the shim derive"))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if keyword == "struct" {
+                let fields = parse_named_fields(g.stream())?;
+                if transparent && fields.len() != 1 {
+                    return Err(format!(
+                        "#[serde(transparent)] on `{name}` requires exactly one field"
+                    ));
+                }
+                Ok((name, Shape::Named { fields, transparent }))
+            } else {
+                let variants = parse_unit_variants(g.stream())?;
+                Ok((name, Shape::UnitEnum { variants }))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            if keyword == "enum" {
+                return Err("malformed enum body".into());
+            }
+            let arity = count_tuple_fields(g.stream())?;
+            if arity == 0 {
+                return Err(format!("empty tuple struct `{name}` is not supported"));
+            }
+            Ok((name, Shape::Tuple { arity }))
+        }
+        _ => Err(format!("unsupported body for `{name}` (unit structs are not supported)")),
+    }
+}
+
+/// Inspect one attribute's content. Returns `Ok(true)` for
+/// `serde(transparent)`, `Ok(false)` for non-serde attributes (doc
+/// comments, `derive`, ...), and an error for any *other* `serde(...)`
+/// attribute — the shim supports none of them, and silently ignoring
+/// e.g. `rename`/`default` would change the wire format relative to
+/// real serde.
+fn parse_serde_attr(content: &TokenStream) -> Result<bool, String> {
+    let mut iter = content.clone().into_iter();
+    match (iter.next(), iter.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            let args: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
+            if args.len() == 1 && args[0] == "transparent" {
+                Ok(true)
+            } else {
+                Err(format!(
+                    "unsupported attribute #[serde({})]: the shim derive only knows \
+                     #[serde(transparent)]",
+                    args.join("")
+                ))
+            }
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip per-field attributes and visibility. Field-level
+        // #[serde(...)] attributes are all unsupported — reject rather
+        // than silently changing the wire format.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.next() {
+                        if parse_serde_attr(&g.stream())? {
+                            return Err("#[serde(transparent)] is a container attribute, \
+                                        not a field attribute"
+                                .into());
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            Some(other) => return Err(format!("expected field name, found `{other}`")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err("expected `:` after field name".into()),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        // `->` (in fn-pointer types) must not count as a closing angle.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '-' => {
+                    iter.next();
+                    if matches!(iter.peek(), Some(TokenTree::Punct(q)) if q.as_char() == '>') {
+                        iter.next();
+                    }
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(_) => {
+                    iter.next();
+                }
+                None => break,
+            }
+        }
+    }
+    if fields.is_empty() {
+        return Err("struct with no fields is not supported".into());
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct body. Trailing commas do not
+/// count, and `->` in fn-pointer types does not close an angle bracket.
+fn count_tuple_fields(body: TokenStream) -> Result<usize, String> {
+    let mut commas = 0usize;
+    let mut angle_depth = 0i32;
+    let mut tokens_since_comma = false;
+    let mut prev_was_minus = false;
+    for tok in body {
+        let mut is_minus = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '-' => is_minus = true,
+                '<' => angle_depth += 1,
+                '>' if !prev_was_minus => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    tokens_since_comma = false;
+                    prev_was_minus = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        tokens_since_comma = true;
+        prev_was_minus = is_minus;
+    }
+    Ok(commas + usize::from(tokens_since_comma))
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes (doc comments, #[default], ...), but
+        // reject unsupported #[serde(...)] ones.
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    if parse_serde_attr(&g.stream())? {
+                        return Err("#[serde(transparent)] is a container attribute, \
+                                    not a variant attribute"
+                            .into());
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            Some(other) => return Err(format!("expected variant name, found `{other}`")),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Group(_)) => {
+                return Err("enum variants with data are not supported by the shim derive".into())
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("explicit discriminants are not supported by the shim derive".into())
+            }
+            None => break,
+            Some(other) => return Err(format!("unexpected token `{other}` after variant")),
+        }
+    }
+    if variants.is_empty() {
+        return Err("enum with no variants is not supported".into());
+    }
+    Ok(variants)
+}
+
+/// Render the impl block for one trait.
+fn render(name: &str, shape: &Shape, which: Which) -> String {
+    match which {
+        Which::Serialize => render_serialize(name, shape),
+        Which::Deserialize => render_deserialize(name, shape),
+    }
+}
+
+fn render_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named { fields, transparent: true } => {
+            format!("::serde::Serialize::serialize(&self.{})", fields[0])
+        }
+        Shape::Named { fields, transparent: false } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple { arity: 1 } => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple { arity } => {
+            let items: Vec<String> =
+                (0..*arity).map(|i| format!("::serde::Serialize::serialize(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitEnum { variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            format!("match *self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn render_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Named { fields, transparent: true } => {
+            let f = &fields[0];
+            format!("Ok({name} {{ {f}: ::serde::Deserialize::deserialize(v)? }})")
+        }
+        Shape::Named { fields, transparent: false } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                             v.get_field(\"{f}\").ok_or_else(|| \
+                                 ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "if v.as_map().is_none() {{\n\
+                     return Err(::serde::Error::expected(\"map\", \"{name}\", v));\n\
+                 }}\n\
+                 Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple { arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+        }
+        Shape::Tuple { arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| \
+                     ::serde::Error::expected(\"seq\", \"{name}\", v))?;\n\
+                 if items.len() != {arity} {{\n\
+                     return Err(::serde::Error::custom(::std::format!(\n\
+                         \"expected {arity} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitEnum { variants } => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("\"{v}\" => Ok({name}::{v})")).collect();
+            format!(
+                "match v.as_str() {{\n\
+                     Some(s) => match s {{\n\
+                         {},\n\
+                         other => Err(::serde::Error::unknown_variant(\"{name}\", other)),\n\
+                     }},\n\
+                     None => Err(::serde::Error::expected(\"string\", \"{name}\", v)),\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &::serde::Value) -> ::std::result::Result<{name}, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
