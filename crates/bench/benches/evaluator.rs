@@ -1,12 +1,18 @@
-//! Substrate microbenchmark: makespan evaluation throughput.
+//! Substrate microbenchmark: schedule-evaluation throughput.
 //!
 //! Every figure's cost is dominated by schedule evaluations (the SE
 //! allocation step performs |positions| × Y of them per selected task),
 //! so this bench tracks the O(k + p) evaluator across instance sizes,
-//! plus the cost of the DES replay cross-check.
+//! the cost of the DES replay cross-check, and — the headline for the
+//! parallel refactor — batch candidate evaluation throughput: scalar
+//! loop vs [`BatchEvaluator`] at 1 thread and at full parallelism.
+//! `BENCH_eval.json` (the `bench_eval` binary) archives the same
+//! comparison per commit.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mshc_schedule::{random_solution, replay, Evaluator};
+use mshc_schedule::{
+    random_solution, replay, BatchEvaluator, EvalSnapshot, Evaluator, ObjectiveKind,
+};
 use mshc_workloads::WorkloadSpec;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,6 +31,46 @@ fn bench_evaluator(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("des_replay", tasks), &tasks, |b, _| {
             b.iter(|| black_box(replay(&inst, black_box(&sol)).unwrap().makespan))
+        });
+    }
+    group.finish();
+}
+
+/// Batch candidate evaluation, SE allocation-scan shape: the widest
+/// single-task "base with task t moved" fan-out (several hundred
+/// candidates) on the 100-task / 20-machine comparison scale. The
+/// acceptance bar for the parallel refactor: `batch/threads-N`
+/// (N ≥ 4 cores) ≥ 2x `scalar`.
+fn bench_batch_candidates(c: &mut Criterion) {
+    let spec = WorkloadSpec { tasks: 100, machines: 20, ..WorkloadSpec::large(2001) };
+    let inst = spec.generate();
+    let g = inst.graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let base = random_solution(&inst, &mut rng);
+    // Same grid as the `bench_eval` binary, so criterion numbers and the
+    // CI-archived BENCH_eval.json stay comparable.
+    let (t, moves) = mshc_bench::probes::widest_move_grid(&inst, &base);
+    let obj = ObjectiveKind::Makespan;
+    let snapshot = EvalSnapshot::new(&inst);
+
+    let mut group = c.benchmark_group("batch_candidates");
+    group.bench_function(BenchmarkId::new("scalar", moves.len()), |b| {
+        let mut eval = Evaluator::with_snapshot(&snapshot);
+        let mut scratch = base.clone();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &(pos, m) in &moves {
+                scratch.move_task(g, t, pos, m).expect("in-range");
+                acc += eval.objective_value(black_box(&scratch), &obj);
+            }
+            black_box(acc)
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        let mut batch = BatchEvaluator::new(&snapshot);
+        group.bench_function(BenchmarkId::new(format!("threads-{threads}"), moves.len()), |b| {
+            pool.install(|| b.iter(|| black_box(batch.score_moves(g, &base, t, &moves, &obj))))
         });
     }
     group.finish();
@@ -49,6 +95,6 @@ fn bench_solution_moves(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_evaluator, bench_solution_moves
+    targets = bench_evaluator, bench_batch_candidates, bench_solution_moves
 }
 criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! `bench_eval` — batch-evaluation throughput probe and `BENCH_eval.json`
+//! emitter.
+//!
+//! Measures candidate-evaluation throughput three ways on one paper-scale
+//! workload (SE allocation-scan shape: "base with task `t` moved"):
+//!
+//! 1. **scalar** — one [`Evaluator`], full pass per candidate (the
+//!    historic sequential baseline);
+//! 2. **batch ×1** — [`BatchEvaluator`] pinned to a single worker thread
+//!    (isolates batch-machinery overhead);
+//! 3. **batch ×N** — [`BatchEvaluator`] on the requested pool (default:
+//!    available parallelism, or `--threads N`).
+//!
+//! Writes the numbers as JSON (default `BENCH_eval.json`, `--out FILE`)
+//! so CI can archive the perf trajectory per commit. `--quick` shrinks
+//! the measurement for smoke runs.
+//!
+//! ```text
+//! cargo run --release -p mshc-bench --bin bench_eval -- --threads 8
+//! ```
+
+use mshc_schedule::{BatchEvaluator, EvalSnapshot, Evaluator, ObjectiveKind, Solution};
+use mshc_workloads::WorkloadSpec;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The JSON payload CI archives.
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    tasks: usize,
+    machines: usize,
+    candidates: usize,
+    rounds: usize,
+    threads: usize,
+    scalar_evals_per_sec: f64,
+    batch_1thread_evals_per_sec: f64,
+    batch_evals_per_sec: f64,
+    /// batch ×N over scalar — the headline number (≥ 2x expected with
+    /// ≥ 4 real cores).
+    speedup_vs_scalar: f64,
+    /// batch ×N over batch ×1 — pure thread scaling.
+    thread_scaling: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = "BENCH_eval.json".to_string();
+    let mut threads = 0usize;
+    let mut rounds = 60usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                out_path = args.get(i + 1).cloned().expect("--out needs a path");
+                i += 2;
+            }
+            "--threads" => {
+                threads =
+                    args.get(i + 1).and_then(|v| v.parse().ok()).expect("--threads needs a number");
+                i += 2;
+            }
+            "--quick" => {
+                rounds = 6;
+                i += 1;
+            }
+            other => panic!("unknown argument {other:?} (try --out, --threads, --quick)"),
+        }
+    }
+    let threads = if threads > 0 {
+        threads
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    };
+
+    // Paper-comparison scale: 100 tasks, 20 machines; the candidate grid
+    // is the widest single-task (position × machine) fan-out on the
+    // instance — the same shape the criterion `batch_candidates` group
+    // measures (both come from `probes::widest_move_grid`).
+    let spec = WorkloadSpec { tasks: 100, machines: 20, ..WorkloadSpec::large(2001) };
+    let inst = spec.generate();
+    let g = inst.graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let base = mshc_schedule::random_solution(&inst, &mut rng);
+    let (t, moves) = mshc_bench::probes::widest_move_grid(&inst, &base);
+    let obj = ObjectiveKind::Makespan;
+    let snapshot = EvalSnapshot::new(&inst);
+
+    // Scalar baseline: move + full pass per candidate, one thread, no
+    // batch machinery.
+    let scalar_eps = {
+        let mut eval = Evaluator::with_snapshot(&snapshot);
+        let mut scratch: Solution = base.clone();
+        let start = Instant::now();
+        let mut evals = 0u64;
+        for _ in 0..rounds {
+            for &(pos, m) in &moves {
+                scratch.move_task(g, t, pos, m).expect("in-range");
+                black_box(eval.objective_value(&scratch, &obj));
+                evals += 1;
+            }
+        }
+        evals as f64 / start.elapsed().as_secs_f64()
+    };
+
+    let batch_eps = |n: usize| {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(n).build().expect("pool");
+        pool.install(|| {
+            let mut batch = BatchEvaluator::new(&snapshot);
+            // Warm the arenas once so steady-state throughput is measured.
+            black_box(batch.score_moves(g, &base, t, &moves, &obj));
+            let start = Instant::now();
+            for _ in 0..rounds {
+                black_box(batch.score_moves(g, &base, t, &moves, &obj));
+            }
+            (rounds * moves.len()) as f64 / start.elapsed().as_secs_f64()
+        })
+    };
+    let batch1_eps = batch_eps(1);
+    let batchn_eps = batch_eps(threads);
+
+    let report = BenchReport {
+        tasks: inst.task_count(),
+        machines: inst.machine_count(),
+        candidates: moves.len(),
+        rounds,
+        threads,
+        scalar_evals_per_sec: scalar_eps,
+        batch_1thread_evals_per_sec: batch1_eps,
+        batch_evals_per_sec: batchn_eps,
+        speedup_vs_scalar: batchn_eps / scalar_eps,
+        thread_scaling: batchn_eps / batch1_eps,
+    };
+    let json = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write BENCH_eval.json");
+    println!("{json}");
+    println!(
+        "scalar {:.0}/s | batch x1 {:.0}/s | batch x{} {:.0}/s | speedup {:.2}x",
+        scalar_eps, batch1_eps, threads, batchn_eps, report.speedup_vs_scalar
+    );
+    println!("wrote {out_path}");
+}

@@ -21,4 +21,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod probes;
 pub mod report;

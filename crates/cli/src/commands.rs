@@ -8,7 +8,7 @@ use mshc_heuristics::{
     SimulatedAnnealing, TabuConfig, TabuSearch,
 };
 use mshc_platform::{HcInstance, InstanceMetrics};
-use mshc_schedule::{Evaluator, Gantt, RunBudget, Scheduler};
+use mshc_schedule::{Evaluator, Gantt, ObjectiveKind, RunBudget, Scheduler};
 use mshc_trace::Trace;
 use mshc_workloads::{Connectivity, Heterogeneity, WorkloadSpec};
 use std::time::Duration;
@@ -24,11 +24,18 @@ commands:
   run        run one scheduler on a workload
              --algo se|ga|heft|heft-ins|cpop|met|mct|olb|min-min|max-min|random|sa|tabu
              [--instance FILE | workload options] [--iters N] [--wall SECS]
-             [--seed N] [--bias B] [--y Y] [--gantt] [--trace FILE]
+             [--seed N] [--bias B] [--y Y] [--gantt] [--report] [--trace FILE]
   compare    run every scheduler on one workload and print a table
              [--instance FILE | workload options] [--iters N] [--wall SECS]
   info       print instance metrics
              --instance FILE | workload options
+
+global options:
+  --objective makespan|total-flowtime|mean-flowtime|load-balance|weighted:MK,FT,LB
+             objective iterative schedulers minimize (default: makespan)
+  --threads N
+             evaluation worker threads (default: available parallelism,
+             or the RAYON_NUM_THREADS environment variable)
 ";
 
 /// Entry point: dispatches `argv` to a subcommand.
@@ -38,6 +45,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         return Ok(());
     }
     let parsed = parse(argv);
+    let threads: usize = parsed.get_parse("threads", 0)?;
+    if threads > 0 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .map_err(|e| format!("--threads: {e}"))?;
+    }
     match parsed.positional.first().map(String::as_str) {
         Some("help") => {
             print!("{USAGE}");
@@ -97,6 +111,10 @@ fn budget(p: &Parsed) -> Result<RunBudget, String> {
     }
     if !b.is_bounded() {
         b.max_iterations = Some(200); // sensible default for iterative algos
+    }
+    if let Some(raw) = p.get("objective") {
+        b.objective = ObjectiveKind::parse(raw)
+            .ok_or_else(|| format!("--objective: unknown objective {raw:?}"))?;
     }
     Ok(b)
 }
@@ -191,9 +209,23 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
         result.evaluations,
         result.elapsed.as_secs_f64()
     );
+    if !budget.objective.is_makespan() {
+        println!("objective {}: {:.2}", budget.objective.label(), result.objective_value);
+    }
+    // One shared evaluation pass serves both --report and --gantt.
+    let full_report = (p.flag("report") || p.flag("gantt"))
+        .then(|| Evaluator::new(&inst).report(&result.solution));
+    if p.flag("report") {
+        let o = full_report.as_ref().expect("computed above").objectives();
+        println!(
+            "objectives: makespan {:.2} | total-flowtime {:.2} | mean-flowtime {:.2} | \
+             load-imbalance {:.2}",
+            o.makespan, o.total_flowtime, o.mean_flowtime, o.load_imbalance
+        );
+    }
     if p.flag("gantt") {
-        let report = Evaluator::new(&inst).report(&result.solution);
-        let gantt = Gantt::build(&result.solution, &report);
+        let report = full_report.as_ref().expect("computed above");
+        let gantt = Gantt::build(&result.solution, report);
         print!("{}", gantt.render_ascii(&inst, 72));
         println!("utilization: {:.1}%", 100.0 * gantt.utilization());
     }
@@ -220,22 +252,28 @@ fn cmd_compare(p: &Parsed) -> Result<(), String> {
         inst.data_count()
     );
     println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>9}",
-        "algorithm", "makespan", "iterations", "evals", "secs"
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "algorithm",
+        "makespan",
+        budget.objective.label(),
+        "iterations",
+        "evals",
+        "secs"
     );
     let mut rows: Vec<(String, f64)> = Vec::new();
     for name in names {
         let mut s = make_scheduler(p, name)?;
         let r = s.run(&inst, &budget, None);
         println!(
-            "{:<10} {:>12.2} {:>12} {:>12} {:>9.3}",
+            "{:<10} {:>12.2} {:>12.2} {:>12} {:>12} {:>9.3}",
             name,
             r.makespan,
+            r.objective_value,
             r.iterations,
             r.evaluations,
             r.elapsed.as_secs_f64()
         );
-        rows.push((name.to_string(), r.makespan));
+        rows.push((name.to_string(), r.objective_value));
     }
     let best = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
     println!("best: {} ({:.2})", best.0, best.1);
@@ -331,6 +369,60 @@ mod tests {
     fn unknown_algo_errors() {
         let e = dispatch(&argv(&["run", "--algo", "quantum"])).unwrap_err();
         assert!(e.contains("quantum"));
+    }
+
+    #[test]
+    fn objective_flag_parses_and_runs() {
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "sa",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "40",
+            "--objective",
+            "total-flowtime",
+            "--report",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "se",
+            "--tasks",
+            "10",
+            "--machines",
+            "3",
+            "--iters",
+            "5",
+            "--objective",
+            "weighted:1,0.5,0.5",
+        ]))
+        .unwrap();
+        let e = dispatch(&argv(&["run", "--algo", "se", "--objective", "fastest"])).unwrap_err();
+        assert!(e.contains("objective"));
+    }
+
+    #[test]
+    fn threads_flag_sizes_the_pool() {
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "heft",
+            "--tasks",
+            "10",
+            "--machines",
+            "3",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(rayon::current_num_threads(), 2);
+        let e = dispatch(&argv(&["info", "--threads", "abc"])).unwrap_err();
+        assert!(e.contains("--threads"));
     }
 
     #[test]

@@ -3,12 +3,14 @@
 use crate::config::{AllocationStrategy, SeConfig};
 use crate::goodness::{goodness, optimal_costs};
 use mshc_platform::{HcInstance, MachineId};
-use mshc_schedule::{Evaluator, RunBudget, RunResult, Scheduler, Solution};
+use mshc_schedule::{
+    BatchEvaluator, EvalSnapshot, Evaluator, Objective, ObjectiveKind, RunBudget, RunResult,
+    Scheduler, Solution,
+};
 use mshc_taskgraph::{Levels, TaskId};
 use mshc_trace::{Trace, TraceRecord};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
 use std::time::Instant;
 
 /// The simulated-evolution scheduler.
@@ -54,6 +56,7 @@ impl Scheduler for SeScheduler {
         let start = Instant::now();
         let g = inst.graph();
         let cfg = self.config;
+        let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
         // ---- one-time precomputation (§4.3: O_i never changes) ----
@@ -69,13 +72,20 @@ impl Scheduler for SeScheduler {
             })
             .collect();
 
+        // One flattened snapshot shared by the scalar evaluator and the
+        // batch workers for the whole run.
+        let snapshot = EvalSnapshot::new(inst);
+        let mut eval = Evaluator::with_snapshot(&snapshot);
+        let mut batch = BatchEvaluator::new(&snapshot);
+        let mut moves = Vec::new();
+
         // ---- initial solution (§4.2) ----
-        let mut eval = Evaluator::new(inst);
         let perturb = cfg.init_perturbations.unwrap_or(2 * inst.task_count());
         let mut current = mshc_schedule::init::random_solution_with(inst, perturb, &mut rng);
         let mut report = eval.report(&current);
+        let mut score = objective.value(&report.view());
         let mut best = current.clone();
-        let mut best_makespan = report.makespan;
+        let mut best_score = score;
 
         let mut iterations = 0u64;
         let mut stall = 0u64;
@@ -84,6 +94,10 @@ impl Scheduler for SeScheduler {
 
         while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
             // ---- evaluation + selection (§4.4) ----
+            // Goodness stays the paper's finish-time ratio for every
+            // objective: it measures how well an individual task sits,
+            // which is what drives selection pressure; the objective
+            // decides which *whole schedules* win.
             selected.clear();
             for t in g.tasks() {
                 let gi = goodness(optimal[t.index()], report.finish_of(t));
@@ -103,12 +117,23 @@ impl Scheduler for SeScheduler {
 
             // ---- allocation (§4.5) ----
             for &t in &selected {
-                allocate(&mut current, inst, &mut eval, t, &allowed[t.index()], &cfg);
+                allocate(
+                    &mut current,
+                    inst,
+                    &mut eval,
+                    &mut batch,
+                    &mut moves,
+                    t,
+                    &allowed[t.index()],
+                    &cfg,
+                    objective,
+                );
             }
 
             report = eval.report(&current);
-            if report.makespan < best_makespan {
-                best_makespan = report.makespan;
+            score = objective.value(&report.view());
+            if score < best_score {
+                best_score = score;
                 best = current.clone();
                 stall = 0;
             } else {
@@ -121,17 +146,25 @@ impl Scheduler for SeScheduler {
                     iteration: iterations - 1,
                     elapsed_secs: start.elapsed().as_secs_f64(),
                     evaluations: eval.evaluations(),
-                    current_cost: report.makespan,
-                    best_cost: best_makespan,
+                    current_cost: score,
+                    best_cost: best_score,
                     selected: Some(selected_count),
                     population_mean: None,
                 });
             }
         }
 
+        let makespan = if objective.is_makespan() {
+            best_score
+        } else {
+            // Reporting pass, deliberately uncounted: `evaluations` is
+            // the search-cost axis of the figures.
+            Evaluator::with_snapshot(&snapshot).makespan(&best)
+        };
         RunResult {
             solution: best,
-            makespan: best_makespan,
+            makespan,
+            objective_value: best_score,
             iterations,
             evaluations: eval.evaluations(),
             elapsed: start.elapsed(),
@@ -152,13 +185,32 @@ impl Scheduler for SeScheduler {
 /// never lose the incumbent.) The sole exception is a task with no
 /// alternative placement (valid range of one position and a single
 /// allowed machine), which stays put.
+///
+/// Three evaluation routes, all committing the same argmin (ties break
+/// to the earliest candidate in `(position, machine)` grid order, so the
+/// routes are bit-identical for the makespan objective):
+///
+/// * `parallel_allocation` (best-fit only) — the whole grid is scored in
+///   one [`BatchEvaluator::score_moves`] call across worker threads;
+/// * `incremental_eval` + makespan — the serial suffix-checkpoint scan
+///   (the fast path cannot serve other objectives: it only tracks the
+///   running finish-time maximum);
+/// * otherwise — serial full objective passes.
+///
+/// [`AllocationStrategy::FirstImprovement`] is inherently sequential
+/// (the commit depends on scan order cutting the scan short), so it
+/// always takes the serial route even when `parallel_allocation` is set.
+#[allow(clippy::too_many_arguments)]
 fn allocate(
     sol: &mut Solution,
     inst: &HcInstance,
     eval: &mut Evaluator<'_>,
+    batch: &mut BatchEvaluator<'_>,
+    moves: &mut Vec<(usize, MachineId)>,
     t: TaskId,
     machines: &[MachineId],
     cfg: &SeConfig,
+    objective: ObjectiveKind,
 ) {
     let g = inst.graph();
     let (lo, hi) = sol.valid_range(g, t);
@@ -169,13 +221,28 @@ fn allocate(
         return; // nowhere else to go
     }
 
-    if cfg.parallel_allocation {
-        allocate_parallel(sol, inst, eval, t, machines, lo, hi, orig_pos, orig_m);
+    if cfg.parallel_allocation && cfg.allocation == AllocationStrategy::BestFit {
+        moves.clear();
+        moves.extend(
+            (lo..=hi)
+                .flat_map(|pos| machines.iter().map(move |&m| (pos, m)))
+                .filter(|&(pos, m)| pos != orig_pos || m != orig_m),
+        );
+        let scores = batch.score_moves(g, sol, t, moves, &objective);
+        eval.bump_evaluations(scores.len() as u64);
+        let (idx, _cost) = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .expect("non-empty candidate grid");
+        let (pos, m) = moves[idx];
+        sol.move_task(g, t, pos, m).expect("committing the best candidate");
         return;
     }
 
-    let current_cost = eval.makespan(sol);
-    if cfg.incremental_eval {
+    let use_suffix = cfg.incremental_eval && objective.is_makespan();
+    let current_cost = eval.objective_value(sol, &objective);
+    if use_suffix {
         // Every candidate state is "base with t moved", so its segments
         // agree with the primed base on positions 0..min(orig_pos, pos).
         eval.prime(sol);
@@ -189,10 +256,10 @@ fn allocate(
                 continue; // relocation is mandatory
             }
             sol.move_task(g, t, pos, m).expect("candidate within valid range");
-            let mk = if cfg.incremental_eval {
+            let mk = if use_suffix {
                 eval.makespan_suffix(sol, orig_pos.min(pos))
             } else {
-                eval.makespan(sol)
+                eval.objective_value(sol, &objective)
             };
             if mk < best_cost {
                 best_cost = mk;
@@ -205,46 +272,6 @@ fn allocate(
         }
     }
     sol.move_task(g, t, best_pos, best_m).expect("committing the best candidate");
-}
-
-/// Rayon fan-out over the candidate grid. Each worker clones the base
-/// solution once (`map_init`) and re-moves `t` per candidate — moving the
-/// same task repeatedly is safe because its valid range is independent of
-/// its own position. The argmin tie-breaks on candidate index, so the
-/// result is bit-identical to the serial scan.
-#[allow(clippy::too_many_arguments)]
-fn allocate_parallel(
-    sol: &mut Solution,
-    inst: &HcInstance,
-    eval: &mut Evaluator<'_>,
-    t: TaskId,
-    machines: &[MachineId],
-    lo: usize,
-    hi: usize,
-    orig_pos: usize,
-    orig_m: MachineId,
-) {
-    let g = inst.graph();
-    let candidates: Vec<(usize, MachineId)> = (lo..=hi)
-        .flat_map(|pos| machines.iter().map(move |&m| (pos, m)))
-        .filter(|&(pos, m)| pos != orig_pos || m != orig_m)
-        .collect();
-    let base = sol.clone();
-    let (idx, _cost) = candidates
-        .par_iter()
-        .enumerate()
-        .map_init(
-            || (base.clone(), Evaluator::new(inst)),
-            |(scratch, ev), (i, &(pos, m))| {
-                scratch.move_task(g, t, pos, m).expect("candidate within valid range");
-                (i, ev.makespan(scratch))
-            },
-        )
-        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
-        .expect("non-empty candidate grid");
-    eval.bump_evaluations(candidates.len() as u64);
-    let (pos, m) = candidates[idx];
-    sol.move_task(g, t, pos, m).expect("committing the best candidate");
 }
 
 #[cfg(test)]
@@ -313,21 +340,113 @@ mod tests {
     }
 
     #[test]
-    fn parallel_allocation_matches_serial() {
+    fn parallel_allocation_matches_serial_at_every_thread_count() {
+        // The determinism guard: the batch path must commit bit-identical
+        // decisions to the serial scan with 1, 2 and N worker threads.
         let inst = random_instance(18, 4, 6);
         let serial = SeScheduler::new(SeConfig { seed: 21, ..Default::default() }).run(
             &inst,
             &RunBudget::iterations(15),
             None,
         );
-        let parallel = SeScheduler::new(SeConfig {
-            seed: 21,
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let parallel = pool.install(|| {
+                SeScheduler::new(SeConfig {
+                    seed: 21,
+                    parallel_allocation: true,
+                    ..Default::default()
+                })
+                .run(&inst, &RunBudget::iterations(15), None)
+            });
+            assert_eq!(
+                serial.solution, parallel.solution,
+                "deterministic argmin must agree ({threads} threads)"
+            );
+            assert_eq!(serial.makespan, parallel.makespan, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn first_improvement_ignores_parallel_allocation_flag() {
+        // FirstImprovement is order-dependent, so the batch route must
+        // not serve it: with both flags set, runs match the serial
+        // first-improvement scan exactly.
+        let inst = random_instance(16, 3, 41);
+        let budget = RunBudget::iterations(12);
+        let serial = SeScheduler::new(SeConfig {
+            seed: 8,
+            allocation: AllocationStrategy::FirstImprovement,
+            ..Default::default()
+        })
+        .run(&inst, &budget, None);
+        let flagged = SeScheduler::new(SeConfig {
+            seed: 8,
+            allocation: AllocationStrategy::FirstImprovement,
             parallel_allocation: true,
             ..Default::default()
         })
-        .run(&inst, &RunBudget::iterations(15), None);
-        assert_eq!(serial.solution, parallel.solution, "deterministic argmin must agree");
-        assert_eq!(serial.makespan, parallel.makespan);
+        .run(&inst, &budget, None);
+        assert_eq!(serial.solution, flagged.solution);
+        assert_eq!(serial.evaluations, flagged.evaluations);
+    }
+
+    #[test]
+    fn objective_generic_se_optimizes_each_objective() {
+        use mshc_schedule::{objective_from_report, replay};
+        let inst = random_instance(24, 4, 16);
+        for kind in [
+            ObjectiveKind::TotalFlowtime,
+            ObjectiveKind::MeanFlowtime,
+            ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.5, balance: 0.5 },
+        ] {
+            let budget = RunBudget::iterations(30).with_objective(kind);
+            let r = SeScheduler::with_seed(9).run(&inst, &budget, None);
+            r.solution.check(inst.graph()).unwrap();
+            // Reported objective value matches the DES replay oracle.
+            let sim = replay(&inst, &r.solution).unwrap();
+            let oracle = objective_from_report(&kind, &sim);
+            assert!(
+                (r.objective_value - oracle).abs() < 1e-9,
+                "{}: {} vs oracle {oracle}",
+                kind.label(),
+                r.objective_value
+            );
+            // Makespan is still reported truthfully alongside.
+            assert!((r.makespan - sim.makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn flowtime_objective_changes_the_search_target() {
+        // On a seeded instance, optimizing total flowtime must reach a
+        // flowtime at least as good as what the makespan run stumbles
+        // into, and the makespan run must win on makespan — i.e. the
+        // objective genuinely steers the search.
+        let inst = random_instance(30, 4, 17);
+        let mk_run = SeScheduler::with_seed(3).run(&inst, &RunBudget::iterations(80), None);
+        let ft_budget = RunBudget::iterations(80).with_objective(ObjectiveKind::TotalFlowtime);
+        let ft_run = SeScheduler::with_seed(3).run(&inst, &ft_budget, None);
+        let mut eval = Evaluator::new(&inst);
+        let mk_run_ft = eval.objective_value(&mk_run.solution, &ObjectiveKind::TotalFlowtime);
+        assert!(
+            ft_run.objective_value <= mk_run_ft + 1e-9,
+            "flowtime run ({}) must beat/match the makespan run's flowtime ({mk_run_ft})",
+            ft_run.objective_value
+        );
+        assert!(
+            mk_run.makespan <= ft_run.makespan + 1e-9,
+            "makespan run ({}) must beat/match the flowtime run's makespan ({})",
+            mk_run.makespan,
+            ft_run.makespan
+        );
+    }
+
+    #[test]
+    fn makespan_objective_value_equals_makespan() {
+        let inst = random_instance(15, 3, 19);
+        let r = SeScheduler::with_seed(2).run(&inst, &RunBudget::iterations(20), None);
+        assert_eq!(r.makespan, r.objective_value);
     }
 
     #[test]

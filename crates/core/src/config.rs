@@ -21,7 +21,7 @@ pub enum AllocationStrategy {
 }
 
 /// Closed-loop adaptation of the selection bias, in the spirit of Kling &
-/// Banerjee's ESP (the paper's reference [9]), where selection pressure
+/// Banerjee's ESP (the paper's reference \[9\]), where selection pressure
 /// is tuned dynamically rather than fixed.
 ///
 /// The paper itself uses a *fixed* `B` (§4.4); this is an extension knob:

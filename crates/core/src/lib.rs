@@ -12,7 +12,7 @@
 //! 1. **Evaluation** — each individual (here: each subtask `s_i`) gets a
 //!    goodness `g_i = O_i / C_i ∈ [0, 1]`, where `C_i` is its finish time
 //!    in the current solution and `O_i` a precomputed estimate of its
-//!    optimal finish time ([`goodness`]).
+//!    optimal finish time ([`goodness()`](goodness::goodness)).
 //! 2. **Selection** — `s_i` joins the selection set when a uniform random
 //!    number exceeds `g_i + B`; the bias `B` trades run time against
 //!    search thoroughness (§4.4). Selected tasks are sorted by ascending

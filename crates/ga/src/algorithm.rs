@@ -4,7 +4,9 @@
 use crate::chromosome::{order_valid_range, Chromosome};
 use crate::config::GaConfig;
 use mshc_platform::{HcInstance, MachineId};
-use mshc_schedule::{Evaluator, RunBudget, RunResult, Scheduler};
+use mshc_schedule::{
+    BatchEvaluator, EvalSnapshot, Evaluator, RunBudget, RunResult, Scheduler, Solution,
+};
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
 use rand::{Rng, SeedableRng};
@@ -71,8 +73,13 @@ impl Scheduler for GaScheduler {
         let g = inst.graph();
         let k = inst.task_count();
         let l = inst.machine_count();
+        let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut eval = Evaluator::new(inst);
+        // Whole-population fitness goes through the batch evaluator: one
+        // call per generation, fanned out over worker threads.
+        let snapshot = EvalSnapshot::new(inst);
+        let mut batch = BatchEvaluator::new(&snapshot);
+        let mut sols: Vec<Solution> = Vec::with_capacity(cfg.population);
 
         // ---- initial population ----
         let mut pop: Vec<Chromosome> =
@@ -80,7 +87,8 @@ impl Scheduler for GaScheduler {
         if cfg.seed_with_heuristic {
             pop[0] = Chromosome::seeded(inst);
         }
-        let mut costs: Vec<f64> = pop.iter().map(|c| eval.makespan(&c.to_solution(inst))).collect();
+        sols.extend(pop.iter().map(|c| c.to_solution(inst)));
+        let mut costs: Vec<f64> = batch.scores(&sols, &objective);
 
         let mut best_idx = argmin(&costs);
         let mut best = pop[best_idx].clone();
@@ -89,7 +97,7 @@ impl Scheduler for GaScheduler {
         let mut generations = 0u64;
         let mut stall = 0u64;
 
-        while !budget.exhausted(generations, eval.evaluations(), start.elapsed(), stall) {
+        while !budget.exhausted(generations, batch.evaluations(), start.elapsed(), stall) {
             // ---- next generation ----
             let mut next = Vec::with_capacity(cfg.population);
             // Elitism: carry the best chromosomes over unchanged.
@@ -125,8 +133,9 @@ impl Scheduler for GaScheduler {
                 next.push(child);
             }
             pop = next;
-            costs.clear();
-            costs.extend(pop.iter().map(|c| eval.makespan(&c.to_solution(inst))));
+            sols.clear();
+            sols.extend(pop.iter().map(|c| c.to_solution(inst)));
+            costs = batch.scores(&sols, &objective);
 
             best_idx = argmin(&costs);
             if costs[best_idx] < best_cost {
@@ -142,7 +151,7 @@ impl Scheduler for GaScheduler {
                 tr.push(TraceRecord {
                     iteration: generations - 1,
                     elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: eval.evaluations(),
+                    evaluations: batch.evaluations(),
                     current_cost: costs[best_idx],
                     best_cost,
                     selected: None,
@@ -152,11 +161,18 @@ impl Scheduler for GaScheduler {
         }
 
         let solution = best.to_solution(inst);
+        let makespan = if objective.is_makespan() {
+            best_cost
+        } else {
+            // Reporting pass, deliberately uncounted.
+            Evaluator::with_snapshot(&snapshot).makespan(&solution)
+        };
         RunResult {
             solution,
-            makespan: best_cost,
+            makespan,
+            objective_value: best_cost,
             iterations: generations,
-            evaluations: eval.evaluations(),
+            evaluations: batch.evaluations(),
             elapsed: start.elapsed(),
         }
     }
@@ -245,6 +261,45 @@ mod tests {
         let b = GaScheduler::with_seed(7).run(&inst, &RunBudget::iterations(20), None);
         assert_eq!(a.solution, b.solution);
         assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.makespan, a.objective_value, "default objective is makespan");
+    }
+
+    #[test]
+    fn ga_is_bit_identical_across_thread_counts() {
+        // Batch population fitness must not perturb a single GA decision,
+        // whatever the worker-thread count.
+        let inst = random_instance(20, 3, 28);
+        let budget = RunBudget::iterations(15);
+        let baseline = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| GaScheduler::with_seed(5).run(&inst, &budget, None));
+        for threads in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let r = pool.install(|| GaScheduler::with_seed(5).run(&inst, &budget, None));
+            assert_eq!(r.solution, baseline.solution, "{threads} threads");
+            assert_eq!(r.makespan, baseline.makespan, "{threads} threads");
+            assert_eq!(r.evaluations, baseline.evaluations, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn ga_optimizes_alternate_objectives() {
+        use mshc_schedule::{objective_from_report, replay, ObjectiveKind};
+        let inst = random_instance(22, 4, 29);
+        for kind in [ObjectiveKind::TotalFlowtime, ObjectiveKind::MeanFlowtime] {
+            let budget = RunBudget::iterations(25).with_objective(kind);
+            let r = GaScheduler::with_seed(11).run(&inst, &budget, None);
+            r.solution.check(inst.graph()).unwrap();
+            let sim = replay(&inst, &r.solution).unwrap();
+            assert!(
+                (r.objective_value - objective_from_report(&kind, &sim)).abs() < 1e-9,
+                "{}",
+                kind.label()
+            );
+            assert!((r.makespan - sim.makespan).abs() < 1e-9);
+        }
     }
 
     #[test]

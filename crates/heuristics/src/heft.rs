@@ -1,8 +1,8 @@
-//! HEFT and CPOP (Topcuoglu, Hariri & Wu — the paper's reference [5]).
+//! HEFT and CPOP (Topcuoglu, Hariri & Wu — the paper's reference \[5\]).
 
 use crate::builder::ListScheduleBuilder;
 use mshc_platform::{HcInstance, MachineId};
-use mshc_schedule::{RunBudget, RunResult, Scheduler};
+use mshc_schedule::{report_objective_value, RunBudget, RunResult, Scheduler};
 use mshc_taskgraph::{TaskId, TopoOrder};
 use mshc_trace::Trace;
 use std::time::Instant;
@@ -186,13 +186,21 @@ impl Scheduler for HeftScheduler {
     fn run(
         &mut self,
         inst: &HcInstance,
-        _budget: &RunBudget,
+        budget: &RunBudget,
         _trace: Option<&mut Trace>,
     ) -> RunResult {
         let start = Instant::now();
         let (solution, makespan, evaluations) =
             if self.insertion { self.run_insertion(inst) } else { self.run_append(inst) };
-        RunResult { solution, makespan, iterations: 1, evaluations, elapsed: start.elapsed() }
+        let objective_value = report_objective_value(inst, &solution, makespan, budget.objective);
+        RunResult {
+            solution,
+            makespan,
+            objective_value,
+            iterations: 1,
+            evaluations,
+            elapsed: start.elapsed(),
+        }
     }
 }
 
@@ -217,7 +225,7 @@ impl Scheduler for CpopScheduler {
     fn run(
         &mut self,
         inst: &HcInstance,
-        _budget: &RunBudget,
+        budget: &RunBudget,
         _trace: Option<&mut Trace>,
     ) -> RunResult {
         let start = Instant::now();
@@ -268,9 +276,12 @@ impl Scheduler for CpopScheduler {
             builder.schedule(t, m);
         }
         let makespan = builder.makespan();
+        let solution = builder.into_solution();
+        let objective_value = report_objective_value(inst, &solution, makespan, budget.objective);
         RunResult {
-            solution: builder.into_solution(),
+            solution,
             makespan,
+            objective_value,
             iterations: 1,
             evaluations: evaluations.max(1),
             elapsed: start.elapsed(),

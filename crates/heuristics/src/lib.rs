@@ -2,8 +2,8 @@
 //!
 //! The SE paper positions itself against the broader heterogeneous-
 //! scheduling literature it cites: the Braun et al. comparison study of
-//! static mapping heuristics [4] and the list-scheduling algorithms of
-//! Topcuoglu et al. [5]. This crate implements that baseline suite on the
+//! static mapping heuristics \[4\] and the list-scheduling algorithms of
+//! Topcuoglu et al. \[5\]. This crate implements that baseline suite on the
 //! same [`mshc_platform::HcInstance`] / [`mshc_schedule::Solution`]
 //! substrate, so every algorithm is directly comparable with SE and GA:
 //!

@@ -74,7 +74,7 @@ impl Scheduler for ListScheduler {
     fn run(
         &mut self,
         inst: &HcInstance,
-        _budget: &RunBudget,
+        budget: &RunBudget,
         _trace: Option<&mut Trace>,
     ) -> RunResult {
         let start = Instant::now();
@@ -137,9 +137,13 @@ impl Scheduler for ListScheduler {
             b.schedule(task, machine);
         }
         let makespan = b.makespan();
+        let solution = b.into_solution();
+        let objective_value =
+            mshc_schedule::report_objective_value(inst, &solution, makespan, budget.objective);
         RunResult {
-            solution: b.into_solution(),
+            solution,
             makespan,
+            objective_value,
             iterations: 1,
             evaluations: evaluations.max(1),
             elapsed: start.elapsed(),

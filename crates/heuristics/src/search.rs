@@ -1,14 +1,37 @@
 //! Iterative metaheuristic baselines: random search, simulated annealing
 //! and tabu search over the same valid-range move neighborhood SE uses.
+//!
+//! All three optimize whatever [`ObjectiveKind`] the run budget carries;
+//! tabu search additionally scores each iteration's sampled neighborhood
+//! through the parallel [`BatchEvaluator`] in one call.
 
 use mshc_platform::{HcInstance, MachineId};
-use mshc_schedule::{random_solution, Evaluator, RunBudget, RunResult, Scheduler, Solution};
+use mshc_schedule::{
+    random_solution, BatchEvaluator, EvalSnapshot, Evaluator, ObjectiveKind, RunBudget, RunResult,
+    Scheduler, Solution,
+};
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// Makespan to report alongside a best objective value: reuses the value
+/// when the objective *is* makespan, otherwise runs one (uncounted)
+/// reporting pass.
+fn reported_makespan(
+    inst: &HcInstance,
+    best: &Solution,
+    best_value: f64,
+    objective: ObjectiveKind,
+) -> f64 {
+    if objective.is_makespan() {
+        best_value
+    } else {
+        Evaluator::new(inst).makespan(best)
+    }
+}
 
 /// Uniformly samples a neighbor move `(task, position, machine)` from the
 /// valid-range neighborhood and applies it, returning the undo move.
@@ -54,15 +77,16 @@ impl Scheduler for RandomSearch {
     ) -> RunResult {
         assert!(budget.is_bounded(), "random search needs a budget");
         let start = Instant::now();
+        let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut eval = Evaluator::new(inst);
         let mut best = random_solution(inst, &mut rng);
-        let mut best_cost = eval.makespan(&best);
+        let mut best_cost = eval.objective_value(&best, &objective);
         let mut iterations = 1u64;
         let mut stall = 0u64;
         while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
             let cand = random_solution(inst, &mut rng);
-            let cost = eval.makespan(&cand);
+            let cost = eval.objective_value(&cand, &objective);
             if cost < best_cost {
                 best_cost = cost;
                 best = cand;
@@ -83,9 +107,11 @@ impl Scheduler for RandomSearch {
                 });
             }
         }
+        let makespan = reported_makespan(inst, &best, best_cost, objective);
         RunResult {
             solution: best,
-            makespan: best_cost,
+            makespan,
+            objective_value: best_cost,
             iterations,
             evaluations: eval.evaluations(),
             elapsed: start.elapsed(),
@@ -112,7 +138,7 @@ impl Default for SaConfig {
 
 /// Simulated annealing over the valid-range move neighborhood (the
 /// Flan/Freund-style genetic-simulated-annealing lineage the paper cites
-/// as [8], reduced to its SA core).
+/// as \[8\], reduced to its SA core).
 #[derive(Debug, Clone)]
 pub struct SimulatedAnnealing {
     config: SaConfig,
@@ -141,18 +167,19 @@ impl Scheduler for SimulatedAnnealing {
         assert!(budget.is_bounded(), "SA needs a budget");
         let start = Instant::now();
         let cfg = self.config;
+        let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let mut eval = Evaluator::new(inst);
         let mut current = random_solution(inst, &mut rng);
-        let mut current_cost = eval.makespan(&current);
+        let mut current_cost = eval.objective_value(&current, &objective);
         let mut best = current.clone();
         let mut best_cost = current_cost;
-        let mut temp = current_cost * cfg.initial_temp_fraction;
+        let mut temp = current_cost.max(f64::MIN_POSITIVE) * cfg.initial_temp_fraction;
         let mut iterations = 0u64;
         let mut stall = 0u64;
         while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
             let undo = random_move(&mut current, inst, &mut rng);
-            let cand_cost = eval.makespan(&current);
+            let cand_cost = eval.objective_value(&current, &objective);
             let accept = cand_cost <= current_cost
                 || rng.gen::<f64>() < ((current_cost - cand_cost) / temp.max(1e-12)).exp();
             if accept {
@@ -181,9 +208,11 @@ impl Scheduler for SimulatedAnnealing {
                 });
             }
         }
+        let makespan = reported_makespan(inst, &best, best_cost, objective);
         RunResult {
             solution: best,
-            makespan: best_cost,
+            makespan,
+            objective_value: best_cost,
             iterations,
             evaluations: eval.evaluations(),
             elapsed: start.elapsed(),
@@ -209,9 +238,11 @@ impl Default for TabuConfig {
 }
 
 /// Sampled-neighborhood tabu search: each iteration samples `samples`
-/// moves, applies the best whose task is not tabu (aspiration: a move
-/// beating the global best is always allowed), and marks the moved task
-/// tabu for `tenure` iterations.
+/// moves, scores the whole sample in one [`BatchEvaluator`] call, applies
+/// the best whose task is not tabu (aspiration: a move beating the global
+/// best is always allowed), and marks the moved task tabu for `tenure`
+/// iterations. Moves are drawn *before* any is scored, so results are
+/// bit-identical to the historic move-eval-undo loop at any thread count.
 #[derive(Debug, Clone)]
 pub struct TabuSearch {
     config: TabuConfig,
@@ -240,27 +271,35 @@ impl Scheduler for TabuSearch {
         let start = Instant::now();
         let cfg = self.config;
         let g = inst.graph();
+        let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut eval = Evaluator::new(inst);
+        let snapshot = EvalSnapshot::new(inst);
+        let mut eval = Evaluator::with_snapshot(&snapshot);
+        let mut batch = BatchEvaluator::new(&snapshot);
+        let mut sampled: Vec<(TaskId, usize, MachineId)> = Vec::with_capacity(cfg.samples);
         let mut current = random_solution(inst, &mut rng);
-        let mut current_cost = eval.makespan(&current);
+        let mut current_cost = eval.objective_value(&current, &objective);
         let mut best = current.clone();
         let mut best_cost = current_cost;
         let mut tabu_until = vec![0u64; inst.task_count()];
         let mut iterations = 0u64;
         let mut stall = 0u64;
-        while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
-            // Sample the neighborhood.
-            let mut chosen: Option<(TaskId, usize, MachineId, f64)> = None;
+        let evals = |eval: &Evaluator<'_>, batch: &BatchEvaluator<'_>| {
+            eval.evaluations() + batch.evaluations()
+        };
+        while !budget.exhausted(iterations, evals(&eval, &batch), start.elapsed(), stall) {
+            // Sample the neighborhood, then score the whole sample at once.
+            sampled.clear();
             for _ in 0..cfg.samples {
                 let t = TaskId::from_usize(rng.gen_range(0..inst.task_count()));
                 let (lo, hi) = current.valid_range(g, t);
                 let pos = rng.gen_range(lo..=hi);
                 let m = MachineId::from_usize(rng.gen_range(0..inst.machine_count()));
-                let undo = (t, current.position_of(t), current.machine_of(t));
-                current.move_task(g, t, pos, m).expect("in-range");
-                let cost = eval.makespan(&current);
-                current.move_task(g, undo.0, undo.1, undo.2).expect("undo");
+                sampled.push((t, pos, m));
+            }
+            let costs = batch.score_task_moves(g, &current, &sampled, &objective);
+            let mut chosen: Option<(TaskId, usize, MachineId, f64)> = None;
+            for (&(t, pos, m), &cost) in sampled.iter().zip(&costs) {
                 let tabu = tabu_until[t.index()] > iterations;
                 let aspiration = cost < best_cost;
                 if (tabu && !aspiration) || chosen.as_ref().is_some_and(|c| c.3 <= cost) {
@@ -287,7 +326,7 @@ impl Scheduler for TabuSearch {
                 tr.push(TraceRecord {
                     iteration: iterations - 1,
                     elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: eval.evaluations(),
+                    evaluations: evals(&eval, &batch),
                     current_cost,
                     best_cost,
                     selected: None,
@@ -295,11 +334,14 @@ impl Scheduler for TabuSearch {
                 });
             }
         }
+        let makespan = reported_makespan(inst, &best, best_cost, objective);
+        let evaluations = evals(&eval, &batch);
         RunResult {
             solution: best,
-            makespan: best_cost,
+            makespan,
+            objective_value: best_cost,
             iterations,
-            evaluations: eval.evaluations(),
+            evaluations,
             elapsed: start.elapsed(),
         }
     }
@@ -385,6 +427,49 @@ mod tests {
         let e = RandomSearch::new(7).run(&inst, &budget, None);
         let f = RandomSearch::new(7).run(&inst, &budget, None);
         assert_eq!(e.solution, f.solution);
+    }
+
+    #[test]
+    fn tabu_is_bit_identical_across_thread_counts() {
+        // Batch-scored neighborhoods must reproduce the historic
+        // move-eval-undo loop exactly, at any worker-thread count.
+        let inst = random_instance(20, 4, 36);
+        let budget = RunBudget::iterations(120);
+        let baseline =
+            rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap().install(|| {
+                TabuSearch::new(TabuConfig { seed: 9, ..Default::default() })
+                    .run(&inst, &budget, None)
+            });
+        for threads in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let r = pool.install(|| {
+                TabuSearch::new(TabuConfig { seed: 9, ..Default::default() })
+                    .run(&inst, &budget, None)
+            });
+            assert_eq!(r.solution, baseline.solution, "{threads} threads");
+            assert_eq!(r.makespan, baseline.makespan, "{threads} threads");
+            assert_eq!(r.evaluations, baseline.evaluations, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn metaheuristics_optimize_alternate_objectives() {
+        use mshc_schedule::{objective_from_report, replay, ObjectiveKind};
+        let inst = random_instance(18, 3, 37);
+        let kind = ObjectiveKind::TotalFlowtime;
+        let budget = RunBudget::iterations(150).with_objective(kind);
+        let runs: Vec<RunResult> = vec![
+            RandomSearch::new(2).run(&inst, &budget, None),
+            SimulatedAnnealing::new(SaConfig { seed: 2, ..Default::default() })
+                .run(&inst, &budget, None),
+            TabuSearch::new(TabuConfig { seed: 2, ..Default::default() }).run(&inst, &budget, None),
+        ];
+        for r in runs {
+            r.solution.check(inst.graph()).unwrap();
+            let sim = replay(&inst, &r.solution).unwrap();
+            assert!((r.objective_value - objective_from_report(&kind, &sim)).abs() < 1e-9);
+            assert!((r.makespan - sim.makespan).abs() < 1e-9);
+        }
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Analytic makespan evaluation.
+//! Analytic schedule evaluation.
 //!
 //! Because a [`Solution`] string is a linear extension of the DAG, start
 //! and finish times follow from a single left-to-right pass (§4.1 makes
@@ -7,13 +7,22 @@
 //! allocations after the first call — the evaluator owns reusable buffers
 //! because the SE allocation step evaluates thousands of candidate strings
 //! per iteration (§4.5).
+//!
+//! The evaluator walks an [`EvalSnapshot`] — a flattened copy of the
+//! instance's adjacency and cost matrices — rather than the pointer-rich
+//! [`HcInstance`] representation. Snapshots are shareable across threads,
+//! which is how [`crate::BatchEvaluator`] runs many evaluators over one
+//! instance concurrently.
 
 use crate::encoding::Solution;
+use crate::objective::{EvalView, Objective, ObjectiveValues};
+use crate::snapshot::EvalSnapshot;
 use mshc_platform::HcInstance;
 use mshc_taskgraph::TaskId;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
-/// Start/finish times and makespan of one evaluated solution.
+/// Start/finish times and objective values of one evaluated solution.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScheduleReport {
     /// Start time of each task, indexed by task.
@@ -21,11 +30,29 @@ pub struct ScheduleReport {
     /// Finish time of each task, indexed by task. The paper's `C_i`
     /// (actual cost of individual `e_i`, §4.3) is exactly `finish[i]`.
     pub finish: Vec<f64>,
+    /// Busy (execution) time per machine, indexed by machine.
+    pub machine_busy: Vec<f64>,
     /// Latest finish time — the schedule length the paper minimizes.
     pub makespan: f64,
+    /// Sum of all task finish times (total flowtime).
+    pub total_flowtime: f64,
 }
 
 impl ScheduleReport {
+    /// Assembles a report from raw per-task times plus the solution's
+    /// machine assignment (used by the discrete-event replay, whose
+    /// simulation loop produces only `start`/`finish`).
+    pub fn from_times(start: Vec<f64>, finish: Vec<f64>, solution: &Solution) -> ScheduleReport {
+        let mut machine_busy = vec![0.0; solution.machine_count()];
+        for seg in solution.segments() {
+            let i = seg.task.index();
+            machine_busy[seg.machine.index()] += finish[i] - start[i];
+        }
+        let makespan = finish.iter().copied().fold(0.0, f64::max);
+        let total_flowtime = finish.iter().sum();
+        ScheduleReport { start, finish, machine_busy, makespan, total_flowtime }
+    }
+
     /// Finish time of `t` (the paper's `C_i`).
     #[inline]
     pub fn finish_of(&self, t: TaskId) -> f64 {
@@ -37,9 +64,30 @@ impl ScheduleReport {
     pub fn start_of(&self, t: TaskId) -> f64 {
         self.start[t.index()]
     }
+
+    /// Mean task finish time.
+    #[inline]
+    pub fn mean_flowtime(&self) -> f64 {
+        if self.finish.is_empty() {
+            0.0
+        } else {
+            self.total_flowtime / self.finish.len() as f64
+        }
+    }
+
+    /// The view an [`Objective`] scores.
+    #[inline]
+    pub fn view(&self) -> EvalView<'_> {
+        EvalView { start: &self.start, finish: &self.finish, machine_busy: &self.machine_busy }
+    }
+
+    /// All built-in objective values of this schedule.
+    pub fn objectives(&self) -> ObjectiveValues {
+        ObjectiveValues::from_view(&self.view())
+    }
 }
 
-/// Reusable makespan evaluator for one instance.
+/// Reusable schedule evaluator for one instance.
 ///
 /// ```
 /// use mshc_platform::{HcInstance, HcSystem, Matrix, MachineId};
@@ -75,11 +123,14 @@ impl ScheduleReport {
 /// ```
 #[derive(Debug)]
 pub struct Evaluator<'a> {
-    inst: &'a HcInstance,
+    /// Owned when built straight from an instance; borrowed when many
+    /// evaluators share one snapshot (the batch path).
+    snap: Cow<'a, EvalSnapshot>,
     // Scratch buffers, reused across evaluations.
     finish: Vec<f64>,
     start: Vec<f64>,
     machine_avail: Vec<f64>,
+    machine_busy: Vec<f64>,
     /// Number of full evaluations performed (the deterministic cost axis
     /// reported alongside wall time by the Fig 5–7 harness).
     evaluations: u64,
@@ -94,14 +145,27 @@ pub struct Evaluator<'a> {
 }
 
 impl<'a> Evaluator<'a> {
-    /// Creates an evaluator bound to one instance.
-    pub fn new(inst: &'a HcInstance) -> Evaluator<'a> {
-        let k = inst.task_count();
+    /// Creates an evaluator for one instance, flattening it into an owned
+    /// [`EvalSnapshot`].
+    pub fn new(inst: &HcInstance) -> Evaluator<'static> {
+        Evaluator::from_snap(Cow::Owned(EvalSnapshot::new(inst)))
+    }
+
+    /// Creates an evaluator borrowing a shared snapshot — the cheap
+    /// constructor worker threads use.
+    pub fn with_snapshot(snap: &'a EvalSnapshot) -> Evaluator<'a> {
+        Evaluator::from_snap(Cow::Borrowed(snap))
+    }
+
+    fn from_snap(snap: Cow<'a, EvalSnapshot>) -> Evaluator<'a> {
+        let k = snap.task_count();
+        let l = snap.machine_count();
         Evaluator {
-            inst,
+            snap,
             finish: vec![0.0; k],
             start: vec![0.0; k],
-            machine_avail: vec![0.0; inst.machine_count()],
+            machine_avail: vec![0.0; l],
+            machine_busy: vec![0.0; l],
             evaluations: 0,
             ckpt_avail: Vec::new(),
             ckpt_max: Vec::new(),
@@ -110,10 +174,10 @@ impl<'a> Evaluator<'a> {
         }
     }
 
-    /// The bound instance.
+    /// The snapshot this evaluator walks.
     #[inline]
-    pub fn instance(&self) -> &'a HcInstance {
-        self.inst
+    pub fn snapshot(&self) -> &EvalSnapshot {
+        &self.snap
     }
 
     /// Total number of evaluations performed so far.
@@ -140,13 +204,27 @@ impl<'a> Evaluator<'a> {
         self.finish.iter().copied().fold(0.0, f64::max)
     }
 
+    /// Evaluates `solution` and scores it under `obj` (lower is better).
+    /// For [`crate::objective::Makespan`] this equals
+    /// [`makespan`](Self::makespan) exactly.
+    pub fn objective_value(&mut self, solution: &Solution, obj: &dyn Objective) -> f64 {
+        self.pass(solution);
+        obj.value(&EvalView {
+            start: &self.start,
+            finish: &self.finish,
+            machine_busy: &self.machine_busy,
+        })
+    }
+
     /// Evaluates `solution`, returning the full per-task report.
     pub fn report(&mut self, solution: &Solution) -> ScheduleReport {
         self.pass(solution);
         ScheduleReport {
             start: self.start.clone(),
             finish: self.finish.clone(),
+            machine_busy: self.machine_busy.clone(),
             makespan: self.finish.iter().copied().fold(0.0, f64::max),
+            total_flowtime: self.finish.iter().sum(),
         }
     }
 
@@ -158,7 +236,8 @@ impl<'a> Evaluator<'a> {
     /// primed one on a prefix in O(k − from) instead of O(k).
     ///
     /// The memory cost is `(k+1) × l` floats — ~16 KiB at the paper's
-    /// 100-task / 20-machine scale.
+    /// 100-task / 20-machine scale. The suffix fast path computes the
+    /// **makespan only**; other objectives need full passes.
     pub fn prime(&mut self, solution: &Solution) {
         let k = solution.len();
         let l = self.machine_avail.len();
@@ -167,9 +246,9 @@ impl<'a> Evaluator<'a> {
         self.ckpt_max.clear();
         self.ckpt_max.reserve(k + 1);
 
-        let g = self.inst.graph();
-        let sys = self.inst.system();
+        let snap = self.snap.as_ref();
         self.machine_avail.fill(0.0);
+        self.machine_busy.fill(0.0);
         self.evaluations += 1;
         let mut running_max = 0.0f64;
         self.ckpt_avail.extend_from_slice(&self.machine_avail);
@@ -177,15 +256,17 @@ impl<'a> Evaluator<'a> {
         for seg in solution.segments() {
             let (t, m) = (seg.task, seg.machine);
             let mut ready = 0.0f64;
-            for e in g.in_edges(t) {
-                let src_m = solution.machine_of(e.src);
-                ready = ready.max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
+            for (src, d) in snap.preds(t) {
+                let src_m = solution.machine_of(src);
+                ready = ready.max(self.finish[src.index()] + snap.transfer_time(d, src_m, m));
             }
             let start = ready.max(self.machine_avail[m.index()]);
-            let finish = start + sys.exec_time(m, t);
+            let exec = snap.exec_time(m, t);
+            let finish = start + exec;
             self.start[t.index()] = start;
             self.finish[t.index()] = finish;
             self.machine_avail[m.index()] = finish;
+            self.machine_busy[m.index()] += exec;
             running_max = running_max.max(finish);
             self.ckpt_avail.extend_from_slice(&self.machine_avail);
             self.ckpt_max.push(running_max);
@@ -206,8 +287,7 @@ impl<'a> Evaluator<'a> {
         assert!(self.primed_len == solution.len(), "prime() the evaluator first");
         assert!(from <= solution.len(), "suffix start out of range");
         let l = self.machine_avail.len();
-        let g = self.inst.graph();
-        let sys = self.inst.system();
+        let snap = self.snap.as_ref();
         self.evaluations += 1;
         // Restore the checkpointed state after the unchanged prefix.
         self.machine_avail.copy_from_slice(&self.ckpt_avail[from * l..(from + 1) * l]);
@@ -218,16 +298,16 @@ impl<'a> Evaluator<'a> {
         for seg in &solution.segments()[from..] {
             let (t, m) = (seg.task, seg.machine);
             let mut ready = 0.0f64;
-            for e in g.in_edges(t) {
-                let src_m = solution.machine_of(e.src);
+            for (src, d) in snap.preds(t) {
+                let src_m = solution.machine_of(src);
                 debug_assert!(
-                    solution.position_of(e.src) < solution.position_of(t),
+                    solution.position_of(src) < solution.position_of(t),
                     "linear extension"
                 );
-                ready = ready.max(self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m));
+                ready = ready.max(self.finish[src.index()] + snap.transfer_time(d, src_m, m));
             }
             let start = ready.max(self.machine_avail[m.index()]);
-            let finish = start + sys.exec_time(m, t);
+            let finish = start + snap.exec_time(m, t);
             self.finish[t.index()] = finish;
             self.machine_avail[m.index()] = finish;
             running_max = running_max.max(finish);
@@ -238,32 +318,34 @@ impl<'a> Evaluator<'a> {
     /// The single left-to-right pass computing start/finish times into the
     /// scratch buffers.
     fn pass(&mut self, solution: &Solution) {
-        debug_assert_eq!(solution.len(), self.inst.task_count(), "solution/instance mismatch");
+        let snap = self.snap.as_ref();
+        debug_assert_eq!(solution.len(), snap.task_count(), "solution/instance mismatch");
         debug_assert_eq!(
             solution.machine_count(),
-            self.inst.machine_count(),
+            snap.machine_count(),
             "solution/instance machine mismatch"
         );
-        let g = self.inst.graph();
-        let sys = self.inst.system();
         self.machine_avail.fill(0.0);
+        self.machine_busy.fill(0.0);
         self.evaluations += 1;
         for seg in solution.segments() {
             let t = seg.task;
             let m = seg.machine;
             // Data-arrival constraint: every input item must have arrived.
             let mut ready = 0.0f64;
-            for e in g.in_edges(t) {
-                let src_m = solution.machine_of(e.src);
-                let arrival = self.finish[e.src.index()] + sys.transfer_time(e.id, src_m, m);
+            for (src, d) in snap.preds(t) {
+                let src_m = solution.machine_of(src);
+                let arrival = self.finish[src.index()] + snap.transfer_time(d, src_m, m);
                 ready = ready.max(arrival);
             }
             // Machine-order constraint: the machine must be free.
             let start = ready.max(self.machine_avail[m.index()]);
-            let finish = start + sys.exec_time(m, t);
+            let exec = snap.exec_time(m, t);
+            let finish = start + exec;
             self.start[t.index()] = start;
             self.finish[t.index()] = finish;
             self.machine_avail[m.index()] = finish;
+            self.machine_busy[m.index()] += exec;
         }
     }
 }
@@ -348,6 +430,53 @@ mod tests {
         let r = eval.report(&s);
         let max = r.finish.iter().copied().fold(0.0, f64::max);
         assert_eq!(r.makespan, max);
+    }
+
+    #[test]
+    fn report_objective_values_are_consistent() {
+        let inst = figure1_instance();
+        let mut eval = Evaluator::new(&inst);
+        let s = figure2_solution(inst.graph());
+        let r = eval.report(&s);
+        // Busy time per machine = sum of exec times of its tasks.
+        // m0: 400 + 300 + 800 = 1500; m1: 500 + 400 + 450 + 350 = 1700.
+        assert_eq!(r.machine_busy, vec![1500.0, 1700.0]);
+        assert_eq!(r.total_flowtime, 400.0 + 500.0 + 920.0 + 700.0 + 1500.0 + 1370.0 + 2000.0);
+        assert!((r.mean_flowtime() - r.total_flowtime / 7.0).abs() < 1e-12);
+        let o = r.objectives();
+        assert_eq!(o.makespan, r.makespan);
+        assert_eq!(o.total_flowtime, r.total_flowtime);
+        assert_eq!(o.load_imbalance, 1700.0 - 1600.0);
+        // from_times reconstructs the same aggregates from raw arrays.
+        let rebuilt = ScheduleReport::from_times(r.start.clone(), r.finish.clone(), &s);
+        assert_eq!(rebuilt.makespan, r.makespan);
+        assert_eq!(rebuilt.total_flowtime, r.total_flowtime);
+        for (a, b) in rebuilt.machine_busy.iter().zip(&r.machine_busy) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn objective_value_matches_makespan_for_makespan_objective() {
+        use crate::objective::{Makespan, ObjectiveKind};
+        let inst = figure1_instance();
+        let mut eval = Evaluator::new(&inst);
+        let s = figure2_solution(inst.graph());
+        let mk = eval.makespan(&s);
+        assert_eq!(eval.objective_value(&s, &Makespan), mk);
+        assert_eq!(eval.objective_value(&s, &ObjectiveKind::Makespan), mk);
+        assert_eq!(eval.evaluations(), 3, "objective passes count as evaluations");
+    }
+
+    #[test]
+    fn shared_snapshot_evaluator_matches_owned() {
+        let inst = figure1_instance();
+        let snap = EvalSnapshot::new(&inst);
+        let s = figure2_solution(inst.graph());
+        let owned = Evaluator::new(&inst).makespan(&s);
+        let borrowed = Evaluator::with_snapshot(&snap).makespan(&s);
+        assert_eq!(owned, borrowed);
+        assert_eq!(Evaluator::new(&inst).snapshot(), &snap);
     }
 
     #[test]

@@ -2,8 +2,23 @@
 //!
 //! Solution substrate for MSHC: the paper's combined matching+scheduling
 //! string encoding (§4.1), validity and valid-range machinery (§4.2/§4.5),
-//! the analytic makespan evaluator, Gantt extraction, and an independent
+//! the analytic evaluator, Gantt extraction, and an independent
 //! discrete-event replay simulator used to cross-check the evaluator.
+//!
+//! ## The evaluation core
+//!
+//! Three layers sit under every search algorithm in the suite:
+//!
+//! * [`EvalSnapshot`] — a flattened, `Sync` copy of one instance
+//!   (predecessor CSR + dense `E`/`Tr` slabs) that evaluators walk
+//!   instead of the pointer-rich [`mshc_platform::HcInstance`];
+//! * [`Objective`] — pluggable lower-is-better scoring (makespan,
+//!   total/mean flowtime, load balance, weighted blends), selected at run
+//!   time through the [`ObjectiveKind`] carried by [`RunBudget`];
+//! * [`BatchEvaluator`] — scores whole candidate sets in one call,
+//!   fanned out over worker threads with reusable per-thread arenas;
+//!   results are returned in candidate order and are bit-identical at
+//!   any thread count.
 //!
 //! ## The encoding
 //!
@@ -35,18 +50,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod encoding;
 pub mod error;
 pub mod eval;
 pub mod gantt;
 pub mod init;
+pub mod objective;
 pub mod runner;
 pub mod sim;
+pub mod snapshot;
 
+pub use batch::BatchEvaluator;
 pub use encoding::{Segment, Solution};
 pub use error::ScheduleError;
 pub use eval::{Evaluator, ScheduleReport};
 pub use gantt::Gantt;
 pub use init::random_solution;
-pub use runner::{RunBudget, RunResult, Scheduler};
+pub use objective::{
+    objective_from_report, EvalView, LoadBalance, Makespan, MeanFlowtime, Objective, ObjectiveKind,
+    ObjectiveValues, TotalFlowtime, Weighted,
+};
+pub use runner::{report_objective_value, RunBudget, RunResult, Scheduler};
 pub use sim::{replay, replay_with, NetworkModel, SimError};
+pub use snapshot::EvalSnapshot;

@@ -1,0 +1,346 @@
+//! Pluggable scoring objectives over an evaluated schedule.
+//!
+//! The paper minimizes the schedule length (makespan) only. Production
+//! scheduling cares about more: mean job turnaround (flowtime), how
+//! evenly the machine suite is loaded, and blends of all three. An
+//! [`Objective`] maps the timing arrays a single evaluator pass produces
+//! — per-task start/finish plus per-machine busy time — to one scalar
+//! where **lower is always better**, so every search algorithm in the
+//! suite (SE, GA, SA, tabu, random) optimizes any objective through the
+//! same argmin machinery.
+//!
+//! [`ObjectiveKind`] is the plumbing-friendly, `Copy` enumeration of the
+//! built-in objectives; it is what [`crate::RunBudget`] carries from the
+//! CLI down into every scheduler. Custom objectives only need the trait.
+
+use crate::eval::ScheduleReport;
+use serde::{Deserialize, Serialize};
+
+/// Borrowed view of one evaluated schedule: everything an objective may
+/// score, produced by a single evaluator pass (or assembled from a
+/// [`ScheduleReport`], e.g. the discrete-event replay oracle).
+#[derive(Debug, Clone, Copy)]
+pub struct EvalView<'a> {
+    /// Start time per task, indexed by task.
+    pub start: &'a [f64],
+    /// Finish time per task, indexed by task.
+    pub finish: &'a [f64],
+    /// Total execution (busy) time per machine, indexed by machine.
+    pub machine_busy: &'a [f64],
+}
+
+/// A scalar schedule-quality measure; **lower is better**.
+///
+/// Implementations must be pure functions of the view — they are invoked
+/// concurrently from [`crate::BatchEvaluator`] worker threads (hence the
+/// `Sync` supertrait).
+pub trait Objective: Sync {
+    /// Short stable identifier (CSV columns, CLI, reports).
+    fn name(&self) -> &str;
+
+    /// Scores one evaluated schedule.
+    fn value(&self, view: &EvalView<'_>) -> f64;
+}
+
+/// The schedule length the paper minimizes: the latest finish time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Makespan;
+
+impl Objective for Makespan {
+    fn name(&self) -> &str {
+        "makespan"
+    }
+
+    #[inline]
+    fn value(&self, view: &EvalView<'_>) -> f64 {
+        view.finish.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Sum of all task finish times (total flowtime / total completion time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TotalFlowtime;
+
+impl Objective for TotalFlowtime {
+    fn name(&self) -> &str {
+        "total-flowtime"
+    }
+
+    #[inline]
+    fn value(&self, view: &EvalView<'_>) -> f64 {
+        view.finish.iter().sum()
+    }
+}
+
+/// Mean task finish time — total flowtime normalized by task count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MeanFlowtime;
+
+impl Objective for MeanFlowtime {
+    fn name(&self) -> &str {
+        "mean-flowtime"
+    }
+
+    #[inline]
+    fn value(&self, view: &EvalView<'_>) -> f64 {
+        if view.finish.is_empty() {
+            0.0
+        } else {
+            view.finish.iter().sum::<f64>() / view.finish.len() as f64
+        }
+    }
+}
+
+/// Machine load imbalance: the busiest machine's excess over the mean
+/// busy time. Zero means perfectly balanced load.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoadBalance;
+
+impl Objective for LoadBalance {
+    fn name(&self) -> &str {
+        "load-balance"
+    }
+
+    #[inline]
+    fn value(&self, view: &EvalView<'_>) -> f64 {
+        if view.machine_busy.is_empty() {
+            return 0.0;
+        }
+        let max = view.machine_busy.iter().copied().fold(0.0, f64::max);
+        let mean = view.machine_busy.iter().sum::<f64>() / view.machine_busy.len() as f64;
+        max - mean
+    }
+}
+
+/// Weighted blend `w_mk·makespan + w_ft·mean_flowtime + w_lb·imbalance`.
+///
+/// Mean flowtime (not total) keeps the three components on comparable
+/// scales, so unit weights are a sensible starting point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Weighted {
+    /// Weight on the makespan component.
+    pub makespan: f64,
+    /// Weight on the mean-flowtime component.
+    pub flowtime: f64,
+    /// Weight on the load-imbalance component.
+    pub balance: f64,
+}
+
+impl Objective for Weighted {
+    fn name(&self) -> &str {
+        "weighted"
+    }
+
+    #[inline]
+    fn value(&self, view: &EvalView<'_>) -> f64 {
+        self.makespan * Makespan.value(view)
+            + self.flowtime * MeanFlowtime.value(view)
+            + self.balance * LoadBalance.value(view)
+    }
+}
+
+/// The built-in objectives as plumbable configuration.
+///
+/// `Copy + PartialEq` so [`crate::RunBudget`] stays a plain value type;
+/// dispatches to the unit objectives above through its own [`Objective`]
+/// impl. (Not serde-derived: the run budget is never persisted; the CLI
+/// round-trips through [`parse`](ObjectiveKind::parse)/
+/// [`label`](ObjectiveKind::label) instead.)
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum ObjectiveKind {
+    /// Minimize the schedule length (the paper's objective; the default).
+    #[default]
+    Makespan,
+    /// Minimize the sum of task finish times.
+    TotalFlowtime,
+    /// Minimize the mean task finish time.
+    MeanFlowtime,
+    /// Minimize the machine load imbalance.
+    LoadBalance,
+    /// Minimize a weighted blend of the three components.
+    Weighted {
+        /// Weight on the makespan component.
+        makespan: f64,
+        /// Weight on the mean-flowtime component.
+        flowtime: f64,
+        /// Weight on the load-imbalance component.
+        balance: f64,
+    },
+}
+
+impl ObjectiveKind {
+    /// Every non-parameterized kind, for sweeps and tests.
+    pub const BASIC: [ObjectiveKind; 4] = [
+        ObjectiveKind::Makespan,
+        ObjectiveKind::TotalFlowtime,
+        ObjectiveKind::MeanFlowtime,
+        ObjectiveKind::LoadBalance,
+    ];
+
+    /// Parses a CLI spelling: `makespan`, `total-flowtime`,
+    /// `mean-flowtime`, `load-balance`, or `weighted:MK,FT,LB` (three
+    /// comma-separated weights).
+    pub fn parse(s: &str) -> Option<ObjectiveKind> {
+        match s {
+            "makespan" => Some(ObjectiveKind::Makespan),
+            "total-flowtime" => Some(ObjectiveKind::TotalFlowtime),
+            "mean-flowtime" => Some(ObjectiveKind::MeanFlowtime),
+            "load-balance" => Some(ObjectiveKind::LoadBalance),
+            _ => {
+                let weights = s.strip_prefix("weighted:")?;
+                let parts: Vec<&str> = weights.split(',').collect();
+                if parts.len() != 3 {
+                    return None;
+                }
+                let w: Vec<f64> = parts.iter().filter_map(|p| p.trim().parse().ok()).collect();
+                if w.len() != 3 || w.iter().any(|v| !v.is_finite()) {
+                    return None;
+                }
+                Some(ObjectiveKind::Weighted { makespan: w[0], flowtime: w[1], balance: w[2] })
+            }
+        }
+    }
+
+    /// The CLI spelling; `parse(kind.label())` round-trips.
+    pub fn label(&self) -> String {
+        match *self {
+            ObjectiveKind::Makespan => "makespan".to_string(),
+            ObjectiveKind::TotalFlowtime => "total-flowtime".to_string(),
+            ObjectiveKind::MeanFlowtime => "mean-flowtime".to_string(),
+            ObjectiveKind::LoadBalance => "load-balance".to_string(),
+            ObjectiveKind::Weighted { makespan, flowtime, balance } => {
+                format!("weighted:{makespan},{flowtime},{balance}")
+            }
+        }
+    }
+
+    /// Whether this is the plain makespan objective (the fast paths —
+    /// suffix-incremental evaluation — only apply to it).
+    #[inline]
+    pub fn is_makespan(&self) -> bool {
+        matches!(self, ObjectiveKind::Makespan)
+    }
+}
+
+impl Objective for ObjectiveKind {
+    fn name(&self) -> &str {
+        match self {
+            ObjectiveKind::Makespan => "makespan",
+            ObjectiveKind::TotalFlowtime => "total-flowtime",
+            ObjectiveKind::MeanFlowtime => "mean-flowtime",
+            ObjectiveKind::LoadBalance => "load-balance",
+            ObjectiveKind::Weighted { .. } => "weighted",
+        }
+    }
+
+    #[inline]
+    fn value(&self, view: &EvalView<'_>) -> f64 {
+        match *self {
+            ObjectiveKind::Makespan => Makespan.value(view),
+            ObjectiveKind::TotalFlowtime => TotalFlowtime.value(view),
+            ObjectiveKind::MeanFlowtime => MeanFlowtime.value(view),
+            ObjectiveKind::LoadBalance => LoadBalance.value(view),
+            ObjectiveKind::Weighted { makespan, flowtime, balance } => {
+                Weighted { makespan, flowtime, balance }.value(view)
+            }
+        }
+    }
+}
+
+/// The per-objective summary attached to a [`ScheduleReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveValues {
+    /// Latest finish time.
+    pub makespan: f64,
+    /// Sum of finish times.
+    pub total_flowtime: f64,
+    /// Mean finish time.
+    pub mean_flowtime: f64,
+    /// Busiest machine's excess over mean busy time.
+    pub load_imbalance: f64,
+}
+
+impl ObjectiveValues {
+    /// Computes all built-in objective values from one view.
+    pub fn from_view(view: &EvalView<'_>) -> ObjectiveValues {
+        ObjectiveValues {
+            makespan: Makespan.value(view),
+            total_flowtime: TotalFlowtime.value(view),
+            mean_flowtime: MeanFlowtime.value(view),
+            load_imbalance: LoadBalance.value(view),
+        }
+    }
+}
+
+/// Scores a finished [`ScheduleReport`] under `obj` — the bridge that
+/// lets the discrete-event replay (`sim.rs`) act as an oracle for every
+/// objective, not just makespan.
+pub fn objective_from_report(obj: &dyn Objective, report: &ScheduleReport) -> f64 {
+    obj.value(&report.view())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(start: &'a [f64], finish: &'a [f64], busy: &'a [f64]) -> EvalView<'a> {
+        EvalView { start, finish, machine_busy: busy }
+    }
+
+    #[test]
+    fn makespan_is_max_finish() {
+        let v = view(&[0.0, 1.0], &[4.0, 9.0], &[4.0, 8.0]);
+        assert_eq!(Makespan.value(&v), 9.0);
+        assert_eq!(Makespan.name(), "makespan");
+    }
+
+    #[test]
+    fn flowtimes() {
+        let v = view(&[0.0, 0.0, 0.0], &[2.0, 4.0, 6.0], &[12.0]);
+        assert_eq!(TotalFlowtime.value(&v), 12.0);
+        assert_eq!(MeanFlowtime.value(&v), 4.0);
+    }
+
+    #[test]
+    fn load_balance_zero_when_even() {
+        let v = view(&[], &[], &[5.0, 5.0, 5.0]);
+        assert_eq!(LoadBalance.value(&v), 0.0);
+        let v = view(&[], &[], &[9.0, 3.0]);
+        assert_eq!(LoadBalance.value(&v), 3.0);
+    }
+
+    #[test]
+    fn weighted_blends_components() {
+        let v = view(&[0.0, 0.0], &[2.0, 6.0], &[8.0, 0.0]);
+        // makespan 6, mean flowtime 4, imbalance 4.
+        let w = Weighted { makespan: 1.0, flowtime: 0.5, balance: 0.25 };
+        assert_eq!(w.value(&v), 6.0 + 2.0 + 1.0);
+    }
+
+    #[test]
+    fn kind_dispatch_matches_units() {
+        let v = view(&[0.0, 0.0], &[3.0, 5.0], &[3.0, 5.0]);
+        assert_eq!(ObjectiveKind::Makespan.value(&v), Makespan.value(&v));
+        assert_eq!(ObjectiveKind::TotalFlowtime.value(&v), TotalFlowtime.value(&v));
+        assert_eq!(ObjectiveKind::MeanFlowtime.value(&v), MeanFlowtime.value(&v));
+        assert_eq!(ObjectiveKind::LoadBalance.value(&v), LoadBalance.value(&v));
+        let k = ObjectiveKind::Weighted { makespan: 2.0, flowtime: 1.0, balance: 0.0 };
+        let u = Weighted { makespan: 2.0, flowtime: 1.0, balance: 0.0 };
+        assert_eq!(k.value(&v), u.value(&v));
+    }
+
+    #[test]
+    fn parse_and_label_roundtrip() {
+        for kind in ObjectiveKind::BASIC {
+            assert_eq!(ObjectiveKind::parse(&kind.label()), Some(kind));
+        }
+        let w = ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.5, balance: 2.0 };
+        assert_eq!(ObjectiveKind::parse(&w.label()), Some(w));
+        assert_eq!(ObjectiveKind::parse("weighted:1,0.5,2"), Some(w));
+        assert!(ObjectiveKind::parse("bogus").is_none());
+        assert!(ObjectiveKind::parse("weighted:1,2").is_none());
+        assert!(ObjectiveKind::parse("weighted:1,2,x").is_none());
+        assert!(ObjectiveKind::default().is_makespan());
+        assert!(!ObjectiveKind::LoadBalance.is_makespan());
+    }
+}

@@ -10,16 +10,20 @@
 //! iteration counts for Figs 3–4 and wall-clock time for the SE-vs-GA
 //! races of Figs 5–7, plus an evaluation-count budget for deterministic
 //! comparisons and a stall window ("no improvement for N iterations").
+//! It also carries the [`ObjectiveKind`] to optimize, so the CLI and the
+//! harnesses select objectives without touching the `Scheduler` trait.
 
 use crate::encoding::Solution;
+use crate::objective::ObjectiveKind;
 use mshc_platform::HcInstance;
 use mshc_trace::Trace;
 use std::time::Duration;
 
-/// Stopping criteria; a run stops as soon as *any* set limit is reached.
-/// A fully `None` budget never stops — constructive heuristics ignore
-/// budgets, iterative schedulers require at least one limit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Stopping criteria plus the objective to optimize; a run stops as soon
+/// as *any* set limit is reached. A fully `None` budget never stops —
+/// constructive heuristics ignore budgets, iterative schedulers require
+/// at least one limit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunBudget {
     /// Maximum iterations (SE) / generations (GA).
     pub max_iterations: Option<u64>,
@@ -28,8 +32,13 @@ pub struct RunBudget {
     /// Maximum wall-clock time.
     pub max_wall: Option<Duration>,
     /// Stop after this many consecutive iterations without improving the
-    /// best makespan.
+    /// best objective value.
     pub max_stall: Option<u64>,
+    /// The objective iterative schedulers minimize (default: makespan,
+    /// the paper's objective). One-shot constructive heuristics always
+    /// build makespan-oriented schedules but report this objective's
+    /// value alongside.
+    pub objective: ObjectiveKind,
 }
 
 impl RunBudget {
@@ -51,6 +60,12 @@ impl RunBudget {
     /// Adds a stall window to an existing budget.
     pub fn with_stall(mut self, n: u64) -> RunBudget {
         self.max_stall = Some(n);
+        self
+    }
+
+    /// Sets the objective to optimize.
+    pub fn with_objective(mut self, objective: ObjectiveKind) -> RunBudget {
+        self.objective = objective;
         self
     }
 
@@ -82,14 +97,34 @@ impl RunBudget {
 pub struct RunResult {
     /// The best solution found.
     pub solution: Solution,
-    /// Its makespan.
+    /// Its makespan (always reported, whatever the objective).
     pub makespan: f64,
+    /// Its value under the budget's objective; equals `makespan` for the
+    /// default makespan objective.
+    pub objective_value: f64,
     /// Iterations (or generations) executed; 1 for one-shot heuristics.
     pub iterations: u64,
     /// Full schedule evaluations performed.
     pub evaluations: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+}
+
+/// Scores `solution` under `objective` for reporting, reusing the known
+/// `makespan` when the objective is plain makespan (no extra pass). Used
+/// by one-shot constructive heuristics, which always build makespan-
+/// oriented schedules but report the budget's objective alongside.
+pub fn report_objective_value(
+    inst: &HcInstance,
+    solution: &Solution,
+    makespan: f64,
+    objective: ObjectiveKind,
+) -> f64 {
+    if objective.is_makespan() {
+        makespan
+    } else {
+        crate::Evaluator::new(inst).objective_value(solution, &objective)
+    }
 }
 
 /// A task matching-and-scheduling algorithm.
@@ -123,6 +158,10 @@ mod tests {
         let b = RunBudget::wall(Duration::from_millis(50));
         assert_eq!(b.max_wall, Some(Duration::from_millis(50)));
         assert!(!RunBudget::default().is_bounded());
+        assert!(RunBudget::default().objective.is_makespan());
+        let b = RunBudget::iterations(5).with_objective(ObjectiveKind::LoadBalance);
+        assert_eq!(b.objective, ObjectiveKind::LoadBalance);
+        assert!(b.is_bounded());
     }
 
     #[test]

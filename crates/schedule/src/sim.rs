@@ -236,8 +236,7 @@ pub fn replay_with(
     if executed != k {
         return Err(SimError::Deadlock { stuck_tasks: k - executed });
     }
-    let makespan = finish.iter().copied().fold(0.0, f64::max);
-    Ok(ScheduleReport { start, finish, makespan })
+    Ok(ScheduleReport::from_times(start, finish, solution))
 }
 
 #[cfg(test)]

@@ -1,0 +1,187 @@
+//! Flattened, cache-friendly instance snapshot for the hot evaluation
+//! path.
+//!
+//! [`HcInstance`] is the validated, serializable source of truth, but its
+//! representation pays for generality on every lookup: `in_edges` chases
+//! through boxed CSR arrays *and* materializes [`DataEdge`] values,
+//! `exec_time`/`transfer_time` go through [`Matrix`] accessors, and
+//! `transfer_time` re-derives the pair row each call. The evaluator runs
+//! these lookups millions of times per SE run (§4.5 evaluates thousands
+//! of candidate strings per iteration), so [`EvalSnapshot`] flattens
+//! everything once into dense structure-of-arrays form:
+//!
+//! * predecessor CSR — `(src task, data item)` pairs per task, in the
+//!   exact order `TaskGraph::in_edges` yields them (the evaluator's f64
+//!   reduction order, and therefore its bit-exact results, depend on it);
+//! * the execution matrix `E` as one `l × k` row-major slab;
+//! * the transfer matrix `Tr` as one `l(l-1)/2 × p` row-major slab.
+//!
+//! A snapshot is plain owned data (`Send + Sync`), so one snapshot can be
+//! shared by any number of worker-thread evaluators — this is what
+//! [`crate::BatchEvaluator`] fans out over.
+//!
+//! [`Matrix`]: mshc_platform::Matrix
+//! [`DataEdge`]: mshc_taskgraph::DataEdge
+
+use mshc_platform::{pair_count, pair_index, HcInstance, MachineId};
+use mshc_taskgraph::{DataId, TaskId};
+
+/// Dense, immutable copy of everything the evaluator reads per pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalSnapshot {
+    k: usize,
+    l: usize,
+    p: usize,
+    /// CSR offsets into `pred_src`/`pred_data`, indexed by task (`k + 1`).
+    pred_offsets: Vec<u32>,
+    /// Producing task per incoming edge, grouped by consumer.
+    pred_src: Vec<u32>,
+    /// Data item per incoming edge, grouped by consumer.
+    pred_data: Vec<u32>,
+    /// `E` as a row-major `l × k` slab: `exec[m * k + t]`.
+    exec: Vec<f64>,
+    /// `Tr` as a row-major `l(l-1)/2 × p` slab: `transfer[pair * p + d]`.
+    transfer: Vec<f64>,
+}
+
+impl EvalSnapshot {
+    /// Flattens `inst` into a snapshot. O(l·k + l²·p) one-time cost.
+    pub fn new(inst: &HcInstance) -> EvalSnapshot {
+        let g = inst.graph();
+        let sys = inst.system();
+        let (k, l, p) = (inst.task_count(), inst.machine_count(), inst.data_count());
+
+        let mut pred_offsets = Vec::with_capacity(k + 1);
+        let mut pred_src = Vec::with_capacity(p);
+        let mut pred_data = Vec::with_capacity(p);
+        pred_offsets.push(0u32);
+        for t in g.tasks() {
+            for e in g.in_edges(t) {
+                pred_src.push(e.src.raw());
+                pred_data.push(e.id.raw());
+            }
+            pred_offsets.push(pred_src.len() as u32);
+        }
+
+        let mut exec = Vec::with_capacity(l * k);
+        for m in 0..l {
+            for t in 0..k {
+                exec.push(sys.exec_matrix().get(m, t));
+            }
+        }
+        let pairs = pair_count(l);
+        let mut transfer = Vec::with_capacity(pairs * p);
+        for pair in 0..pairs {
+            for d in 0..p {
+                transfer.push(sys.transfer_matrix().get(pair, d));
+            }
+        }
+
+        EvalSnapshot { k, l, p, pred_offsets, pred_src, pred_data, exec, transfer }
+    }
+
+    /// Number of subtasks `k`.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.k
+    }
+
+    /// Number of machines `l`.
+    #[inline]
+    pub fn machine_count(&self) -> usize {
+        self.l
+    }
+
+    /// Number of data items `p`.
+    #[inline]
+    pub fn data_count(&self) -> usize {
+        self.p
+    }
+
+    /// `E[m][t]`: execution time of task `t` on machine `m`.
+    #[inline]
+    pub fn exec_time(&self, m: MachineId, t: TaskId) -> f64 {
+        self.exec[m.index() * self.k + t.index()]
+    }
+
+    /// Time to move data item `d` between machines; zero when co-located.
+    #[inline]
+    pub fn transfer_time(&self, d: DataId, from: MachineId, to: MachineId) -> f64 {
+        if from == to {
+            0.0
+        } else {
+            self.transfer[pair_index(self.l, from, to) * self.p + d.index()]
+        }
+    }
+
+    /// Incoming `(producer, data item)` pairs of `t`, in the same order
+    /// `TaskGraph::in_edges` yields them.
+    #[inline]
+    pub fn preds(&self, t: TaskId) -> impl ExactSizeIterator<Item = (TaskId, DataId)> + Clone + '_ {
+        let lo = self.pred_offsets[t.index()] as usize;
+        let hi = self.pred_offsets[t.index() + 1] as usize;
+        (lo..hi).map(move |i| (TaskId::new(self.pred_src[i]), DataId::new(self.pred_data[i])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mshc_platform::{HcSystem, Matrix};
+    use mshc_taskgraph::TaskGraphBuilder;
+
+    fn instance() -> HcInstance {
+        let mut b = TaskGraphBuilder::new(4);
+        for (s, d) in [(0, 1), (0, 2), (1, 3), (2, 3)] {
+            b.add_edge(s, d).unwrap();
+        }
+        let g = b.build().unwrap();
+        let exec = Matrix::from_fn(3, 4, |m, t| (m * 10 + t + 1) as f64);
+        let transfer = Matrix::from_fn(3, 4, |pair, d| (pair * 100 + d) as f64);
+        let sys = HcSystem::with_anonymous_machines(3, exec, transfer).unwrap();
+        HcInstance::new(g, sys).unwrap()
+    }
+
+    #[test]
+    fn dimensions_and_lookups_match_instance() {
+        let inst = instance();
+        let snap = EvalSnapshot::new(&inst);
+        assert_eq!(snap.task_count(), 4);
+        assert_eq!(snap.machine_count(), 3);
+        assert_eq!(snap.data_count(), 4);
+        let sys = inst.system();
+        for m in sys.machine_ids() {
+            for t in inst.graph().tasks() {
+                assert_eq!(snap.exec_time(m, t), sys.exec_time(m, t));
+            }
+        }
+        for d in inst.graph().edges().iter().map(|e| e.id) {
+            for a in sys.machine_ids() {
+                for b in sys.machine_ids() {
+                    assert_eq!(snap.transfer_time(d, a, b), sys.transfer_time(d, a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn preds_match_in_edges_order() {
+        let inst = instance();
+        let snap = EvalSnapshot::new(&inst);
+        for t in inst.graph().tasks() {
+            let want: Vec<(TaskId, DataId)> =
+                inst.graph().in_edges(t).map(|e| (e.src, e.id)).collect();
+            let got: Vec<(TaskId, DataId)> = snap.preds(t).collect();
+            assert_eq!(got, want, "{t}");
+        }
+    }
+
+    #[test]
+    fn colocated_transfer_is_zero() {
+        let inst = instance();
+        let snap = EvalSnapshot::new(&inst);
+        let d = DataId::new(0);
+        let m = MachineId::new(1);
+        assert_eq!(snap.transfer_time(d, m, m), 0.0);
+    }
+}

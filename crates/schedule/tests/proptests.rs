@@ -3,7 +3,10 @@
 //! built without the workload crate (kept dependency-light).
 
 use mshc_platform::{HcInstance, HcSystem, MachineId, Matrix};
-use mshc_schedule::{random_solution, replay, replay_with, Evaluator, Gantt, NetworkModel};
+use mshc_schedule::{
+    objective_from_report, random_solution, replay, replay_with, BatchEvaluator, EvalSnapshot,
+    Evaluator, Gantt, NetworkModel, Objective, ObjectiveKind,
+};
 use mshc_taskgraph::gen::{erdos_dag, layered, LayeredConfig};
 use mshc_taskgraph::TaskId;
 use proptest::prelude::*;
@@ -121,6 +124,50 @@ proptest! {
             }
         }
         prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Every objective computed analytically (one evaluator pass) agrees
+    /// with the same objective read off the discrete-event simulator's
+    /// replay report — the `sim.rs` oracle covers the whole objective
+    /// family, not just makespan.
+    #[test]
+    fn objectives_agree_with_des_replay(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let sol = random_solution(&inst, &mut rng);
+        let mut eval = Evaluator::new(&inst);
+        let sim = replay(&inst, &sol).unwrap();
+        let weighted = ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.4, balance: 0.6 };
+        for kind in ObjectiveKind::BASIC.into_iter().chain([weighted]) {
+            let analytic = eval.objective_value(&sol, &kind);
+            let oracle = objective_from_report(&kind, &sim);
+            prop_assert!(
+                (analytic - oracle).abs() < 1e-9 * analytic.abs().max(1.0),
+                "{}: analytic {analytic} vs replay {oracle}",
+                kind.name()
+            );
+        }
+        // The report carries the same values.
+        let report = eval.report(&sol);
+        let o = report.objectives();
+        prop_assert!((o.makespan - sim.makespan).abs() < 1e-9);
+        prop_assert!((o.total_flowtime - sim.total_flowtime).abs() < 1e-9);
+    }
+
+    /// Batch evaluation is pointwise identical to the scalar evaluator
+    /// on random candidate sets, for every objective.
+    #[test]
+    fn batch_matches_scalar_on_random_candidates(inst in instance_strategy(), seed in any::<u64>()) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let candidates: Vec<_> = (0..8).map(|_| random_solution(&inst, &mut rng)).collect();
+        let snap = EvalSnapshot::new(&inst);
+        let mut batch = BatchEvaluator::new(&snap);
+        let mut scalar = Evaluator::new(&inst);
+        for kind in ObjectiveKind::BASIC {
+            let got = batch.scores(&candidates, &kind);
+            for (sol, &score) in candidates.iter().zip(&got) {
+                prop_assert_eq!(scalar.objective_value(sol, &kind), score, "{}", kind.name());
+            }
+        }
     }
 
     /// Contention can only delay: the per-pair-link network dominates the

@@ -143,7 +143,7 @@ pub fn chain(k: usize) -> Result<TaskGraph, GraphError> {
 }
 
 /// `k` independent tasks — the meta-task / bag-of-tasks extreme (the Braun
-/// et al. comparison-study setting the paper cites as [4]).
+/// et al. comparison-study setting the paper cites as \[4\]).
 pub fn independent(k: usize) -> Result<TaskGraph, GraphError> {
     if k == 0 {
         return Err(GraphError::Empty);

@@ -3,7 +3,7 @@
 //! The paper needs two order-related facilities:
 //!
 //! * a **topological sort** to build the initial valid solution string
-//!   (§4.2, citing Cormen et al. [12]);
+//!   (§4.2, citing Cormen et al. \[12\]);
 //! * per-task **levels** — the selection step orders selected subtasks "in
 //!   ascending order according to their level in the DAG" before allocation
 //!   (§4.4).

@@ -11,7 +11,7 @@
 //! A [`WorkloadSpec`] names a point in that taxonomy — size (tasks ×
 //! machines), [`Connectivity`], [`Heterogeneity`], CCR — plus a seed, and
 //! [`WorkloadSpec::generate`] deterministically expands it into an
-//! [`HcInstance`]:
+//! [`HcInstance`](mshc_platform::HcInstance):
 //!
 //! * the DAG comes from the layered random generator with an edge
 //!   probability mapped from the connectivity class;

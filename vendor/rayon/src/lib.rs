@@ -1,154 +1,775 @@
-//! Hermetic stand-in for `rayon`.
+//! Hermetic stand-in for `rayon` with **real** thread parallelism.
 //!
 //! The offline build vendors the subset of rayon's API the suite uses
-//! (`par_iter`, `map_init`, `join`) with **sequential** execution. Every
-//! "parallel" iterator here is an ordinary [`Iterator`], so downstream
-//! combinators (`enumerate`, `map`, `min_by`, `collect`, ...) come from
-//! the standard library. Replacing this crate with the real rayon is a
-//! manifest-only change — call sites compile unmodified either way.
+//! (`par_iter`, `map`, `map_init`, `enumerate`, `min_by`, `collect`,
+//! `join`, ...) on top of a `std::thread::scope`-based chunked executor:
+//! an input of `n` indexed items is split into contiguous chunks, a small
+//! crew of scoped worker threads drains the chunk queue, and per-chunk
+//! results are merged back **in chunk order**, so every consumer is
+//! deterministic — the outcome is bit-identical at any thread count.
 //!
-//! **Caveat while this shim is in use:** determinism tests that compare
-//! a `parallel_*` code path against its serial twin (e.g.
-//! `mshc-core`'s `parallel_allocation_matches_serial`) are vacuous —
-//! both paths execute sequentially here, so they cannot catch
-//! order-dependent reductions. Re-check those tests when swapping the
-//! real rayon back in.
+//! Pool sizing, most specific wins:
+//!
+//! 1. a [`ThreadPool::install`] scope on the calling thread;
+//! 2. the process-wide size set by [`ThreadPoolBuilder::build_global`];
+//! 3. the `RAYON_NUM_THREADS` environment variable;
+//! 4. [`std::thread::available_parallelism`].
+//!
+//! With an effective size of 1 everything runs inline on the calling
+//! thread with zero spawn overhead. Replacing this crate with the real
+//! rayon is a manifest-only change — call sites compile unmodified.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Run two closures and return both results (sequentially, `a` first).
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
-where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
-{
-    (a(), b())
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------------
+// Pool sizing
+// ---------------------------------------------------------------------------
+
+/// Process-wide pool size set by `build_global` (0 = unset).
+static GLOBAL_POOL_SIZE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`] (0 = none).
+    static INSTALLED_POOL_SIZE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
-/// Borrowing conversion into a "parallel" iterator (`.par_iter()`).
+/// The number of worker threads parallel operations on this thread use.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_POOL_SIZE.with(std::cell::Cell::get);
+    if installed > 0 {
+        return installed;
+    }
+    let global = GLOBAL_POOL_SIZE.load(AtomicOrdering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    if let Ok(raw) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Error building a thread pool (shape-compatible with rayon's).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+///
+/// `num_threads(0)` (the default) means "derive from the environment".
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with environment-derived sizing.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds a scoped pool handle; run closures under its size with
+    /// [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let size = if self.num_threads > 0 { self.num_threads } else { current_num_threads() };
+        Ok(ThreadPool { size })
+    }
+
+    /// Sets the process-wide pool size. Unlike real rayon, calling this
+    /// twice simply overwrites the size instead of erroring — the shim
+    /// has no live pool to reconfigure.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let size = if self.num_threads > 0 { self.num_threads } else { current_num_threads() };
+        GLOBAL_POOL_SIZE.store(size, AtomicOrdering::Relaxed);
+        Ok(())
+    }
+}
+
+/// A sized pool handle. The shim spawns scoped threads per operation, so
+/// the handle only carries the size; `install` scopes it to a closure.
+#[derive(Debug, Clone)]
+pub struct ThreadPool {
+    size: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.size
+    }
+
+    /// Runs `op` with this pool's size governing every parallel
+    /// operation started from the calling thread inside `op`.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        let previous = INSTALLED_POOL_SIZE.with(|c| c.replace(self.size));
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_POOL_SIZE.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(previous);
+        op()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
+
+/// Runs both closures, potentially in parallel, and returns both results
+/// (`a`'s computed on the calling thread).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(b);
+        let ra = a();
+        let rb = handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (ra, rb)
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The chunked executor
+// ---------------------------------------------------------------------------
+
+/// Splits `0..len` into chunks and folds each with `fold_chunk` on a crew
+/// of scoped threads; returns the chunk results **in chunk order**. The
+/// chunk grid depends only on `len`, `min_len` and the thread count — and
+/// every consumer below merges chunk results associatively with the same
+/// semantics the sequential fold has — so results do not depend on
+/// scheduling.
+fn run_chunks<Out, F>(len: usize, min_len: usize, fold_chunk: F) -> Vec<Out>
+where
+    Out: Send,
+    F: Fn(Range<usize>) -> Out + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || len <= min_len.max(1) {
+        return vec![fold_chunk(0..len)];
+    }
+    // A few chunks per worker amortizes imbalance without shrinking
+    // chunks below the caller's splitting hint.
+    let chunk_size = len.div_ceil(threads * 2).max(min_len.max(1));
+    let num_chunks = len.div_ceil(chunk_size);
+    if num_chunks <= 1 {
+        return vec![fold_chunk(0..len)];
+    }
+    let next_chunk = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, Out)>> = Mutex::new(Vec::with_capacity(num_chunks));
+    let worker = || loop {
+        let i = next_chunk.fetch_add(1, AtomicOrdering::Relaxed);
+        if i >= num_chunks {
+            break;
+        }
+        let lo = i * chunk_size;
+        let hi = (lo + chunk_size).min(len);
+        let out = fold_chunk(lo..hi);
+        results.lock().expect("executor poisoned").push((i, out));
+    };
+    std::thread::scope(|scope| {
+        for _ in 1..threads.min(num_chunks) {
+            scope.spawn(worker);
+        }
+        worker();
+    });
+    let mut chunks = results.into_inner().expect("executor poisoned");
+    chunks.sort_unstable_by_key(|&(i, _)| i);
+    chunks.into_iter().map(|(_, out)| out).collect()
+}
+
+// ---------------------------------------------------------------------------
+// ParallelIterator
+// ---------------------------------------------------------------------------
+
+/// A splittable, indexed source of items plus rayon's adaptor/consumer
+/// surface.
+///
+/// The producer half (`par_len` / `produce`) is shim plumbing: adaptors
+/// wrap it, consumers drive it chunk-by-chunk through the executor. Item
+/// `i` must not depend on which chunk it lands in — all the standard
+/// combinators satisfy this by construction (`map_init` state is scratch,
+/// re-created per chunk, exactly like rayon's per-worker state).
+pub trait ParallelIterator: Sync + Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Total number of items.
+    fn par_len(&self) -> usize;
+
+    /// Minimum chunk length hint (see [`with_min_len`](Self::with_min_len)).
+    fn min_len_hint(&self) -> usize {
+        1
+    }
+
+    /// Feeds the items at indices `range`, in index order, into `sink`
+    /// as `(index, item)` pairs. Shim plumbing — not part of rayon's API.
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, Self::Item));
+
+    // ---- adaptors --------------------------------------------------------
+
+    /// Maps each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps each item through `f` with per-worker scratch state: `init`
+    /// runs once per chunk (so at least once per participating thread)
+    /// and the resulting state is threaded through that chunk's items.
+    /// Results must therefore not depend on state carried *across* items
+    /// — treat the state as scratch (buffers, cloned bases, RNG-free
+    /// evaluators), exactly as with real rayon.
+    fn map_init<St, Init, F, R>(self, init: Init, f: F) -> MapInit<Self, Init, F>
+    where
+        Init: Fn() -> St + Sync,
+        F: Fn(&mut St, Self::Item) -> R + Sync,
+        R: Send,
+    {
+        MapInit { base: self, init, f }
+    }
+
+    /// Pairs each item with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Splitting hint: chunks will hold at least `min` items.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min: min.max(1) }
+    }
+
+    // ---- consumers -------------------------------------------------------
+
+    /// Runs `f` on every item.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let len = self.par_len();
+        run_chunks(len, self.min_len_hint(), |range| {
+            self.produce(range, &mut |_, item| f(item));
+        });
+    }
+
+    /// Collects all items, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// The minimum item under `cmp`; the **first** of equal minima, like
+    /// [`Iterator::min_by`] (sequential parity at any thread count).
+    fn min_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering + Sync,
+    {
+        let len = self.par_len();
+        let chunks = run_chunks(len, self.min_len_hint(), |range| {
+            let mut best: Option<Self::Item> = None;
+            self.produce(range, &mut |_, item| match &best {
+                Some(cur) if cmp(&item, cur) != Ordering::Less => {}
+                _ => best = Some(item),
+            });
+            best
+        });
+        chunks.into_iter().flatten().reduce(|acc, item| {
+            if cmp(&item, &acc) == Ordering::Less {
+                item
+            } else {
+                acc
+            }
+        })
+    }
+
+    /// The maximum item under `cmp`; the **last** of equal maxima, like
+    /// [`Iterator::max_by`].
+    fn max_by<F>(self, cmp: F) -> Option<Self::Item>
+    where
+        F: Fn(&Self::Item, &Self::Item) -> Ordering + Sync,
+    {
+        let len = self.par_len();
+        let chunks = run_chunks(len, self.min_len_hint(), |range| {
+            let mut best: Option<Self::Item> = None;
+            self.produce(range, &mut |_, item| match &best {
+                Some(cur) if cmp(&item, cur) == Ordering::Less => {}
+                _ => best = Some(item),
+            });
+            best
+        });
+        chunks.into_iter().flatten().reduce(|acc, item| {
+            if cmp(&item, &acc) == Ordering::Less {
+                acc
+            } else {
+                item
+            }
+        })
+    }
+
+    /// Sums the items (chunk sums added in chunk order).
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let len = self.par_len();
+        run_chunks(len, self.min_len_hint(), |range| {
+            let mut items = Vec::with_capacity(range.len());
+            self.produce(range, &mut |_, item| items.push(item));
+            items.into_iter().sum::<S>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.par_len()
+    }
+}
+
+/// Collection types buildable from a parallel iterator.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds the collection, preserving index order.
+    fn from_par_iter<P>(par_iter: P) -> Self
+    where
+        P: ParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P>(par_iter: P) -> Vec<T>
+    where
+        P: ParallelIterator<Item = T>,
+    {
+        let len = par_iter.par_len();
+        let chunks = run_chunks(len, par_iter.min_len_hint(), |range| {
+            let mut items = Vec::with_capacity(range.len());
+            par_iter.produce(range, &mut |_, item| items.push(item));
+            items
+        });
+        let mut out = Vec::with_capacity(len);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Borrowing parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, &'a T)) {
+        for i in range {
+            sink(i, &self.slice[i]);
+        }
+    }
+}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
 pub trait IntoParallelRefIterator<'a> {
     /// The iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// The item type produced.
-    type Item: 'a;
+    type Item: Send + 'a;
 
-    /// Iterate the collection "in parallel" (sequentially here).
+    /// Iterate the collection in parallel.
     fn par_iter(&'a self) -> Self::Iter;
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = std::slice::Iter<'a, T>;
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
     type Item = &'a T;
 
-    fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
-        self.iter()
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
     }
 }
 
-impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = std::slice::Iter<'a, T>;
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
     type Item = &'a T;
 
-    fn par_iter(&'a self) -> std::slice::Iter<'a, T> {
-        self.iter()
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
     }
 }
 
-/// Owning conversion into a "parallel" iterator (`.into_par_iter()`).
+/// Owning parallel iterator over a vector (items cloned out per chunk —
+/// a shim simplification; real rayon splits ownership).
+#[derive(Debug)]
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone + Send + Sync> ParallelIterator for VecParIter<T> {
+    type Item = T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, T)) {
+        for i in range {
+            sink(i, self.items[i].clone());
+        }
+    }
+}
+
+/// Parallel iterator over an integer range.
+#[derive(Debug)]
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.len
+    }
+
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, usize)) {
+        for i in range {
+            sink(i, self.start + i);
+        }
+    }
+}
+
+/// Owning conversion into a parallel iterator (`.into_par_iter()`).
 pub trait IntoParallelIterator {
     /// The iterator type produced.
-    type Iter: Iterator<Item = Self::Item>;
+    type Iter: ParallelIterator<Item = Self::Item>;
     /// The item type produced.
-    type Item;
+    type Item: Send;
 
-    /// Consume the collection into a "parallel" iterator.
+    /// Consume the collection into a parallel iterator.
     fn into_par_iter(self) -> Self::Iter;
 }
 
-impl<I: IntoIterator> IntoParallelIterator for I {
-    type Iter = I::IntoIter;
-    type Item = I::Item;
+impl<T: Clone + Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = VecParIter<T>;
+    type Item = T;
 
-    fn into_par_iter(self) -> I::IntoIter {
-        self.into_iter()
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
     }
 }
 
-/// rayon-only iterator adaptors, grafted onto every [`Iterator`].
-pub trait ParallelIterator: Iterator + Sized {
-    /// Map with per-"thread" scratch state. Sequential execution means a
-    /// single `init()` call whose value is threaded through every item.
-    fn map_init<St, Init, F, R>(self, init: Init, f: F) -> MapInit<Self, St, F>
-    where
-        Init: FnOnce() -> St,
-        F: FnMut(&mut St, Self::Item) -> R,
-    {
-        MapInit { iter: self, state: init(), f }
-    }
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeParIter;
+    type Item = usize;
 
-    /// rayon's `with_min_len` splitting hint: a no-op here.
-    fn with_min_len(self, _min: usize) -> Self {
-        self
+    fn into_par_iter(self) -> RangeParIter {
+        RangeParIter { start: self.start, len: self.end.saturating_sub(self.start) }
     }
 }
 
-impl<I: Iterator> ParallelIterator for I {}
+// ---------------------------------------------------------------------------
+// Adaptors
+// ---------------------------------------------------------------------------
 
-/// Iterator returned by [`ParallelIterator::map_init`].
-pub struct MapInit<I, St, F> {
-    iter: I,
-    state: St,
+/// Iterator returned by [`ParallelIterator::map`].
+pub struct Map<P, F> {
+    base: P,
     f: F,
 }
 
-impl<I, St, F, R> Iterator for MapInit<I, St, F>
+impl<P, F, R> ParallelIterator for Map<P, F>
 where
-    I: Iterator,
-    F: FnMut(&mut St, I::Item) -> R,
+    P: ParallelIterator,
+    F: Fn(P::Item) -> R + Sync,
+    R: Send,
 {
     type Item = R;
 
-    fn next(&mut self) -> Option<R> {
-        let item = self.iter.next()?;
-        Some((self.f)(&mut self.state, item))
+    fn par_len(&self) -> usize {
+        self.base.par_len()
     }
 
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.iter.size_hint()
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, R)) {
+        self.base.produce(range, &mut |i, item| sink(i, (self.f)(item)));
+    }
+}
+
+/// Iterator returned by [`ParallelIterator::map_init`].
+pub struct MapInit<P, Init, F> {
+    base: P,
+    init: Init,
+    f: F,
+}
+
+impl<P, St, Init, F, R> ParallelIterator for MapInit<P, Init, F>
+where
+    P: ParallelIterator,
+    Init: Fn() -> St + Sync,
+    F: Fn(&mut St, P::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, R)) {
+        let mut state = (self.init)();
+        self.base.produce(range, &mut |i, item| sink(i, (self.f)(&mut state, item)));
+    }
+}
+
+/// Iterator returned by [`ParallelIterator::enumerate`].
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P> ParallelIterator for Enumerate<P>
+where
+    P: ParallelIterator,
+{
+    type Item = (usize, P::Item);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.base.min_len_hint()
+    }
+
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, (usize, P::Item))) {
+        self.base.produce(range, &mut |i, item| sink(i, (i, item)));
+    }
+}
+
+/// Iterator returned by [`ParallelIterator::with_min_len`].
+pub struct MinLen<P> {
+    base: P,
+    min: usize,
+}
+
+impl<P> ParallelIterator for MinLen<P>
+where
+    P: ParallelIterator,
+{
+    type Item = P::Item;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn min_len_hint(&self) -> usize {
+        self.min.max(self.base.min_len_hint())
+    }
+
+    fn produce(&self, range: Range<usize>, sink: &mut dyn FnMut(usize, P::Item)) {
+        self.base.produce(range, sink);
     }
 }
 
 /// The glob-import surface mirroring `rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
-    #[test]
-    fn par_iter_map_init_matches_sequential() {
-        let xs = vec![1u32, 2, 3, 4];
-        let out: Vec<u64> = xs
-            .par_iter()
-            .enumerate()
-            .map_init(
-                || 10u64,
-                |acc, (i, &x)| {
-                    *acc += 1;
-                    *acc + i as u64 + x as u64
-                },
-            )
-            .collect();
-        assert_eq!(out, vec![12, 15, 18, 21]);
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().expect("build never fails")
     }
 
     #[test]
-    fn join_returns_both() {
-        let (a, b) = super::join(|| 2 + 2, || "ok");
+    fn collect_preserves_order_at_any_thread_count() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = xs.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 16] {
+            let out: Vec<u64> =
+                pool(threads).install(|| xs.par_iter().map(|&x| x * 3 + 1).collect());
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn map_init_state_is_per_chunk_scratch() {
+        // Per-item results must not rely on cross-item state; verify the
+        // scratch pattern (state reused as a buffer, output independent).
+        let xs: Vec<u32> = (0..512).collect();
+        for threads in [1, 3, 8] {
+            let out: Vec<u64> = pool(threads).install(|| {
+                xs.par_iter()
+                    .enumerate()
+                    .map_init(Vec::<u32>::new, |buf, (i, &x)| {
+                        buf.clear();
+                        buf.extend([x, x + 1]);
+                        buf.iter().map(|&v| v as u64).sum::<u64>() + i as u64
+                    })
+                    .collect()
+            });
+            let expected: Vec<u64> =
+                xs.iter().enumerate().map(|(i, &x)| (2 * x + 1) as u64 + i as u64).collect();
+            assert_eq!(out, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn min_by_matches_sequential_first_minimum() {
+        // Duplicate minima: the first one must win, as with Iterator::min_by.
+        let xs = vec![5.0f64, 1.0, 9.0, 1.0, 7.0, 1.0];
+        for threads in [1, 2, 8] {
+            let got = pool(threads).install(|| {
+                xs.par_iter().enumerate().map(|(i, &x)| (i, x)).min_by(|a, b| a.1.total_cmp(&b.1))
+            });
+            assert_eq!(got, Some((1, 1.0)), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn max_by_matches_sequential_last_maximum() {
+        let xs = vec![3, 9, 2, 9, 1];
+        let seq = xs.iter().enumerate().max_by(|a, b| a.1.cmp(b.1));
+        for threads in [1, 2, 8] {
+            let got =
+                pool(threads).install(|| xs.par_iter().enumerate().max_by(|a, b| a.1.cmp(b.1)));
+            assert_eq!(got.map(|(i, _)| i), seq.map(|(i, _)| i), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn sum_and_count_and_for_each() {
+        let xs: Vec<u64> = (1..=100).collect();
+        let total: u64 = pool(4).install(|| xs.par_iter().map(|&x| x).sum());
+        assert_eq!(total, 5050);
+        assert_eq!(xs.par_iter().count(), 100);
+        let hits = AtomicUsize::new(0);
+        pool(4).install(|| {
+            xs.par_iter().for_each(|_| {
+                hits.fetch_add(1, AtomicOrdering::Relaxed);
+            })
+        });
+        assert_eq!(hits.load(AtomicOrdering::Relaxed), 100);
+    }
+
+    #[test]
+    fn into_par_iter_over_ranges_and_vecs() {
+        let squares: Vec<usize> =
+            pool(4).install(|| (0..50usize).into_par_iter().map(|i| i * i).collect());
+        assert_eq!(squares[49], 49 * 49);
+        let doubled: Vec<i32> =
+            pool(2).install(|| vec![1, 2, 3].into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn with_min_len_caps_splitting() {
+        // One chunk when min_len >= len: map_init's init runs exactly once.
+        let inits = AtomicUsize::new(0);
+        let out: Vec<u32> = pool(8).install(|| {
+            vec![1u32; 64]
+                .par_iter()
+                .with_min_len(64)
+                .map_init(
+                    || {
+                        inits.fetch_add(1, AtomicOrdering::Relaxed);
+                    },
+                    |_, &x| x,
+                )
+                .collect()
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(inits.load(AtomicOrdering::Relaxed), 1);
+    }
+
+    #[test]
+    fn join_returns_both_and_propagates_order() {
+        let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+        let (a, b) = pool(4).install(|| join(|| (0..1000u64).sum::<u64>(), || 7u64));
+        assert_eq!(a, 499_500);
+        assert_eq!(b, 7);
+    }
+
+    #[test]
+    fn install_scopes_the_pool_size() {
+        let outer = current_num_threads();
+        let inner = pool(3).install(current_num_threads);
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer, "install must restore on exit");
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let xs: Vec<u32> = Vec::new();
+        let out: Vec<u32> = pool(4).install(|| xs.par_iter().map(|&x| x).collect());
+        assert!(out.is_empty());
+        assert_eq!(xs.par_iter().min_by(|a, b| a.cmp(b)), None);
     }
 }
