@@ -11,7 +11,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mshc_schedule::{
-    random_solution, replay, BatchEvaluator, EvalSnapshot, Evaluator, ObjectiveKind,
+    auto_stride, random_solution, replay, BatchEvaluator, EvalSnapshot, Evaluator,
+    IncrementalEvaluator, ObjectiveKind,
 };
 use mshc_workloads::WorkloadSpec;
 use rand::SeedableRng;
@@ -76,6 +77,53 @@ fn bench_batch_candidates(c: &mut Criterion) {
     group.finish();
 }
 
+/// Full-vs-incremental move scan, single thread, same candidate grid as
+/// `batch_candidates` and `bench_eval` (the `BENCH_eval.json` series):
+/// the `full` baseline pays move + O(k + p) pass per candidate, the
+/// `stride-*` entries pay one prime plus a checkpoint-resumed suffix
+/// replay per candidate. Acceptance bar: incremental ≥ 2x `full` on the
+/// 100-task preset at any stride.
+fn bench_incremental_moves(c: &mut Criterion) {
+    let spec = WorkloadSpec { tasks: 100, machines: 20, ..WorkloadSpec::large(2001) };
+    let inst = spec.generate();
+    let g = inst.graph();
+    let k = inst.task_count();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let base = random_solution(&inst, &mut rng);
+    let (t, moves) = mshc_bench::probes::widest_move_grid(&inst, &base);
+    let obj = ObjectiveKind::Makespan;
+    let snapshot = EvalSnapshot::new(&inst);
+
+    let mut group = c.benchmark_group("incremental_moves");
+    group.bench_function(BenchmarkId::new("full", moves.len()), |b| {
+        let mut eval = Evaluator::with_snapshot(&snapshot);
+        let mut scratch = base.clone();
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &(pos, m) in &moves {
+                scratch.move_task(g, t, pos, m).expect("in-range");
+                acc += eval.objective_value(black_box(&scratch), &obj);
+            }
+            black_box(acc)
+        })
+    });
+    for stride in [1usize, auto_stride(k), k] {
+        let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
+        inc.set_stride(Some(stride));
+        inc.prime(&base);
+        group.bench_function(BenchmarkId::new(format!("stride-{stride}"), moves.len()), |b| {
+            b.iter(|| {
+                let mut acc = 0.0f64;
+                for &(pos, m) in &moves {
+                    acc += inc.score_move(t, pos, m, &obj);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_solution_moves(c: &mut Criterion) {
     let inst = WorkloadSpec::large(12).generate();
     let mut rng = ChaCha8Rng::seed_from_u64(2);
@@ -95,6 +143,6 @@ fn bench_solution_moves(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_evaluator, bench_batch_candidates, bench_solution_moves
+    targets = bench_evaluator, bench_batch_candidates, bench_incremental_moves, bench_solution_moves
 }
 criterion_main!(benches);

@@ -1,25 +1,34 @@
-//! `bench_eval` — batch-evaluation throughput probe and `BENCH_eval.json`
+//! `bench_eval` — evaluation-throughput probe and `BENCH_eval.json`
 //! emitter.
 //!
-//! Measures candidate-evaluation throughput three ways on one paper-scale
+//! Measures candidate-evaluation throughput four ways on one paper-scale
 //! workload (SE allocation-scan shape: "base with task `t` moved"):
 //!
-//! 1. **scalar** — one [`Evaluator`], full pass per candidate (the
-//!    historic sequential baseline);
-//! 2. **batch ×1** — [`BatchEvaluator`] pinned to a single worker thread
+//! 1. **scalar / full** — one [`Evaluator`], move + full O(k + p) pass
+//!    per candidate (the historic sequential baseline, and the "full
+//!    re-evaluation" series of the full-vs-incremental comparison);
+//! 2. **incremental** — one [`IncrementalEvaluator`] on a single thread:
+//!    the base is primed once, every candidate is a checkpoint-resumed
+//!    suffix replay. `incremental_speedup_vs_full` is the algorithmic
+//!    win (same thread count, same candidates, same bits out);
+//! 3. **batch ×1** — [`BatchEvaluator`] pinned to a single worker thread
 //!    (isolates batch-machinery overhead);
-//! 3. **batch ×N** — [`BatchEvaluator`] on the requested pool (default:
-//!    available parallelism, or `--threads N`).
+//! 4. **batch ×N** — [`BatchEvaluator`] on the requested pool (default:
+//!    available parallelism, or `--threads N`) — thread parallelism
+//!    compounding on top of the incremental scoring inside.
 //!
 //! Writes the numbers as JSON (default `BENCH_eval.json`, `--out FILE`)
-//! so CI can archive the perf trajectory per commit. `--quick` shrinks
-//! the measurement for smoke runs.
+//! so CI can archive the perf trajectory per commit; the CI smoke step
+//! asserts both the full and incremental series are present. `--quick`
+//! shrinks the measurement for smoke runs.
 //!
 //! ```text
 //! cargo run --release -p mshc-bench --bin bench_eval -- --threads 8
 //! ```
 
-use mshc_schedule::{BatchEvaluator, EvalSnapshot, Evaluator, ObjectiveKind, Solution};
+use mshc_schedule::{
+    BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, ObjectiveKind, Solution,
+};
 use mshc_workloads::WorkloadSpec;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,11 +44,19 @@ struct BenchReport {
     candidates: usize,
     rounds: usize,
     threads: usize,
+    /// Full re-evaluation series: move + full pass per candidate, one
+    /// thread.
     scalar_evals_per_sec: f64,
+    /// Incremental series: suffix replay per candidate, one thread,
+    /// auto checkpoint stride.
+    incremental_evals_per_sec: f64,
+    /// incremental over full, single-threaded — the algorithmic win
+    /// (≥ 2x expected on the 100-task preset).
+    incremental_speedup_vs_full: f64,
     batch_1thread_evals_per_sec: f64,
     batch_evals_per_sec: f64,
     /// batch ×N over scalar — the headline number (≥ 2x expected with
-    /// ≥ 4 real cores).
+    /// ≥ 4 real cores, compounding with the incremental win).
     speedup_vs_scalar: f64,
     /// batch ×N over batch ×1 — pure thread scaling.
     thread_scaling: f64,
@@ -118,6 +135,23 @@ fn main() {
             (rounds * moves.len()) as f64 / start.elapsed().as_secs_f64()
         })
     };
+    // Incremental move scan: prime once, suffix-replay per candidate —
+    // same single thread, same candidates, bit-identical scores; the
+    // throughput difference is purely algorithmic.
+    let incremental_eps = {
+        let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
+        inc.prime(&base);
+        let start = Instant::now();
+        let mut evals = 0u64;
+        for _ in 0..rounds {
+            for &(pos, m) in &moves {
+                black_box(inc.score_move(t, pos, m, &obj));
+                evals += 1;
+            }
+        }
+        evals as f64 / start.elapsed().as_secs_f64()
+    };
+
     let batch1_eps = batch_eps(1);
     let batchn_eps = batch_eps(threads);
 
@@ -128,6 +162,8 @@ fn main() {
         rounds,
         threads,
         scalar_evals_per_sec: scalar_eps,
+        incremental_evals_per_sec: incremental_eps,
+        incremental_speedup_vs_full: incremental_eps / scalar_eps,
         batch_1thread_evals_per_sec: batch1_eps,
         batch_evals_per_sec: batchn_eps,
         speedup_vs_scalar: batchn_eps / scalar_eps,
@@ -137,8 +173,15 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_eval.json");
     println!("{json}");
     println!(
-        "scalar {:.0}/s | batch x1 {:.0}/s | batch x{} {:.0}/s | speedup {:.2}x",
-        scalar_eps, batch1_eps, threads, batchn_eps, report.speedup_vs_scalar
+        "full {:.0}/s | incremental {:.0}/s ({:.2}x) | batch x1 {:.0}/s | batch x{} {:.0}/s \
+         ({:.2}x)",
+        scalar_eps,
+        incremental_eps,
+        report.incremental_speedup_vs_full,
+        batch1_eps,
+        threads,
+        batchn_eps,
+        report.speedup_vs_scalar
     );
     println!("wrote {out_path}");
 }

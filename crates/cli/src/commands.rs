@@ -36,6 +36,10 @@ global options:
   --threads N
              evaluation worker threads (default: available parallelism,
              or the RAYON_NUM_THREADS environment variable)
+  --checkpoint-stride N
+             checkpoint stride of the incremental move evaluators used by
+             se/sa/tabu (default: auto = ceil(sqrt(tasks)); results are
+             identical at every stride, only speed/memory change)
 ";
 
 /// Entry point: dispatches `argv` to a subcommand.
@@ -109,13 +113,24 @@ fn budget(p: &Parsed) -> Result<RunBudget, String> {
     if wall > 0.0 {
         b.max_wall = Some(Duration::from_secs_f64(wall));
     }
-    if !b.is_bounded() {
-        b.max_iterations = Some(200); // sensible default for iterative algos
+    if b.validate().is_err() {
+        // An all-`None` budget would make the iterative schedulers run
+        // forever; default loudly instead of silently never stopping.
+        b.max_iterations = Some(200);
+        eprintln!("note: no --iters/--wall budget given; defaulting to --iters 200");
     }
     if let Some(raw) = p.get("objective") {
         b.objective = ObjectiveKind::parse(raw)
             .ok_or_else(|| format!("--objective: unknown objective {raw:?}"))?;
     }
+    if p.get("checkpoint-stride").is_some() {
+        let stride: usize = p.get_parse("checkpoint-stride", 0)?;
+        if stride == 0 {
+            return Err("--checkpoint-stride: must be at least 1 (omit for auto)".to_string());
+        }
+        b.checkpoint_stride = Some(stride);
+    }
+    debug_assert!(b.validate().is_ok());
     Ok(b)
 }
 
@@ -221,6 +236,13 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
             "objectives: makespan {:.2} | total-flowtime {:.2} | mean-flowtime {:.2} | \
              load-imbalance {:.2}",
             o.makespan, o.total_flowtime, o.mean_flowtime, o.load_imbalance
+        );
+        let secs = result.elapsed.as_secs_f64();
+        let evals_per_sec =
+            if secs > 0.0 { result.evaluations as f64 / secs } else { f64::INFINITY };
+        println!(
+            "throughput: {:.0} evals/sec ({} evals, {:.3}s)",
+            evals_per_sec, result.evaluations, secs
         );
     }
     if p.flag("gantt") {
@@ -404,6 +426,59 @@ mod tests {
         .unwrap();
         let e = dispatch(&argv(&["run", "--algo", "se", "--objective", "fastest"])).unwrap_err();
         assert!(e.contains("objective"));
+    }
+
+    #[test]
+    fn checkpoint_stride_flag_parses_and_runs() {
+        // Stride is a pure cost knob; the run must succeed at extreme
+        // strides and reject unparsable values.
+        for stride in ["1", "3", "1000"] {
+            dispatch(&argv(&[
+                "run",
+                "--algo",
+                "se",
+                "--tasks",
+                "12",
+                "--machines",
+                "3",
+                "--iters",
+                "5",
+                "--checkpoint-stride",
+                stride,
+                "--report",
+            ]))
+            .unwrap();
+        }
+        dispatch(&argv(&[
+            "compare",
+            "--tasks",
+            "10",
+            "--machines",
+            "3",
+            "--iters",
+            "5",
+            "--checkpoint-stride",
+            "4",
+        ]))
+        .unwrap();
+        let e = dispatch(&argv(&["run", "--algo", "sa", "--checkpoint-stride", "x"])).unwrap_err();
+        assert!(e.contains("--checkpoint-stride"));
+        // 0 is rejected rather than silently falling back to auto.
+        let e = dispatch(&argv(&["run", "--algo", "sa", "--checkpoint-stride", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"));
+    }
+
+    #[test]
+    fn budget_parser_applies_flags() {
+        let p = parse(&argv(&["--iters", "7", "--checkpoint-stride", "9"]));
+        let b = budget(&p).unwrap();
+        assert_eq!(b.max_iterations, Some(7));
+        assert_eq!(b.checkpoint_stride, Some(9));
+        assert!(b.validate().is_ok());
+        // No limits given: the loud default keeps the budget bounded.
+        let b = budget(&parse(&argv(&[]))).unwrap();
+        assert_eq!(b.max_iterations, Some(200));
+        assert_eq!(b.checkpoint_stride, None);
     }
 
     #[test]

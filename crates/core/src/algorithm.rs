@@ -4,8 +4,8 @@ use crate::config::{AllocationStrategy, SeConfig};
 use crate::goodness::{goodness, optimal_costs};
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    BatchEvaluator, EvalSnapshot, Evaluator, Objective, ObjectiveKind, RunBudget, RunResult,
-    Scheduler, Solution,
+    BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, Objective, ObjectiveKind,
+    RunBudget, RunResult, Scheduler, Solution,
 };
 use mshc_taskgraph::{Levels, TaskId};
 use mshc_trace::{Trace, TraceRecord};
@@ -52,7 +52,7 @@ impl Scheduler for SeScheduler {
         budget: &RunBudget,
         mut trace: Option<&mut Trace>,
     ) -> RunResult {
-        assert!(budget.is_bounded(), "SE is an anytime algorithm: set at least one budget limit");
+        budget.validate().expect("SE is an anytime algorithm");
         let start = Instant::now();
         let g = inst.graph();
         let cfg = self.config;
@@ -72,11 +72,14 @@ impl Scheduler for SeScheduler {
             })
             .collect();
 
-        // One flattened snapshot shared by the scalar evaluator and the
-        // batch workers for the whole run.
+        // One flattened snapshot shared by the scalar evaluator, the
+        // incremental move evaluator and the batch workers for the
+        // whole run.
         let snapshot = EvalSnapshot::new(inst);
         let mut eval = Evaluator::with_snapshot(&snapshot);
-        let mut batch = BatchEvaluator::new(&snapshot);
+        let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
+        inc.set_stride(budget.checkpoint_stride);
+        let mut batch = BatchEvaluator::new(&snapshot).with_stride(budget.checkpoint_stride);
         let mut moves = Vec::new();
 
         // ---- initial solution (§4.2) ----
@@ -121,6 +124,7 @@ impl Scheduler for SeScheduler {
                     &mut current,
                     inst,
                     &mut eval,
+                    &mut inc,
                     &mut batch,
                     &mut moves,
                     t,
@@ -188,14 +192,17 @@ impl Scheduler for SeScheduler {
 ///
 /// Three evaluation routes, all committing the same argmin (ties break
 /// to the earliest candidate in `(position, machine)` grid order, so the
-/// routes are bit-identical for the makespan objective):
+/// routes are bit-identical for every built-in objective):
 ///
 /// * `parallel_allocation` (best-fit only) — the whole grid is scored in
-///   one [`BatchEvaluator::score_moves`] call across worker threads;
-/// * `incremental_eval` + makespan — the serial suffix-checkpoint scan
-///   (the fast path cannot serve other objectives: it only tracks the
-///   running finish-time maximum);
-/// * otherwise — serial full objective passes.
+///   one [`BatchEvaluator::score_moves`] call across worker threads
+///   (which itself routes through per-thread incremental evaluators);
+/// * `incremental_eval` — the serial incremental scan: the base is
+///   primed once and every candidate is scored by checkpoint-resumed
+///   suffix replay, without mutating the solution. Works for every
+///   [`ObjectiveKind`] through the accumulator-finalize interface;
+/// * otherwise — serial full objective passes (the ablation baseline,
+///   and the only route for custom non-incremental objectives).
 ///
 /// [`AllocationStrategy::FirstImprovement`] is inherently sequential
 /// (the commit depends on scan order cutting the scan short), so it
@@ -205,6 +212,7 @@ fn allocate(
     sol: &mut Solution,
     inst: &HcInstance,
     eval: &mut Evaluator<'_>,
+    inc: &mut IncrementalEvaluator<'_>,
     batch: &mut BatchEvaluator<'_>,
     moves: &mut Vec<(usize, MachineId)>,
     t: TaskId,
@@ -240,13 +248,23 @@ fn allocate(
         return;
     }
 
-    let use_suffix = cfg.incremental_eval && objective.is_makespan();
-    let current_cost = eval.objective_value(sol, &objective);
-    if use_suffix {
-        // Every candidate state is "base with t moved", so its segments
-        // agree with the primed base on positions 0..min(orig_pos, pos).
-        eval.prime(sol);
-    }
+    let use_incremental = cfg.incremental_eval && objective.supports_incremental();
+    // The incremental route primes once (a full pass) and reads the
+    // current cost off the fold for free. It is charged 2 evaluations —
+    // one for the current-cost read, one for the priming pass — exactly
+    // what this route has always charged (a counted current-cost pass
+    // plus a counted prime), so evaluation budgets and reported counts
+    // are stable across releases. The full-pass ablation route charges
+    // 1 (no prime), as it always has: decisions are bit-identical
+    // between the routes, evaluation *counts* are not — don't compare
+    // the flag settings under a max_evaluations budget.
+    let current_cost = if use_incremental {
+        inc.prime(sol);
+        eval.bump_evaluations(2);
+        inc.base_score(&objective)
+    } else {
+        eval.objective_value(sol, &objective)
+    };
     let mut best_pos = orig_pos;
     let mut best_m = orig_m;
     let mut best_cost = f64::INFINITY;
@@ -255,17 +273,18 @@ fn allocate(
             if pos == orig_pos && m == orig_m {
                 continue; // relocation is mandatory
             }
-            sol.move_task(g, t, pos, m).expect("candidate within valid range");
-            let mk = if use_suffix {
-                eval.makespan_suffix(sol, orig_pos.min(pos))
+            let cost = if use_incremental {
+                eval.bump_evaluations(1);
+                inc.score_move(t, pos, m, &objective)
             } else {
+                sol.move_task(g, t, pos, m).expect("candidate within valid range");
                 eval.objective_value(sol, &objective)
             };
-            if mk < best_cost {
-                best_cost = mk;
+            if cost < best_cost {
+                best_cost = cost;
                 best_pos = pos;
                 best_m = m;
-                if cfg.allocation == AllocationStrategy::FirstImprovement && mk < current_cost {
+                if cfg.allocation == AllocationStrategy::FirstImprovement && cost < current_cost {
                     break 'search;
                 }
             }

@@ -68,10 +68,16 @@ pub struct SeConfig {
     /// bit-identical to the serial path (deterministic argmin); worthwhile
     /// only when `k × Y` is large enough to amortize fork/join overhead.
     pub parallel_allocation: bool,
-    /// Use suffix-incremental makespan evaluation during allocation: the
-    /// schedule prefix untouched by a candidate move is restored from a
-    /// checkpoint instead of being recomputed. Bit-identical results
-    /// (covered by tests); disable only for the ablation benchmarks.
+    /// Use incremental (prefix-cached) evaluation during allocation: the
+    /// base schedule is primed once per allocation scan and every
+    /// candidate move is scored by checkpoint-resumed suffix replay,
+    /// for any built-in objective. Every candidate *score* and therefore
+    /// every decision is bit-identical to the full-pass route (covered
+    /// by tests); only the reported evaluation counts differ (the
+    /// priming pass is charged, so this route counts one more evaluation
+    /// per scan — under a `max_evaluations` budget the two flag settings
+    /// stop at different points). Disable only for the ablation
+    /// benchmarks.
     pub incremental_eval: bool,
     /// Optional ESP-style closed-loop bias adaptation (extension; the
     /// paper uses the fixed `selection_bias` only). When set,

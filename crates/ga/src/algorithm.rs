@@ -67,7 +67,7 @@ impl Scheduler for GaScheduler {
         budget: &RunBudget,
         mut trace: Option<&mut Trace>,
     ) -> RunResult {
-        assert!(budget.is_bounded(), "GA is an anytime algorithm: set at least one budget limit");
+        budget.validate().expect("GA is an anytime algorithm");
         let start = Instant::now();
         let cfg = self.config;
         let g = inst.graph();
@@ -76,9 +76,15 @@ impl Scheduler for GaScheduler {
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         // Whole-population fitness goes through the batch evaluator: one
-        // call per generation, fanned out over worker threads.
+        // call per generation, fanned out over worker threads. GA stays
+        // on full (tier-1) per-candidate evaluation — crossover splices
+        // whole strings, so no prefix of a child is shared with a primed
+        // base and suffix replay has nothing to resume from — but it
+        // shares the same snapshot/arena plumbing as the move-based
+        // searches (the stride only matters if a custom scheduler mixes
+        // in move scoring).
         let snapshot = EvalSnapshot::new(inst);
-        let mut batch = BatchEvaluator::new(&snapshot);
+        let mut batch = BatchEvaluator::new(&snapshot).with_stride(budget.checkpoint_stride);
         let mut sols: Vec<Solution> = Vec::with_capacity(cfg.population);
 
         // ---- initial population ----

@@ -1,14 +1,18 @@
 //! Iterative metaheuristic baselines: random search, simulated annealing
 //! and tabu search over the same valid-range move neighborhood SE uses.
 //!
-//! All three optimize whatever [`ObjectiveKind`] the run budget carries;
-//! tabu search additionally scores each iteration's sampled neighborhood
-//! through the parallel [`BatchEvaluator`] in one call.
+//! All three optimize whatever [`ObjectiveKind`] the run budget carries.
+//! The move-based searches are move-oriented end to end: SA scores each
+//! proposal through an [`IncrementalEvaluator`] (suffix replay against
+//! the primed current solution — no mutate/undo per rejected proposal),
+//! and tabu scores each iteration's sampled neighborhood through the
+//! parallel [`BatchEvaluator`] in one call (which routes through
+//! per-thread incremental evaluators itself).
 
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    random_solution, BatchEvaluator, EvalSnapshot, Evaluator, ObjectiveKind, RunBudget, RunResult,
-    Scheduler, Solution,
+    random_solution, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, ObjectiveKind,
+    RunBudget, RunResult, Scheduler, Solution,
 };
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
@@ -34,20 +38,22 @@ fn reported_makespan(
 }
 
 /// Uniformly samples a neighbor move `(task, position, machine)` from the
-/// valid-range neighborhood and applies it, returning the undo move.
-fn random_move<R: Rng + ?Sized>(
-    sol: &mut Solution,
+/// valid-range neighborhood of `sol` **without applying it** — the
+/// move-oriented searches score moves against the unmutated base.
+///
+/// The RNG consumption order (task, position, machine) is pinned: it is
+/// what keeps the incremental SA bit-identical to the historic
+/// mutate-evaluate-undo loop.
+fn sample_move<R: Rng + ?Sized>(
+    sol: &Solution,
     inst: &HcInstance,
     rng: &mut R,
 ) -> (TaskId, usize, MachineId) {
-    let g = inst.graph();
     let t = TaskId::from_usize(rng.gen_range(0..inst.task_count()));
-    let undo = (t, sol.position_of(t), sol.machine_of(t));
-    let (lo, hi) = sol.valid_range(g, t);
+    let (lo, hi) = sol.valid_range(inst.graph(), t);
     let pos = rng.gen_range(lo..=hi);
     let m = MachineId::from_usize(rng.gen_range(0..inst.machine_count()));
-    sol.move_task(g, t, pos, m).expect("in-range move");
-    undo
+    (t, pos, m)
 }
 
 /// Pure random restarts: sample fresh random valid solutions, keep the
@@ -75,7 +81,7 @@ impl Scheduler for RandomSearch {
         budget: &RunBudget,
         mut trace: Option<&mut Trace>,
     ) -> RunResult {
-        assert!(budget.is_bounded(), "random search needs a budget");
+        budget.validate().expect("random search needs a budget");
         let start = Instant::now();
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
@@ -139,6 +145,12 @@ impl Default for SaConfig {
 /// Simulated annealing over the valid-range move neighborhood (the
 /// Flan/Freund-style genetic-simulated-annealing lineage the paper cites
 /// as \[8\], reduced to its SA core).
+///
+/// Proposals are scored through an [`IncrementalEvaluator`] primed on
+/// the current solution: a rejected proposal costs only a suffix replay
+/// (and no mutate/undo), an accepted one re-primes the evaluator. The
+/// trajectory is bit-identical to the historic full-evaluation loop for
+/// the makespan objective.
 #[derive(Debug, Clone)]
 pub struct SimulatedAnnealing {
     config: SaConfig,
@@ -164,28 +176,36 @@ impl Scheduler for SimulatedAnnealing {
         budget: &RunBudget,
         mut trace: Option<&mut Trace>,
     ) -> RunResult {
-        assert!(budget.is_bounded(), "SA needs a budget");
+        budget.validate().expect("SA needs a budget");
         let start = Instant::now();
         let cfg = self.config;
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut eval = Evaluator::new(inst);
+        let mut inc = IncrementalEvaluator::new(inst);
+        inc.set_stride(budget.checkpoint_stride);
         let mut current = random_solution(inst, &mut rng);
-        let mut current_cost = eval.objective_value(&current, &objective);
+        inc.prime(&current);
+        let mut current_cost = inc.base_score(&objective);
+        // One evaluation for the initial priming pass; thereafter one per
+        // proposal (re-primes on acceptance are uncounted cache rebuilds,
+        // keeping the axis identical to the historic full-pass loop).
+        let evals = |inc: &IncrementalEvaluator<'_>| 1 + inc.evaluations();
         let mut best = current.clone();
         let mut best_cost = current_cost;
         let mut temp = current_cost.max(f64::MIN_POSITIVE) * cfg.initial_temp_fraction;
         let mut iterations = 0u64;
         let mut stall = 0u64;
-        while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
-            let undo = random_move(&mut current, inst, &mut rng);
-            let cand_cost = eval.objective_value(&current, &objective);
+        while !budget.exhausted(iterations, evals(&inc), start.elapsed(), stall) {
+            // Propose a move and score it by suffix replay — the current
+            // solution is only mutated on acceptance.
+            let (t, pos, m) = sample_move(&current, inst, &mut rng);
+            let cand_cost = inc.score_move(t, pos, m, &objective);
             let accept = cand_cost <= current_cost
                 || rng.gen::<f64>() < ((current_cost - cand_cost) / temp.max(1e-12)).exp();
             if accept {
+                current.move_task(inst.graph(), t, pos, m).expect("in-range move");
                 current_cost = cand_cost;
-            } else {
-                current.move_task(inst.graph(), undo.0, undo.1, undo.2).expect("undo");
+                inc.prime(&current);
             }
             if current_cost < best_cost {
                 best_cost = current_cost;
@@ -200,7 +220,7 @@ impl Scheduler for SimulatedAnnealing {
                 tr.push(TraceRecord {
                     iteration: iterations - 1,
                     elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: eval.evaluations(),
+                    evaluations: evals(&inc),
                     current_cost,
                     best_cost,
                     selected: None,
@@ -209,12 +229,13 @@ impl Scheduler for SimulatedAnnealing {
             }
         }
         let makespan = reported_makespan(inst, &best, best_cost, objective);
+        let evaluations = evals(&inc);
         RunResult {
             solution: best,
             makespan,
             objective_value: best_cost,
             iterations,
-            evaluations: eval.evaluations(),
+            evaluations,
             elapsed: start.elapsed(),
         }
     }
@@ -267,7 +288,7 @@ impl Scheduler for TabuSearch {
         budget: &RunBudget,
         mut trace: Option<&mut Trace>,
     ) -> RunResult {
-        assert!(budget.is_bounded(), "tabu search needs a budget");
+        budget.validate().expect("tabu search needs a budget");
         let start = Instant::now();
         let cfg = self.config;
         let g = inst.graph();
@@ -275,7 +296,7 @@ impl Scheduler for TabuSearch {
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let snapshot = EvalSnapshot::new(inst);
         let mut eval = Evaluator::with_snapshot(&snapshot);
-        let mut batch = BatchEvaluator::new(&snapshot);
+        let mut batch = BatchEvaluator::new(&snapshot).with_stride(budget.checkpoint_stride);
         let mut sampled: Vec<(TaskId, usize, MachineId)> = Vec::with_capacity(cfg.samples);
         let mut current = random_solution(inst, &mut rng);
         let mut current_cost = eval.objective_value(&current, &objective);

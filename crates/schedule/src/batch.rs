@@ -4,18 +4,33 @@
 //! set of candidate schedules that are independent of one another, score
 //! them all, pick one. [`BatchEvaluator`] centralizes that shape — it
 //! owns a pool of reusable per-thread arenas (a borrowed-snapshot
-//! [`Evaluator`] plus a scratch [`Solution`]) and fans a candidate set
-//! out over the rayon executor in one call. Arenas are checked out once
-//! per worker chunk and returned afterwards, so steady-state batch
-//! scoring performs no allocations beyond the output vector.
+//! [`Evaluator`], an [`IncrementalEvaluator`] and a scratch [`Solution`])
+//! and fans a candidate set out over the rayon executor in one call.
+//! Arenas are checked out once per worker chunk and returned afterwards,
+//! so steady-state batch scoring performs no allocations beyond the
+//! output vector.
+//!
+//! The move-oriented entry points ([`score_moves`], [`score_task_moves`])
+//! route through the per-thread incremental evaluators whenever the
+//! objective supports accumulator finalization (every
+//! [`crate::ObjectiveKind`] does): each worker primes its evaluator on
+//! the shared base once per chunk and then scores candidates by suffix
+//! replay — no per-candidate `Solution` mutation at all. Objectives
+//! without incremental support fall back to clone-and-move full passes.
 //!
 //! Determinism: scores are returned **in candidate order** and every
 //! candidate's score depends only on that candidate, so results are
 //! bit-identical at any thread count — the serial-vs-parallel SE guard
-//! tests pin this down.
+//! tests pin this down. Per-chunk primes are deliberately *not* counted
+//! into [`evaluations`](BatchEvaluator::evaluations): the chunk grid
+//! varies with the thread count, and the evaluation axis must not.
+//!
+//! [`score_moves`]: BatchEvaluator::score_moves
+//! [`score_task_moves`]: BatchEvaluator::score_task_moves
 
 use crate::encoding::Solution;
 use crate::eval::Evaluator;
+use crate::incremental::IncrementalEvaluator;
 use crate::objective::Objective;
 use crate::snapshot::EvalSnapshot;
 use mshc_platform::MachineId;
@@ -23,10 +38,11 @@ use mshc_taskgraph::{TaskGraph, TaskId};
 use rayon::prelude::*;
 use std::sync::Mutex;
 
-/// One worker's reusable state: an evaluator over the shared snapshot and
-/// an optional scratch solution for move-based scoring.
+/// One worker's reusable state: evaluators over the shared snapshot and
+/// an optional scratch solution for non-incremental move scoring.
 struct Arena<'a> {
     eval: Evaluator<'a>,
+    inc: IncrementalEvaluator<'a>,
     scratch: Option<Solution>,
 }
 
@@ -39,11 +55,11 @@ struct ArenaGuard<'p, 'a> {
 
 impl<'p, 'a> ArenaGuard<'p, 'a> {
     fn checkout(pool: &'p Mutex<Vec<Arena<'a>>>, snap: &'a EvalSnapshot) -> ArenaGuard<'p, 'a> {
-        let arena = pool
-            .lock()
-            .expect("arena pool poisoned")
-            .pop()
-            .unwrap_or_else(|| Arena { eval: Evaluator::with_snapshot(snap), scratch: None });
+        let arena = pool.lock().expect("arena pool poisoned").pop().unwrap_or_else(|| Arena {
+            eval: Evaluator::with_snapshot(snap),
+            inc: IncrementalEvaluator::with_snapshot(snap),
+            scratch: None,
+        });
         ArenaGuard { pool, arena: Some(arena) }
     }
 
@@ -62,9 +78,30 @@ impl<'p, 'a> ArenaGuard<'p, 'a> {
         guard
     }
 
+    /// Checks out an arena with its incremental evaluator primed on
+    /// `base` at the requested checkpoint stride — the move-scoring
+    /// fast path. One O(k + p) prime per chunk, amortized over the
+    /// chunk's candidates.
+    fn checkout_primed(
+        pool: &'p Mutex<Vec<Arena<'a>>>,
+        snap: &'a EvalSnapshot,
+        base: &Solution,
+        stride: Option<usize>,
+    ) -> ArenaGuard<'p, 'a> {
+        let mut guard = ArenaGuard::checkout(pool, snap);
+        let arena = guard.arena.as_mut().expect("arena present until drop");
+        arena.inc.set_stride(stride);
+        arena.inc.prime(base);
+        guard
+    }
+
     fn parts(&mut self) -> (&mut Evaluator<'a>, &mut Option<Solution>) {
         let arena = self.arena.as_mut().expect("arena present until drop");
         (&mut arena.eval, &mut arena.scratch)
+    }
+
+    fn inc(&mut self) -> &mut IncrementalEvaluator<'a> {
+        &mut self.arena.as_mut().expect("arena present until drop").inc
     }
 }
 
@@ -80,13 +117,23 @@ impl Drop for ArenaGuard<'_, '_> {
 pub struct BatchEvaluator<'a> {
     snap: &'a EvalSnapshot,
     arenas: Mutex<Vec<Arena<'a>>>,
+    /// Checkpoint stride handed to the per-thread incremental evaluators
+    /// (`None` = auto `⌈√k⌉`). Never affects scores, only resume cost.
+    stride: Option<usize>,
     evaluations: u64,
 }
 
 impl<'a> BatchEvaluator<'a> {
     /// Creates a batch evaluator over a shared snapshot.
     pub fn new(snap: &'a EvalSnapshot) -> BatchEvaluator<'a> {
-        BatchEvaluator { snap, arenas: Mutex::new(Vec::new()), evaluations: 0 }
+        BatchEvaluator { snap, arenas: Mutex::new(Vec::new()), stride: None, evaluations: 0 }
+    }
+
+    /// Sets the checkpoint stride for incremental move scoring (`None` =
+    /// auto `⌈√k⌉`).
+    pub fn with_stride(mut self, stride: Option<usize>) -> BatchEvaluator<'a> {
+        self.stride = stride;
+        self
     }
 
     /// The shared snapshot.
@@ -95,14 +142,17 @@ impl<'a> BatchEvaluator<'a> {
         self.snap
     }
 
-    /// Total schedule evaluations performed across all batches.
+    /// Total schedule evaluations performed across all batches (one per
+    /// scored candidate; per-chunk primes are uncounted so the axis is
+    /// thread-count independent).
     #[inline]
     pub fn evaluations(&self) -> u64 {
         self.evaluations
     }
 
     /// Scores every candidate solution under `obj`; `out[i]` is the score
-    /// of `candidates[i]`.
+    /// of `candidates[i]`. Whole solutions share no base, so this is
+    /// always full (tier-1) evaluation fanned out per thread.
     pub fn scores(&mut self, candidates: &[Solution], obj: &dyn Objective) -> Vec<f64> {
         let snap = self.snap;
         let pool = &self.arenas;
@@ -122,10 +172,9 @@ impl<'a> BatchEvaluator<'a> {
 
     /// Scores the candidate set "`base` with task `t` moved to
     /// `(position, machine)`" for every entry of `moves` — the SE
-    /// allocation ripple scan's shape. Each worker clones `base` once per
-    /// chunk and re-moves `t` per candidate; moving the same task
-    /// repeatedly is safe because a task's valid range is independent of
-    /// its own position.
+    /// allocation ripple scan's shape. Incremental-capable objectives are
+    /// scored by suffix replay against a once-per-chunk primed base;
+    /// others fall back to a scratch clone re-moved per candidate.
     pub fn score_moves(
         &mut self,
         graph: &TaskGraph,
@@ -136,26 +185,41 @@ impl<'a> BatchEvaluator<'a> {
     ) -> Vec<f64> {
         let snap = self.snap;
         let pool = &self.arenas;
-        let out: Vec<f64> = moves
-            .par_iter()
-            .map_init(
-                || ArenaGuard::checkout_with_base(pool, snap, base),
-                |guard, &(pos, m)| {
-                    let (eval, scratch) = guard.parts();
-                    let scratch = scratch.as_mut().expect("checkout_with_base sets scratch");
-                    scratch.move_task(graph, t, pos, m).expect("candidate within valid range");
-                    eval.objective_value(scratch, obj)
-                },
-            )
-            .collect();
+        let stride = self.stride;
+        let out: Vec<f64> = if obj.supports_incremental() {
+            moves
+                .par_iter()
+                .map_init(
+                    || ArenaGuard::checkout_primed(pool, snap, base, stride),
+                    |guard, &(pos, m)| guard.inc().score_move(t, pos, m, obj),
+                )
+                .collect()
+        } else {
+            moves
+                .par_iter()
+                .map_init(
+                    || ArenaGuard::checkout_with_base(pool, snap, base),
+                    |guard, &(pos, m)| {
+                        let (eval, scratch) = guard.parts();
+                        let scratch = scratch.as_mut().expect("checkout_with_base sets scratch");
+                        scratch.move_task(graph, t, pos, m).expect("candidate within valid range");
+                        eval.objective_value(scratch, obj)
+                    },
+                )
+                .collect()
+        };
         self.evaluations += moves.len() as u64;
         out
     }
 
     /// Scores the candidate set "`base` with one task moved" where each
     /// entry may move a *different* task — the sampled-neighborhood shape
-    /// (tabu search). Each move is undone before the next, so the scratch
-    /// stays equal to `base` throughout a chunk.
+    /// (tabu search). Same routing as [`score_moves`]: incremental
+    /// objectives never touch a scratch solution; the fallback undoes
+    /// each move before the next so the scratch stays equal to `base`
+    /// throughout a chunk.
+    ///
+    /// [`score_moves`]: BatchEvaluator::score_moves
     pub fn score_task_moves(
         &mut self,
         graph: &TaskGraph,
@@ -165,21 +229,32 @@ impl<'a> BatchEvaluator<'a> {
     ) -> Vec<f64> {
         let snap = self.snap;
         let pool = &self.arenas;
-        let out: Vec<f64> = moves
-            .par_iter()
-            .map_init(
-                || ArenaGuard::checkout_with_base(pool, snap, base),
-                |guard, &(t, pos, m)| {
-                    let (eval, scratch) = guard.parts();
-                    let scratch = scratch.as_mut().expect("checkout_with_base sets scratch");
-                    let undo = (scratch.position_of(t), scratch.machine_of(t));
-                    scratch.move_task(graph, t, pos, m).expect("candidate within valid range");
-                    let score = eval.objective_value(scratch, obj);
-                    scratch.move_task(graph, t, undo.0, undo.1).expect("undo restores base");
-                    score
-                },
-            )
-            .collect();
+        let stride = self.stride;
+        let out: Vec<f64> = if obj.supports_incremental() {
+            moves
+                .par_iter()
+                .map_init(
+                    || ArenaGuard::checkout_primed(pool, snap, base, stride),
+                    |guard, &(t, pos, m)| guard.inc().score_move(t, pos, m, obj),
+                )
+                .collect()
+        } else {
+            moves
+                .par_iter()
+                .map_init(
+                    || ArenaGuard::checkout_with_base(pool, snap, base),
+                    |guard, &(t, pos, m)| {
+                        let (eval, scratch) = guard.parts();
+                        let scratch = scratch.as_mut().expect("checkout_with_base sets scratch");
+                        let undo = (scratch.position_of(t), scratch.machine_of(t));
+                        scratch.move_task(graph, t, pos, m).expect("candidate within valid range");
+                        let score = eval.objective_value(scratch, obj);
+                        scratch.move_task(graph, t, undo.0, undo.1).expect("undo restores base");
+                        score
+                    },
+                )
+                .collect()
+        };
         self.evaluations += moves.len() as u64;
         out
     }
@@ -189,7 +264,7 @@ impl<'a> BatchEvaluator<'a> {
 mod tests {
     use super::*;
     use crate::init::random_solution;
-    use crate::objective::ObjectiveKind;
+    use crate::objective::{EvalView, ObjectiveKind};
     use mshc_platform::{HcInstance, HcSystem, Matrix};
     use mshc_taskgraph::gen::{layered, LayeredConfig};
     use rand::{Rng, SeedableRng};
@@ -289,8 +364,77 @@ mod tests {
             assert_eq!(scalar.objective_value(&cand, &obj), score);
         }
         // Scoring again over the recycled arenas gives the same answers
-        // (scratches were properly reset/undone).
+        // (primed bases are rebuilt per checkout).
         assert_eq!(batch.score_task_moves(g, &base, &moves, &obj), got);
+    }
+
+    #[test]
+    fn move_scores_are_stride_and_thread_invariant() {
+        // The checkpoint stride is a pure cost knob: every stride (1,
+        // auto, beyond-k) and every thread count must produce the same
+        // bits.
+        let inst = random_instance(26, 4, 12);
+        let g = inst.graph();
+        let k = inst.task_count();
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let base = random_solution(&inst, &mut rng);
+        let moves: Vec<(TaskId, usize, MachineId)> = (0..48)
+            .map(|_| {
+                let t = TaskId::new(rng.gen_range(0..k as u32));
+                let (lo, hi) = base.valid_range(g, t);
+                (t, rng.gen_range(lo..=hi), MachineId::new(rng.gen_range(0..4)))
+            })
+            .collect();
+        let obj = ObjectiveKind::Makespan;
+        let baseline = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| BatchEvaluator::new(&snap).score_task_moves(g, &base, &moves, &obj));
+        for stride in [Some(1), None, Some(k + 9)] {
+            for threads in [1usize, 2, 8] {
+                let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+                let got = pool.install(|| {
+                    BatchEvaluator::new(&snap)
+                        .with_stride(stride)
+                        .score_task_moves(g, &base, &moves, &obj)
+                });
+                assert_eq!(got, baseline, "stride {stride:?}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn non_incremental_objectives_fall_back_to_full_passes() {
+        // A custom objective without accumulator support must still be
+        // served (clone-and-move route) and match the scalar evaluator.
+        struct StartSum;
+        impl Objective for StartSum {
+            fn name(&self) -> &str {
+                "start-sum"
+            }
+            fn value(&self, view: &EvalView<'_>) -> f64 {
+                view.start.iter().sum()
+            }
+        }
+        let inst = random_instance(14, 3, 21);
+        let g = inst.graph();
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        let base = random_solution(&inst, &mut rng);
+        let t = TaskId::new(5);
+        let (lo, hi) = base.valid_range(g, t);
+        let moves: Vec<(usize, MachineId)> =
+            (lo..=hi).map(|pos| (pos, MachineId::new(0))).collect();
+        let mut batch = BatchEvaluator::new(&snap);
+        let got = batch.score_moves(g, &base, t, &moves, &StartSum);
+        let mut scalar = Evaluator::new(&inst);
+        for (&(pos, m), &score) in moves.iter().zip(&got) {
+            let mut cand = base.clone();
+            cand.move_task(g, t, pos, m).unwrap();
+            assert_eq!(scalar.objective_value(&cand, &StartSum), score);
+        }
     }
 
     #[test]

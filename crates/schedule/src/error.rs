@@ -39,6 +39,9 @@ pub enum ScheduleError {
         /// Inclusive valid range.
         range: (usize, usize),
     },
+    /// A [`crate::RunBudget`] with no stopping limit was handed to an
+    /// iterative (anytime) scheduler, which would run forever.
+    UnboundedBudget,
 }
 
 impl fmt::Display for ScheduleError {
@@ -60,6 +63,11 @@ impl fmt::Display for ScheduleError {
                 f,
                 "position {position} for {task} outside valid range [{}, {}]",
                 range.0, range.1
+            ),
+            ScheduleError::UnboundedBudget => write!(
+                f,
+                "iterative schedulers need a bounded run budget: set at least one of \
+                 max_iterations, max_evaluations, max_wall or max_stall"
             ),
         }
     }
@@ -84,5 +92,6 @@ mod tests {
         assert!(e.to_string().contains('7'));
         let e = ScheduleError::OutOfValidRange { task: TaskId::new(2), position: 5, range: (1, 3) };
         assert!(e.to_string().contains("[1, 3]"));
+        assert!(ScheduleError::UnboundedBudget.to_string().contains("bounded run budget"));
     }
 }

@@ -13,9 +13,16 @@
 //! [`HcInstance`] representation. Snapshots are shareable across threads,
 //! which is how [`crate::BatchEvaluator`] runs many evaluators over one
 //! instance concurrently.
+//!
+//! The pass folds an [`crate::ObjectiveState`] accumulator (running
+//! makespan / flowtime / per-machine busy) **in string order** as tasks
+//! complete, and [`Evaluator::objective_value`] scores incremental-capable
+//! objectives from that fold. [`crate::IncrementalEvaluator`] replays
+//! exactly the same fold from a checkpoint, which is what makes its
+//! move scores bit-identical to a full pass here.
 
 use crate::encoding::Solution;
-use crate::objective::{EvalView, Objective, ObjectiveValues};
+use crate::objective::{EvalView, Objective, ObjectiveState, ObjectiveValues};
 use crate::snapshot::EvalSnapshot;
 use mshc_platform::HcInstance;
 use mshc_taskgraph::TaskId;
@@ -42,11 +49,25 @@ impl ScheduleReport {
     /// Assembles a report from raw per-task times plus the solution's
     /// machine assignment (used by the discrete-event replay, whose
     /// simulation loop produces only `start`/`finish`).
+    ///
+    /// `machine_busy` is always sized by the solution's **declared**
+    /// machine count, not the highest machine actually used: machines
+    /// that sit idle for the whole schedule appear as explicit `0.0`
+    /// entries, so per-machine consumers (load-balance objectives, Gantt
+    /// lanes) index without drift. Unvalidated solutions whose segments
+    /// reference machines beyond the declared count grow the vector
+    /// instead of panicking.
     pub fn from_times(start: Vec<f64>, finish: Vec<f64>, solution: &Solution) -> ScheduleReport {
+        debug_assert_eq!(start.len(), solution.len(), "start times / solution length mismatch");
+        debug_assert_eq!(finish.len(), solution.len(), "finish times / solution length mismatch");
         let mut machine_busy = vec![0.0; solution.machine_count()];
         for seg in solution.segments() {
             let i = seg.task.index();
-            machine_busy[seg.machine.index()] += finish[i] - start[i];
+            let m = seg.machine.index();
+            if m >= machine_busy.len() {
+                machine_busy.resize(m + 1, 0.0);
+            }
+            machine_busy[m] += finish[i] - start[i];
         }
         let makespan = finish.iter().copied().fold(0.0, f64::max);
         let total_flowtime = finish.iter().sum();
@@ -130,18 +151,12 @@ pub struct Evaluator<'a> {
     finish: Vec<f64>,
     start: Vec<f64>,
     machine_avail: Vec<f64>,
-    machine_busy: Vec<f64>,
+    /// Objective accumulators folded during the pass, in string order
+    /// (also carries the per-machine busy times the view exposes).
+    state: ObjectiveState,
     /// Number of full evaluations performed (the deterministic cost axis
     /// reported alongside wall time by the Fig 5–7 harness).
     evaluations: u64,
-    // Suffix-evaluation checkpoints (see `prime`). `ckpt_avail` holds
-    // `(k+1)` consecutive machine-availability vectors; `ckpt_max[p]` is
-    // the max finish time over positions `0..p`; `ckpt_finish` the primed
-    // per-task finish times.
-    ckpt_avail: Vec<f64>,
-    ckpt_max: Vec<f64>,
-    ckpt_finish: Vec<f64>,
-    primed_len: usize,
 }
 
 impl<'a> Evaluator<'a> {
@@ -165,12 +180,8 @@ impl<'a> Evaluator<'a> {
             finish: vec![0.0; k],
             start: vec![0.0; k],
             machine_avail: vec![0.0; l],
-            machine_busy: vec![0.0; l],
+            state: ObjectiveState::new(l),
             evaluations: 0,
-            ckpt_avail: Vec::new(),
-            ckpt_max: Vec::new(),
-            ckpt_finish: vec![0.0; k],
-            primed_len: usize::MAX,
         }
     }
 
@@ -201,19 +212,28 @@ impl<'a> Evaluator<'a> {
     /// Debug-asserts that the solution matches the instance dimensions.
     pub fn makespan(&mut self, solution: &Solution) -> f64 {
         self.pass(solution);
-        self.finish.iter().copied().fold(0.0, f64::max)
+        self.state.max_finish()
     }
 
     /// Evaluates `solution` and scores it under `obj` (lower is better).
     /// For [`crate::objective::Makespan`] this equals
     /// [`makespan`](Self::makespan) exactly.
+    ///
+    /// Incremental-capable objectives (all [`crate::ObjectiveKind`]s) are
+    /// finalized from the string-order accumulator fold, so this value is
+    /// bit-identical to what [`crate::IncrementalEvaluator`] computes for
+    /// the same solution via suffix replay.
     pub fn objective_value(&mut self, solution: &Solution, obj: &dyn Objective) -> f64 {
         self.pass(solution);
-        obj.value(&EvalView {
-            start: &self.start,
-            finish: &self.finish,
-            machine_busy: &self.machine_busy,
-        })
+        if obj.supports_incremental() {
+            obj.finalize(&self.state)
+        } else {
+            obj.value(&EvalView {
+                start: &self.start,
+                finish: &self.finish,
+                machine_busy: self.state.machine_busy(),
+            })
+        }
     }
 
     /// Evaluates `solution`, returning the full per-task report.
@@ -222,101 +242,15 @@ impl<'a> Evaluator<'a> {
         ScheduleReport {
             start: self.start.clone(),
             finish: self.finish.clone(),
-            machine_busy: self.machine_busy.clone(),
-            makespan: self.finish.iter().copied().fold(0.0, f64::max),
+            machine_busy: self.state.machine_busy().to_vec(),
+            makespan: self.state.max_finish(),
             total_flowtime: self.finish.iter().sum(),
         }
     }
 
-    /// Primes the suffix cache: performs a full pass over `solution` and
-    /// snapshots, for every string position `p`, the machine-availability
-    /// vector and running finish-time maximum after processing positions
-    /// `0..p`. Subsequent [`makespan_suffix`](Self::makespan_suffix)
-    /// calls can then re-evaluate any solution that agrees with the
-    /// primed one on a prefix in O(k − from) instead of O(k).
-    ///
-    /// The memory cost is `(k+1) × l` floats — ~16 KiB at the paper's
-    /// 100-task / 20-machine scale. The suffix fast path computes the
-    /// **makespan only**; other objectives need full passes.
-    pub fn prime(&mut self, solution: &Solution) {
-        let k = solution.len();
-        let l = self.machine_avail.len();
-        self.ckpt_avail.clear();
-        self.ckpt_avail.reserve((k + 1) * l);
-        self.ckpt_max.clear();
-        self.ckpt_max.reserve(k + 1);
-
-        let snap = self.snap.as_ref();
-        self.machine_avail.fill(0.0);
-        self.machine_busy.fill(0.0);
-        self.evaluations += 1;
-        let mut running_max = 0.0f64;
-        self.ckpt_avail.extend_from_slice(&self.machine_avail);
-        self.ckpt_max.push(running_max);
-        for seg in solution.segments() {
-            let (t, m) = (seg.task, seg.machine);
-            let mut ready = 0.0f64;
-            for (src, d) in snap.preds(t) {
-                let src_m = solution.machine_of(src);
-                ready = ready.max(self.finish[src.index()] + snap.transfer_time(d, src_m, m));
-            }
-            let start = ready.max(self.machine_avail[m.index()]);
-            let exec = snap.exec_time(m, t);
-            let finish = start + exec;
-            self.start[t.index()] = start;
-            self.finish[t.index()] = finish;
-            self.machine_avail[m.index()] = finish;
-            self.machine_busy[m.index()] += exec;
-            running_max = running_max.max(finish);
-            self.ckpt_avail.extend_from_slice(&self.machine_avail);
-            self.ckpt_max.push(running_max);
-        }
-        self.ckpt_finish.clear();
-        self.ckpt_finish.extend_from_slice(&self.finish);
-        self.primed_len = k;
-    }
-
-    /// Makespan of `solution`, given that its segments at positions
-    /// `0..from` are identical (same task, same machine) to those of the
-    /// solution passed to the last [`prime`](Self::prime) call. Only the
-    /// suffix `from..` is recomputed.
-    ///
-    /// Debug builds verify the prefix-agreement precondition against the
-    /// primed finish times.
-    pub fn makespan_suffix(&mut self, solution: &Solution, from: usize) -> f64 {
-        assert!(self.primed_len == solution.len(), "prime() the evaluator first");
-        assert!(from <= solution.len(), "suffix start out of range");
-        let l = self.machine_avail.len();
-        let snap = self.snap.as_ref();
-        self.evaluations += 1;
-        // Restore the checkpointed state after the unchanged prefix.
-        self.machine_avail.copy_from_slice(&self.ckpt_avail[from * l..(from + 1) * l]);
-        let mut running_max = self.ckpt_max[from];
-        // Prefix tasks keep their primed finish times; suffix tasks are
-        // recomputed into a scratch copy so the cache stays valid.
-        self.finish.copy_from_slice(&self.ckpt_finish);
-        for seg in &solution.segments()[from..] {
-            let (t, m) = (seg.task, seg.machine);
-            let mut ready = 0.0f64;
-            for (src, d) in snap.preds(t) {
-                let src_m = solution.machine_of(src);
-                debug_assert!(
-                    solution.position_of(src) < solution.position_of(t),
-                    "linear extension"
-                );
-                ready = ready.max(self.finish[src.index()] + snap.transfer_time(d, src_m, m));
-            }
-            let start = ready.max(self.machine_avail[m.index()]);
-            let finish = start + snap.exec_time(m, t);
-            self.finish[t.index()] = finish;
-            self.machine_avail[m.index()] = finish;
-            running_max = running_max.max(finish);
-        }
-        running_max
-    }
-
     /// The single left-to-right pass computing start/finish times into the
-    /// scratch buffers.
+    /// scratch buffers and folding the objective accumulators in string
+    /// order.
     fn pass(&mut self, solution: &Solution) {
         let snap = self.snap.as_ref();
         debug_assert_eq!(solution.len(), snap.task_count(), "solution/instance mismatch");
@@ -326,26 +260,24 @@ impl<'a> Evaluator<'a> {
             "solution/instance machine mismatch"
         );
         self.machine_avail.fill(0.0);
-        self.machine_busy.fill(0.0);
+        self.state.reset(self.machine_avail.len());
         self.evaluations += 1;
         for seg in solution.segments() {
             let t = seg.task;
             let m = seg.machine;
-            // Data-arrival constraint: every input item must have arrived.
-            let mut ready = 0.0f64;
-            for (src, d) in snap.preds(t) {
-                let src_m = solution.machine_of(src);
-                let arrival = self.finish[src.index()] + snap.transfer_time(d, src_m, m);
-                ready = ready.max(arrival);
-            }
-            // Machine-order constraint: the machine must be free.
-            let start = ready.max(self.machine_avail[m.index()]);
             let exec = snap.exec_time(m, t);
-            let finish = start + exec;
+            let (start, finish) = snap.schedule_step(
+                t,
+                m,
+                exec,
+                |src| solution.machine_of(src),
+                &self.finish,
+                &self.machine_avail,
+            );
             self.start[t.index()] = start;
             self.finish[t.index()] = finish;
             self.machine_avail[m.index()] = finish;
-            self.machine_busy[m.index()] += exec;
+            self.state.fold(m, finish, exec);
         }
     }
 }
@@ -545,47 +477,38 @@ mod tests {
     }
 
     #[test]
-    fn suffix_eval_matches_full_eval() {
-        use rand::{Rng, SeedableRng};
+    fn from_times_covers_idle_machines() {
+        // Regression: a solution dimensioned for more machines than it
+        // actually uses must still produce a busy vector with one entry
+        // per declared machine — idle machines as explicit zeros, no
+        // index drift for per-machine consumers.
         let inst = figure1_instance();
         let g = inst.graph();
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
-        let mut eval = Evaluator::new(&inst);
-        let mut full = Evaluator::new(&inst);
-        for _ in 0..100 {
-            let base = crate::init::random_solution(&inst, &mut rng);
-            eval.prime(&base);
-            // Mutate a random task within its valid range and compare the
-            // suffix evaluation (from the first disturbed position)
-            // against a from-scratch pass.
-            let t = TaskId::new(rng.gen_range(0..7));
-            let orig_pos = base.position_of(t);
-            let (lo, hi) = base.valid_range(g, t);
-            let pos = rng.gen_range(lo..=hi);
-            let m = mshc_platform::MachineId::new(rng.gen_range(0..2));
-            let mut cand = base.clone();
-            cand.move_task(g, t, pos, m).unwrap();
-            let from = orig_pos.min(pos);
-            let fast = eval.makespan_suffix(&cand, from);
-            let slow = full.makespan(&cand);
-            assert!((fast - slow).abs() < 1e-9, "suffix {fast} vs full {slow}");
-            // from = 0 degenerates to a full pass
-            assert!((eval.makespan_suffix(&cand, 0) - slow).abs() < 1e-9);
-            // re-evaluating the primed base itself from any position is a
-            // fixpoint
-            let anywhere = rng.gen_range(0..=7);
-            let back = eval.makespan_suffix(&base, anywhere);
-            assert!((back - full.makespan(&base)).abs() < 1e-9);
+        let order: Vec<TaskId> = (0..7).map(TaskId::new).collect();
+        // Dimension for 5 machines but run everything on machine 1.
+        let s = Solution::from_order(g, 5, &order, &[MachineId::new(1); 7]).unwrap();
+        let start: Vec<f64> = (0..7).map(|i| i as f64 * 10.0).collect();
+        let finish: Vec<f64> = start.iter().map(|s| s + 10.0).collect();
+        let r = ScheduleReport::from_times(start, finish, &s);
+        assert_eq!(r.machine_busy.len(), 5, "one busy entry per declared machine");
+        assert_eq!(r.machine_busy[1], 70.0);
+        for m in [0usize, 2, 3, 4] {
+            assert_eq!(r.machine_busy[m], 0.0, "idle machine {m} must read 0.0");
         }
-    }
-
-    #[test]
-    #[should_panic(expected = "prime()")]
-    fn suffix_eval_requires_priming() {
-        let inst = figure1_instance();
-        let s = figure2_solution(inst.graph());
-        let mut eval = Evaluator::new(&inst);
-        let _ = eval.makespan_suffix(&s, 0);
+        // LoadBalance over the report sees the idle machines.
+        use crate::objective::{LoadBalance, Objective};
+        assert_eq!(LoadBalance.value(&r.view()), 70.0 - 70.0 / 5.0);
+        // An unvalidated string referencing a machine beyond the declared
+        // count grows the vector instead of panicking.
+        let rogue = Solution::new_unchecked(
+            2,
+            vec![seg(0, 0), seg(1, 3), seg(2, 0), seg(3, 0), seg(4, 0), seg(5, 0), seg(6, 0)],
+        );
+        let start: Vec<f64> = vec![0.0; 7];
+        let finish: Vec<f64> = vec![2.0; 7];
+        let r = ScheduleReport::from_times(start, finish, &rogue);
+        assert_eq!(r.machine_busy.len(), 4);
+        assert_eq!(r.machine_busy[3], 2.0);
     }
 
     #[test]

@@ -1,0 +1,497 @@
+//! Incremental prefix-cached move scoring — the third tier of the
+//! evaluation stack.
+//!
+//! Every move-scan hot path in the suite (SE's §4.5 allocation ripple,
+//! tabu's sampled neighborhood, SA's proposal loop) scores thousands of
+//! candidates of the same shape: *the base solution with one task moved*.
+//! A full pass costs O(k + p) per candidate, yet everything before the
+//! first string position a move disturbs is unchanged — the solution
+//! string is a linear extension, so prefix timing state is reusable.
+//!
+//! [`IncrementalEvaluator`] walks the base once ([`prime`]), checkpointing
+//! resumable frontier state every `C` positions (machine-ready vector,
+//! per-task finish slab, [`ObjectiveState`] accumulators), and then
+//! scores any single-task move by resuming from the nearest checkpoint at
+//! or before the first affected position and replaying only from there —
+//! **exact, not approximate**: the replay performs the same float
+//! operations in the same order as a full pass over the mutated string,
+//! so scores are bit-identical to [`Evaluator::objective_value`] for
+//! every incremental-capable objective (all [`crate::ObjectiveKind`]s;
+//! the property tests pin this down across strides).
+//!
+//! The default stride `C = ⌈√k⌉` balances checkpoint memory/priming cost
+//! (`O(√k)` checkpoints of `O(l)` floats) against resume cost (`≤ C`
+//! fast-forwarded positions per score). Stride 1 checkpoints every
+//! position; stride ≥ k degenerates to replay-from-zero. The mutated
+//! string is never materialized: segments are read through an index
+//! remapping of the base, so scoring performs no `Solution` clones or
+//! `move_task` calls at all.
+//!
+//! [`prime`]: IncrementalEvaluator::prime
+//! [`Evaluator::objective_value`]: crate::Evaluator::objective_value
+
+use crate::encoding::{Segment, Solution};
+use crate::objective::{Objective, ObjectiveState};
+use crate::snapshot::EvalSnapshot;
+use mshc_platform::{HcInstance, MachineId};
+use mshc_taskgraph::TaskId;
+use std::borrow::Cow;
+
+/// Returns the default checkpoint stride for a `k`-task string: `⌈√k⌉`.
+pub fn auto_stride(tasks: usize) -> usize {
+    ((tasks as f64).sqrt().ceil() as usize).max(1)
+}
+
+/// Scores single-task moves against a primed base solution by suffix
+/// replay from strided checkpoints.
+///
+/// ```
+/// use mshc_platform::{HcInstance, HcSystem, MachineId, Matrix};
+/// use mshc_schedule::{Evaluator, IncrementalEvaluator, ObjectiveKind, Solution};
+/// use mshc_taskgraph::{TaskGraphBuilder, TaskId};
+///
+/// let mut b = TaskGraphBuilder::new(2);
+/// b.add_edge(0, 1).unwrap();
+/// let g = b.build().unwrap();
+/// let sys = HcSystem::with_anonymous_machines(
+///     2,
+///     Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 2.0]]),
+///     Matrix::from_rows(&[vec![6.0]]),
+/// ).unwrap();
+/// let inst = HcInstance::new(g, sys).unwrap();
+/// let base = Solution::from_order(
+///     inst.graph(), 2,
+///     &[TaskId::new(0), TaskId::new(1)],
+///     &[MachineId::new(0), MachineId::new(0)],
+/// ).unwrap();
+///
+/// let mut inc = IncrementalEvaluator::new(&inst);
+/// inc.prime(&base);
+/// // Base: both on m0 => 3 + 4 = 7.
+/// assert_eq!(inc.base_score(&ObjectiveKind::Makespan), 7.0);
+/// // Move task 1 to m1: 3 + 6 (transfer) + 2 = 11 — scored without
+/// // materializing the mutated solution.
+/// let score = inc.score_move(TaskId::new(1), 1, MachineId::new(1), &ObjectiveKind::Makespan);
+/// assert_eq!(score, 11.0);
+/// // The base stays primed; re-scoring the incumbent placement is free.
+/// assert_eq!(inc.score_move(TaskId::new(1), 1, MachineId::new(0), &ObjectiveKind::Makespan), 7.0);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalEvaluator<'a> {
+    /// Owned when built straight from an instance; borrowed when many
+    /// evaluators share one snapshot (the batch path).
+    snap: Cow<'a, EvalSnapshot>,
+    /// Requested stride; `None` resolves to [`auto_stride`] at prime time.
+    stride_override: Option<usize>,
+    /// Stride in effect for the current priming.
+    stride: usize,
+    /// Owned copy of the primed base (`clone_from`-reused across primes).
+    base: Option<Solution>,
+    /// Pristine per-task finish times of the base walk.
+    base_finish: Vec<f64>,
+    // Checkpoints: entry `j` captures the frontier state *before*
+    // processing string position `j * stride`.
+    ckpt_avail: Vec<f64>,
+    ckpt_busy: Vec<f64>,
+    ckpt_max: Vec<f64>,
+    ckpt_sum: Vec<f64>,
+    /// Accumulators after the full base walk (serves [`Self::base_score`]).
+    end_state: ObjectiveState,
+    // Replay scratch.
+    machine_avail: Vec<f64>,
+    state: ObjectiveState,
+    /// Working finish times; equal to `base_finish` between calls (the
+    /// replay dirties only suffix entries and restores them afterwards).
+    finish: Vec<f64>,
+    dirty: Vec<u32>,
+    /// Move scorings performed ([`Self::prime`] is uncounted cache
+    /// building, mirroring how batch arenas keep the evaluation axis
+    /// independent of chunking).
+    evaluations: u64,
+}
+
+impl<'a> IncrementalEvaluator<'a> {
+    /// Creates an evaluator for one instance, flattening it into an owned
+    /// [`EvalSnapshot`].
+    pub fn new(inst: &HcInstance) -> IncrementalEvaluator<'static> {
+        IncrementalEvaluator::from_snap(Cow::Owned(EvalSnapshot::new(inst)))
+    }
+
+    /// Creates an evaluator borrowing a shared snapshot — the cheap
+    /// constructor worker threads use.
+    pub fn with_snapshot(snap: &'a EvalSnapshot) -> IncrementalEvaluator<'a> {
+        IncrementalEvaluator::from_snap(Cow::Borrowed(snap))
+    }
+
+    fn from_snap(snap: Cow<'a, EvalSnapshot>) -> IncrementalEvaluator<'a> {
+        let k = snap.task_count();
+        let l = snap.machine_count();
+        IncrementalEvaluator {
+            snap,
+            stride_override: None,
+            stride: 1,
+            base: None,
+            base_finish: vec![0.0; k],
+            ckpt_avail: Vec::new(),
+            ckpt_busy: Vec::new(),
+            ckpt_max: Vec::new(),
+            ckpt_sum: Vec::new(),
+            end_state: ObjectiveState::new(l),
+            machine_avail: vec![0.0; l],
+            state: ObjectiveState::new(l),
+            finish: vec![0.0; k],
+            dirty: Vec::new(),
+            evaluations: 0,
+        }
+    }
+
+    /// Sets the checkpoint stride: `None` selects the auto default
+    /// `⌈√k⌉`, `Some(c)` checkpoints every `max(c, 1)` positions. Takes
+    /// effect at the next [`prime`](Self::prime); the stride never
+    /// changes scores, only the memory/resume-cost trade-off.
+    pub fn set_stride(&mut self, stride: Option<usize>) {
+        self.stride_override = stride;
+    }
+
+    /// The stride in effect for the current priming.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// The snapshot this evaluator walks.
+    #[inline]
+    pub fn snapshot(&self) -> &EvalSnapshot {
+        &self.snap
+    }
+
+    /// The primed base solution, if any.
+    #[inline]
+    pub fn base(&self) -> Option<&Solution> {
+        self.base.as_ref()
+    }
+
+    /// Move scorings performed so far (primes are uncounted).
+    #[inline]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Walks `base` once, storing its finish times and a checkpoint of
+    /// the frontier state (machine-ready vector + objective accumulators)
+    /// every [`stride`](Self::stride) positions. O(k + p) plus
+    /// O(k/stride × l) checkpoint writes.
+    pub fn prime(&mut self, base: &Solution) {
+        let snap = self.snap.as_ref();
+        let k = snap.task_count();
+        let l = snap.machine_count();
+        debug_assert_eq!(base.len(), k, "solution/instance mismatch");
+        debug_assert_eq!(base.machine_count(), l, "solution/instance machine mismatch");
+        self.stride = self.stride_override.unwrap_or_else(|| auto_stride(k)).max(1);
+        match &mut self.base {
+            Some(b) => b.clone_from(base),
+            none => *none = Some(base.clone()),
+        }
+        self.ckpt_avail.clear();
+        self.ckpt_busy.clear();
+        self.ckpt_max.clear();
+        self.ckpt_sum.clear();
+        self.machine_avail.fill(0.0);
+        self.state.reset(l);
+        for (i, seg) in base.segments().iter().enumerate() {
+            if i % self.stride == 0 {
+                self.ckpt_avail.extend_from_slice(&self.machine_avail);
+                self.ckpt_busy.extend_from_slice(self.state.machine_busy());
+                self.ckpt_max.push(self.state.max_finish());
+                self.ckpt_sum.push(self.state.finish_sum());
+            }
+            let (t, m) = (seg.task, seg.machine);
+            let exec = snap.exec_time(m, t);
+            let (_, finish) = snap.schedule_step(
+                t,
+                m,
+                exec,
+                |src| base.machine_of(src),
+                &self.finish,
+                &self.machine_avail,
+            );
+            self.finish[t.index()] = finish;
+            self.machine_avail[m.index()] = finish;
+            self.state.fold(m, finish, exec);
+        }
+        self.base_finish.copy_from_slice(&self.finish);
+        self.end_state.clone_from(&self.state);
+    }
+
+    /// The primed base's own score under `obj` — a free accumulator read,
+    /// not a pass.
+    ///
+    /// # Panics
+    /// If the evaluator was never primed, or `obj` does not support
+    /// incremental scoring.
+    pub fn base_score(&self, obj: &dyn Objective) -> f64 {
+        assert!(self.base.is_some(), "prime() the evaluator first");
+        obj.finalize(&self.end_state)
+    }
+
+    /// Scores *base with task `t` moved to string position `new_pos` on
+    /// machine `new_m`* (remove-then-insert semantics, exactly
+    /// [`Solution::move_task`]) under `obj`, replaying only from the
+    /// nearest checkpoint at or before the first affected position.
+    ///
+    /// The result is bit-identical to a full
+    /// [`crate::Evaluator::objective_value`] pass over the materialized
+    /// mutated solution. The base stays primed, so any number of moves
+    /// can be scored back to back.
+    ///
+    /// # Panics
+    /// If the evaluator was never primed, or `obj` does not support
+    /// incremental scoring. `new_pos` must lie inside `t`'s valid range
+    /// on the base (callers enumerate candidates from
+    /// [`Solution::valid_range`]); positions outside it yield a
+    /// precedence-inconsistent replay and a meaningless score.
+    pub fn score_move(
+        &mut self,
+        t: TaskId,
+        new_pos: usize,
+        new_m: MachineId,
+        obj: &dyn Objective,
+    ) -> f64 {
+        let IncrementalEvaluator {
+            snap,
+            stride,
+            base,
+            base_finish,
+            ckpt_avail,
+            ckpt_busy,
+            ckpt_max,
+            ckpt_sum,
+            machine_avail,
+            state,
+            finish,
+            dirty,
+            evaluations,
+            ..
+        } = self;
+        let snap = snap.as_ref();
+        let base = base.as_ref().expect("prime() the evaluator first");
+        let k = base.len();
+        let l = snap.machine_count();
+        assert!(new_pos < k, "move position out of range");
+        debug_assert!(new_m.index() < l, "machine out of range");
+
+        let old_pos = base.position_of(t);
+        let first = old_pos.min(new_pos);
+        // Resume from the nearest checkpoint at or before `first`.
+        let ci = first / *stride;
+        machine_avail.copy_from_slice(&ckpt_avail[ci * l..(ci + 1) * l]);
+        state.load(ckpt_max[ci], ckpt_sum[ci], ci * *stride, &ckpt_busy[ci * l..(ci + 1) * l]);
+
+        // Fast-forward the unchanged positions [ci·stride, first): their
+        // timing is the base's, so the frontier folds from stored finish
+        // times without touching predecessor lists.
+        for seg in &base.segments()[ci * *stride..first] {
+            let (u, mu) = (seg.task, seg.machine);
+            let f = base_finish[u.index()];
+            machine_avail[mu.index()] = f;
+            state.fold(mu, f, snap.exec_time(mu, u));
+        }
+
+        // Replay the disturbed suffix [first, k) of the *mutated* string,
+        // read through an index remapping of the base (no clone, no
+        // move_task).
+        let seg_at = |i: usize| -> Segment {
+            if i == new_pos {
+                Segment { task: t, machine: new_m }
+            } else if old_pos < new_pos && (old_pos..new_pos).contains(&i) {
+                base.segment_at(i + 1)
+            } else if new_pos < old_pos && i > new_pos && i <= old_pos {
+                base.segment_at(i - 1)
+            } else {
+                base.segment_at(i)
+            }
+        };
+        for i in first..k {
+            let seg = seg_at(i);
+            let (u, mu) = (seg.task, seg.machine);
+            let exec = snap.exec_time(mu, u);
+            let (_, f) = snap.schedule_step(
+                u,
+                mu,
+                exec,
+                |src| if src == t { new_m } else { base.machine_of(src) },
+                finish,
+                machine_avail,
+            );
+            finish[u.index()] = f;
+            dirty.push(u.raw());
+            machine_avail[mu.index()] = f;
+            state.fold(mu, f, exec);
+        }
+        let score = obj.finalize(state);
+        // Restore the pristine base finish times (dirty entries only).
+        for &u in dirty.iter() {
+            finish[u as usize] = base_finish[u as usize];
+        }
+        dirty.clear();
+        *evaluations += 1;
+        score
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Evaluator;
+    use crate::init::random_solution;
+    use crate::objective::ObjectiveKind;
+    use mshc_platform::{HcSystem, Matrix};
+    use mshc_taskgraph::gen::{layered, LayeredConfig};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_instance(tasks: usize, machines: usize, seed: u64) -> HcInstance {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = LayeredConfig { tasks, mean_width: 4, edge_prob: 0.5, skip_prob: 0.05 };
+        let graph = layered(&cfg, &mut rng).unwrap();
+        let exec = Matrix::from_fn(machines, tasks, |_, _| rng.gen_range(10.0..100.0));
+        let pairs = machines * (machines - 1) / 2;
+        let transfer = Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(1.0..30.0));
+        let sys = HcSystem::with_anonymous_machines(machines, exec, transfer).unwrap();
+        HcInstance::new(graph, sys).unwrap()
+    }
+
+    #[test]
+    fn auto_stride_is_ceil_sqrt() {
+        assert_eq!(auto_stride(0), 1);
+        assert_eq!(auto_stride(1), 1);
+        assert_eq!(auto_stride(4), 2);
+        assert_eq!(auto_stride(5), 3);
+        assert_eq!(auto_stride(100), 10);
+        assert_eq!(auto_stride(101), 11);
+    }
+
+    #[test]
+    fn score_move_is_bit_identical_to_full_eval_at_every_stride() {
+        let inst = random_instance(24, 4, 3);
+        let g = inst.graph();
+        let k = inst.task_count();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut scalar = Evaluator::new(&inst);
+        let weighted = ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.3, balance: 0.7 };
+        for stride in [Some(1), Some(2), Some(5), None, Some(k), Some(k + 17)] {
+            let base = random_solution(&inst, &mut rng);
+            let mut inc = IncrementalEvaluator::new(&inst);
+            inc.set_stride(stride);
+            inc.prime(&base);
+            for _ in 0..40 {
+                let t = TaskId::new(rng.gen_range(0..k as u32));
+                let (lo, hi) = base.valid_range(g, t);
+                let pos = rng.gen_range(lo..=hi);
+                let m = MachineId::new(rng.gen_range(0..4));
+                let mut cand = base.clone();
+                cand.move_task(g, t, pos, m).unwrap();
+                for kind in ObjectiveKind::BASIC.into_iter().chain([weighted]) {
+                    let fast = inc.score_move(t, pos, m, &kind);
+                    let slow = scalar.objective_value(&cand, &kind);
+                    assert_eq!(fast, slow, "{} stride {stride:?}", kind.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn base_score_matches_full_eval_and_incumbent_move() {
+        let inst = random_instance(15, 3, 4);
+        let g = inst.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let base = random_solution(&inst, &mut rng);
+        let mut inc = IncrementalEvaluator::new(&inst);
+        inc.prime(&base);
+        let mut scalar = Evaluator::new(&inst);
+        for kind in ObjectiveKind::BASIC {
+            assert_eq!(inc.base_score(&kind), scalar.objective_value(&base, &kind));
+        }
+        // Re-placing a task at its incumbent position/machine is the base.
+        let t = TaskId::new(7);
+        let _ = g;
+        let score =
+            inc.score_move(t, base.position_of(t), base.machine_of(t), &ObjectiveKind::Makespan);
+        assert_eq!(score, inc.base_score(&ObjectiveKind::Makespan));
+    }
+
+    #[test]
+    fn repriming_tracks_a_moving_base() {
+        // SA's shape: accept moves, re-prime, keep scoring.
+        let inst = random_instance(18, 3, 6);
+        let g = inst.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut current = random_solution(&inst, &mut rng);
+        let mut inc = IncrementalEvaluator::new(&inst);
+        let mut scalar = Evaluator::new(&inst);
+        inc.prime(&current);
+        for _ in 0..60 {
+            let t = TaskId::new(rng.gen_range(0..18));
+            let (lo, hi) = current.valid_range(g, t);
+            let pos = rng.gen_range(lo..=hi);
+            let m = MachineId::new(rng.gen_range(0..3));
+            let fast = inc.score_move(t, pos, m, &ObjectiveKind::Makespan);
+            let mut cand = current.clone();
+            cand.move_task(g, t, pos, m).unwrap();
+            assert_eq!(fast, scalar.makespan(&cand));
+            if rng.gen::<f64>() < 0.4 {
+                current = cand;
+                inc.prime(&current);
+            }
+        }
+        assert_eq!(inc.evaluations(), 60, "one scoring per move, primes uncounted");
+    }
+
+    #[test]
+    fn shared_snapshot_matches_owned() {
+        let inst = random_instance(12, 3, 8);
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let base = random_solution(&inst, &mut rng);
+        let mut owned = IncrementalEvaluator::new(&inst);
+        let mut borrowed = IncrementalEvaluator::with_snapshot(&snap);
+        owned.prime(&base);
+        borrowed.prime(&base);
+        assert_eq!(owned.snapshot(), borrowed.snapshot());
+        assert_eq!(owned.base(), Some(&base));
+        let t = TaskId::new(5);
+        let (lo, _) = base.valid_range(inst.graph(), t);
+        let a = owned.score_move(t, lo, MachineId::new(0), &ObjectiveKind::Makespan);
+        let b = borrowed.score_move(t, lo, MachineId::new(0), &ObjectiveKind::Makespan);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "prime()")]
+    fn score_move_requires_priming() {
+        let inst = random_instance(6, 2, 10);
+        let mut inc = IncrementalEvaluator::new(&inst);
+        let _ = inc.score_move(TaskId::new(0), 0, MachineId::new(0), &ObjectiveKind::Makespan);
+    }
+
+    #[test]
+    fn single_task_instance_works() {
+        let g = mshc_taskgraph::TaskGraphBuilder::new(1).build().unwrap();
+        let sys = HcSystem::with_anonymous_machines(
+            2,
+            Matrix::from_rows(&[vec![5.0], vec![3.0]]),
+            Matrix::filled(1, 0, 0.0),
+        )
+        .unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let base =
+            Solution::from_order(inst.graph(), 2, &[TaskId::new(0)], &[MachineId::new(0)]).unwrap();
+        let mut inc = IncrementalEvaluator::new(&inst);
+        inc.prime(&base);
+        assert_eq!(inc.base_score(&ObjectiveKind::Makespan), 5.0);
+        assert_eq!(
+            inc.score_move(TaskId::new(0), 0, MachineId::new(1), &ObjectiveKind::Makespan),
+            3.0
+        );
+    }
+}

@@ -7,18 +7,36 @@
 //!
 //! ## The evaluation core
 //!
-//! Three layers sit under every search algorithm in the suite:
+//! All evaluation rests on two shared pieces: [`EvalSnapshot`] — a
+//! flattened, `Sync` copy of one instance (predecessor CSR + dense
+//! `E`/`Tr` slabs) that evaluators walk instead of the pointer-rich
+//! [`mshc_platform::HcInstance`] — and [`Objective`] — pluggable
+//! lower-is-better scoring (makespan, total/mean flowtime, load balance,
+//! weighted blends), selected at run time through the [`ObjectiveKind`]
+//! carried by [`RunBudget`], with an incremental-accumulator interface
+//! ([`ObjectiveState`]: fold one completed task, finalize) on top of the
+//! array-based one.
 //!
-//! * [`EvalSnapshot`] — a flattened, `Sync` copy of one instance
-//!   (predecessor CSR + dense `E`/`Tr` slabs) that evaluators walk
-//!   instead of the pointer-rich [`mshc_platform::HcInstance`];
-//! * [`Objective`] — pluggable lower-is-better scoring (makespan,
-//!   total/mean flowtime, load balance, weighted blends), selected at run
-//!   time through the [`ObjectiveKind`] carried by [`RunBudget`];
-//! * [`BatchEvaluator`] — scores whole candidate sets in one call,
-//!   fanned out over worker threads with reusable per-thread arenas;
-//!   results are returned in candidate order and are bit-identical at
-//!   any thread count.
+//! On that base sits a **three-tier evaluation stack**; pick the lowest
+//! tier whose shape matches the work:
+//!
+//! 1. **scalar** — [`Evaluator`]: one full O(k + p) left-to-right pass
+//!    per solution. Right for one-off scoring, reports, and arbitrary
+//!    (non-incremental) custom objectives.
+//! 2. **batch** — [`BatchEvaluator`]: scores whole candidate sets in one
+//!    call, fanned out over worker threads with reusable per-thread
+//!    arenas; results come back in candidate order, bit-identical at any
+//!    thread count. Right for independent candidate sets — GA population
+//!    fitness, any set of *whole* solutions (crossover invalidates
+//!    prefixes, so GA stays on this tier).
+//! 3. **incremental** — [`IncrementalEvaluator`]: primes a base solution
+//!    once, checkpoints frontier state every `⌈√k⌉` positions, and scores
+//!    *single-task moves* by replaying only the disturbed suffix — exact
+//!    (bit-identical to a full pass), asymptotically cheaper than tier 1
+//!    per candidate. Right for move scans against a fixed base: SE's
+//!    allocation ripple, tabu's sampled neighborhood, SA's proposal
+//!    loop. The batch move-scoring entry points route through per-thread
+//!    incremental evaluators automatically, so tiers 2 and 3 compose.
 //!
 //! ## The encoding
 //!
@@ -55,6 +73,7 @@ pub mod encoding;
 pub mod error;
 pub mod eval;
 pub mod gantt;
+pub mod incremental;
 pub mod init;
 pub mod objective;
 pub mod runner;
@@ -66,10 +85,11 @@ pub use encoding::{Segment, Solution};
 pub use error::ScheduleError;
 pub use eval::{Evaluator, ScheduleReport};
 pub use gantt::Gantt;
+pub use incremental::{auto_stride, IncrementalEvaluator};
 pub use init::random_solution;
 pub use objective::{
     objective_from_report, EvalView, LoadBalance, Makespan, MeanFlowtime, Objective, ObjectiveKind,
-    ObjectiveValues, TotalFlowtime, Weighted,
+    ObjectiveState, ObjectiveValues, TotalFlowtime, Weighted,
 };
 pub use runner::{report_objective_value, RunBudget, RunResult, Scheduler};
 pub use sim::{replay, replay_with, NetworkModel, SimError};

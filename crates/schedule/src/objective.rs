@@ -14,6 +14,7 @@
 //! CLI down into every scheduler. Custom objectives only need the trait.
 
 use crate::eval::ScheduleReport;
+use mshc_platform::MachineId;
 use serde::{Deserialize, Serialize};
 
 /// Borrowed view of one evaluated schedule: everything an objective may
@@ -29,17 +30,132 @@ pub struct EvalView<'a> {
     pub machine_busy: &'a [f64],
 }
 
+/// Running accumulator for incremental (suffix-replay) objective scoring.
+///
+/// One completed task is folded at a time, in **string order** — the
+/// order the single left-to-right evaluator pass completes tasks in. The
+/// state is everything the built-in objectives need: the running
+/// finish-time maximum (makespan), the running finish-time sum
+/// (flowtime), the folded task count, and the per-machine busy times
+/// (load balance).
+///
+/// Both the scalar [`crate::Evaluator`]'s full pass and the
+/// checkpoint-resumed suffix replay of [`crate::IncrementalEvaluator`]
+/// fold tasks in the same order over the same values, so
+/// [`Objective::finalize`] produces **bit-identical** scores on every
+/// route (max is order-independent for non-negative times; the sums fold
+/// identical values in identical order).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObjectiveState {
+    max_finish: f64,
+    finish_sum: f64,
+    tasks: usize,
+    machine_busy: Vec<f64>,
+}
+
+impl ObjectiveState {
+    /// An empty fold over `machines` machines.
+    pub fn new(machines: usize) -> ObjectiveState {
+        ObjectiveState {
+            max_finish: 0.0,
+            finish_sum: 0.0,
+            tasks: 0,
+            machine_busy: vec![0.0; machines],
+        }
+    }
+
+    /// Resets to the empty fold over `machines` machines, reusing the
+    /// busy-vector allocation.
+    pub fn reset(&mut self, machines: usize) {
+        self.max_finish = 0.0;
+        self.finish_sum = 0.0;
+        self.tasks = 0;
+        self.machine_busy.clear();
+        self.machine_busy.resize(machines, 0.0);
+    }
+
+    /// Folds one completed task: it finished at `finish` on `machine`,
+    /// occupying it for `exec` time units.
+    #[inline]
+    pub fn fold(&mut self, machine: MachineId, finish: f64, exec: f64) {
+        self.max_finish = self.max_finish.max(finish);
+        self.finish_sum += finish;
+        self.machine_busy[machine.index()] += exec;
+        self.tasks += 1;
+    }
+
+    /// Restores a checkpointed fold (the scalar part plus a copy of the
+    /// busy vector) — how [`crate::IncrementalEvaluator`] resumes from
+    /// the nearest checkpoint instead of refolding the whole prefix.
+    pub fn load(&mut self, max_finish: f64, finish_sum: f64, tasks: usize, machine_busy: &[f64]) {
+        self.max_finish = max_finish;
+        self.finish_sum = finish_sum;
+        self.tasks = tasks;
+        self.machine_busy.clear();
+        self.machine_busy.extend_from_slice(machine_busy);
+    }
+
+    /// Running maximum of folded finish times.
+    #[inline]
+    pub fn max_finish(&self) -> f64 {
+        self.max_finish
+    }
+
+    /// Running sum of folded finish times (string order).
+    #[inline]
+    pub fn finish_sum(&self) -> f64 {
+        self.finish_sum
+    }
+
+    /// Number of tasks folded so far.
+    #[inline]
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Busy (execution) time per machine, indexed by machine.
+    #[inline]
+    pub fn machine_busy(&self) -> &[f64] {
+        &self.machine_busy
+    }
+}
+
 /// A scalar schedule-quality measure; **lower is better**.
 ///
 /// Implementations must be pure functions of the view — they are invoked
 /// concurrently from [`crate::BatchEvaluator`] worker threads (hence the
 /// `Sync` supertrait).
+///
+/// Objectives that can be computed from the [`ObjectiveState`]
+/// accumulators alone (all five built-in kinds) additionally implement
+/// [`supports_incremental`](Objective::supports_incremental) /
+/// [`finalize`](Objective::finalize), which is what lets
+/// [`crate::IncrementalEvaluator`] score a single-task move by replaying
+/// only the suffix of the string the move disturbs.
 pub trait Objective: Sync {
     /// Short stable identifier (CSV columns, CLI, reports).
     fn name(&self) -> &str;
 
     /// Scores one evaluated schedule.
     fn value(&self, view: &EvalView<'_>) -> f64;
+
+    /// Whether [`finalize`](Objective::finalize) is implemented — i.e.
+    /// whether this objective is a pure function of the
+    /// [`ObjectiveState`] accumulators and therefore eligible for
+    /// incremental suffix-replay scoring. Defaults to `false`; custom
+    /// objectives that need the full timing arrays simply keep the
+    /// default and every evaluator falls back to full passes.
+    fn supports_incremental(&self) -> bool {
+        false
+    }
+
+    /// Scores a completed accumulator fold. Only called when
+    /// [`supports_incremental`](Objective::supports_incremental) is
+    /// true; the default panics.
+    fn finalize(&self, state: &ObjectiveState) -> f64 {
+        let _ = state;
+        panic!("objective {:?} does not support incremental scoring", self.name())
+    }
 }
 
 /// The schedule length the paper minimizes: the latest finish time.
@@ -55,6 +171,15 @@ impl Objective for Makespan {
     fn value(&self, view: &EvalView<'_>) -> f64 {
         view.finish.iter().copied().fold(0.0, f64::max)
     }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn finalize(&self, state: &ObjectiveState) -> f64 {
+        state.max_finish()
+    }
 }
 
 /// Sum of all task finish times (total flowtime / total completion time).
@@ -69,6 +194,15 @@ impl Objective for TotalFlowtime {
     #[inline]
     fn value(&self, view: &EvalView<'_>) -> f64 {
         view.finish.iter().sum()
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn finalize(&self, state: &ObjectiveState) -> f64 {
+        state.finish_sum()
     }
 }
 
@@ -87,6 +221,19 @@ impl Objective for MeanFlowtime {
             0.0
         } else {
             view.finish.iter().sum::<f64>() / view.finish.len() as f64
+        }
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn finalize(&self, state: &ObjectiveState) -> f64 {
+        if state.tasks() == 0 {
+            0.0
+        } else {
+            state.finish_sum() / state.tasks() as f64
         }
     }
 }
@@ -108,6 +255,22 @@ impl Objective for LoadBalance {
         }
         let max = view.machine_busy.iter().copied().fold(0.0, f64::max);
         let mean = view.machine_busy.iter().sum::<f64>() / view.machine_busy.len() as f64;
+        max - mean
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn finalize(&self, state: &ObjectiveState) -> f64 {
+        // Same fold as `value`, over the accumulated busy vector — the
+        // two routes are bit-identical by construction.
+        if state.machine_busy().is_empty() {
+            return 0.0;
+        }
+        let max = state.machine_busy().iter().copied().fold(0.0, f64::max);
+        let mean = state.machine_busy().iter().sum::<f64>() / state.machine_busy().len() as f64;
         max - mean
     }
 }
@@ -136,6 +299,17 @@ impl Objective for Weighted {
         self.makespan * Makespan.value(view)
             + self.flowtime * MeanFlowtime.value(view)
             + self.balance * LoadBalance.value(view)
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn finalize(&self, state: &ObjectiveState) -> f64 {
+        self.makespan * Makespan.finalize(state)
+            + self.flowtime * MeanFlowtime.finalize(state)
+            + self.balance * LoadBalance.finalize(state)
     }
 }
 
@@ -214,8 +388,8 @@ impl ObjectiveKind {
         }
     }
 
-    /// Whether this is the plain makespan objective (the fast paths —
-    /// suffix-incremental evaluation — only apply to it).
+    /// Whether this is the plain makespan objective (lets reporting
+    /// paths reuse an already-known makespan instead of re-evaluating).
     #[inline]
     pub fn is_makespan(&self) -> bool {
         matches!(self, ObjectiveKind::Makespan)
@@ -242,6 +416,23 @@ impl Objective for ObjectiveKind {
             ObjectiveKind::LoadBalance => LoadBalance.value(view),
             ObjectiveKind::Weighted { makespan, flowtime, balance } => {
                 Weighted { makespan, flowtime, balance }.value(view)
+            }
+        }
+    }
+
+    fn supports_incremental(&self) -> bool {
+        true
+    }
+
+    #[inline]
+    fn finalize(&self, state: &ObjectiveState) -> f64 {
+        match *self {
+            ObjectiveKind::Makespan => Makespan.finalize(state),
+            ObjectiveKind::TotalFlowtime => TotalFlowtime.finalize(state),
+            ObjectiveKind::MeanFlowtime => MeanFlowtime.finalize(state),
+            ObjectiveKind::LoadBalance => LoadBalance.finalize(state),
+            ObjectiveKind::Weighted { makespan, flowtime, balance } => {
+                Weighted { makespan, flowtime, balance }.finalize(state)
             }
         }
     }
@@ -327,6 +518,66 @@ mod tests {
         let k = ObjectiveKind::Weighted { makespan: 2.0, flowtime: 1.0, balance: 0.0 };
         let u = Weighted { makespan: 2.0, flowtime: 1.0, balance: 0.0 };
         assert_eq!(k.value(&v), u.value(&v));
+    }
+
+    #[test]
+    fn finalize_matches_value_on_a_hand_fold() {
+        // Fold three tasks on two machines and check every built-in
+        // objective finalizes to the same number `value` computes from
+        // the equivalent arrays.
+        let mut state = ObjectiveState::new(2);
+        for (m, finish, exec) in [(0u32, 4.0, 4.0), (1, 7.0, 7.0), (0, 9.0, 5.0)] {
+            state.fold(MachineId::new(m), finish, exec);
+        }
+        assert_eq!(state.tasks(), 3);
+        assert_eq!(state.max_finish(), 9.0);
+        assert_eq!(state.finish_sum(), 20.0);
+        assert_eq!(state.machine_busy(), &[9.0, 7.0]);
+        let start = [0.0, 0.0, 4.0];
+        let finish = [4.0, 7.0, 9.0];
+        let busy = [9.0, 7.0];
+        let v = view(&start, &finish, &busy);
+        let weighted = Weighted { makespan: 1.0, flowtime: 0.5, balance: 0.25 };
+        assert_eq!(Makespan.finalize(&state), Makespan.value(&v));
+        assert_eq!(TotalFlowtime.finalize(&state), TotalFlowtime.value(&v));
+        assert_eq!(MeanFlowtime.finalize(&state), MeanFlowtime.value(&v));
+        assert_eq!(LoadBalance.finalize(&state), LoadBalance.value(&v));
+        assert_eq!(weighted.finalize(&state), weighted.value(&v));
+        for kind in ObjectiveKind::BASIC {
+            assert!(kind.supports_incremental());
+            assert_eq!(kind.finalize(&state), kind.value(&v), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn state_load_restores_a_checkpoint() {
+        let mut state = ObjectiveState::new(2);
+        state.fold(MachineId::new(0), 3.0, 3.0);
+        let (max, sum, tasks) = (state.max_finish(), state.finish_sum(), state.tasks());
+        let busy = state.machine_busy().to_vec();
+        state.fold(MachineId::new(1), 8.0, 5.0);
+        let mut restored = ObjectiveState::default();
+        restored.load(max, sum, tasks, &busy);
+        state.reset(2);
+        state.fold(MachineId::new(0), 3.0, 3.0);
+        assert_eq!(restored, state);
+        assert_eq!(MeanFlowtime.finalize(&ObjectiveState::new(3)), 0.0, "empty fold");
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support incremental")]
+    fn finalize_default_panics() {
+        struct StartSum;
+        impl Objective for StartSum {
+            fn name(&self) -> &str {
+                "start-sum"
+            }
+            fn value(&self, view: &EvalView<'_>) -> f64 {
+                view.start.iter().sum()
+            }
+        }
+        assert!(!StartSum.supports_incremental());
+        let _ = StartSum.finalize(&ObjectiveState::new(1));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! harnesses select objectives without touching the `Scheduler` trait.
 
 use crate::encoding::Solution;
+use crate::error::ScheduleError;
 use crate::objective::ObjectiveKind;
 use mshc_platform::HcInstance;
 use mshc_trace::Trace;
@@ -22,7 +23,7 @@ use std::time::Duration;
 /// Stopping criteria plus the objective to optimize; a run stops as soon
 /// as *any* set limit is reached. A fully `None` budget never stops —
 /// constructive heuristics ignore budgets, iterative schedulers require
-/// at least one limit.
+/// at least one limit ([`validate`](RunBudget::validate) enforces this).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct RunBudget {
     /// Maximum iterations (SE) / generations (GA).
@@ -39,6 +40,11 @@ pub struct RunBudget {
     /// build makespan-oriented schedules but report this objective's
     /// value alongside.
     pub objective: ObjectiveKind,
+    /// Checkpoint stride for the incremental (suffix-replay) move
+    /// evaluators the schedulers use. `None` (the default) selects the
+    /// auto stride `⌈√k⌉`. A pure cost knob: results are bit-identical
+    /// at every stride.
+    pub checkpoint_stride: Option<usize>,
 }
 
 impl RunBudget {
@@ -69,12 +75,32 @@ impl RunBudget {
         self
     }
 
+    /// Sets the checkpoint stride for incremental move evaluation
+    /// (`None` = auto `⌈√k⌉`).
+    pub fn with_checkpoint_stride(mut self, stride: Option<usize>) -> RunBudget {
+        self.checkpoint_stride = stride;
+        self
+    }
+
     /// Whether any limit is set.
     pub fn is_bounded(&self) -> bool {
         self.max_iterations.is_some()
             || self.max_evaluations.is_some()
             || self.max_wall.is_some()
             || self.max_stall.is_some()
+    }
+
+    /// Validates the budget for an iterative (anytime) scheduler: an
+    /// all-`None` budget never stops, so at least one limit must be set.
+    /// The iterative schedulers and the CLI call this instead of silently
+    /// running forever; one-shot constructive heuristics ignore budgets
+    /// and need not validate.
+    pub fn validate(&self) -> Result<(), ScheduleError> {
+        if self.is_bounded() {
+            Ok(())
+        } else {
+            Err(ScheduleError::UnboundedBudget)
+        }
     }
 
     /// True once any limit is hit.
@@ -162,6 +188,24 @@ mod tests {
         let b = RunBudget::iterations(5).with_objective(ObjectiveKind::LoadBalance);
         assert_eq!(b.objective, ObjectiveKind::LoadBalance);
         assert!(b.is_bounded());
+        let b = RunBudget::iterations(5).with_checkpoint_stride(Some(7));
+        assert_eq!(b.checkpoint_stride, Some(7));
+        assert_eq!(RunBudget::default().checkpoint_stride, None);
+    }
+
+    #[test]
+    fn validate_rejects_unbounded_budgets() {
+        use crate::error::ScheduleError;
+        assert_eq!(RunBudget::default().validate(), Err(ScheduleError::UnboundedBudget));
+        assert!(RunBudget::iterations(1).validate().is_ok());
+        assert!(RunBudget::evaluations(1).validate().is_ok());
+        assert!(RunBudget::wall(Duration::from_millis(1)).validate().is_ok());
+        assert!(RunBudget::default().with_stall(3).validate().is_ok());
+        // Setting only the objective or stride does not bound a budget.
+        let b = RunBudget::default()
+            .with_objective(ObjectiveKind::TotalFlowtime)
+            .with_checkpoint_stride(Some(4));
+        assert!(b.validate().is_err());
     }
 
     #[test]

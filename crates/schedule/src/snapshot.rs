@@ -122,6 +122,38 @@ impl EvalSnapshot {
         let hi = self.pred_offsets[t.index() + 1] as usize;
         (lo..hi).map(move |i| (TaskId::new(self.pred_src[i]), DataId::new(self.pred_data[i])))
     }
+
+    /// One step of the left-to-right scheduling kernel: the
+    /// `(start, finish)` times of task `t` placed on machine `m` with
+    /// execution time `exec`, given the predecessor finish times, a
+    /// machine lookup for producers, and the machine-availability
+    /// frontier.
+    ///
+    /// Every evaluation tier — the scalar full pass, the incremental
+    /// evaluator's priming walk, and its checkpoint-resumed suffix
+    /// replay — goes through this single definition. The bit-identity
+    /// guarantee across tiers rests on these float operations happening
+    /// in exactly this order; do not duplicate or reorder them.
+    #[inline]
+    pub(crate) fn schedule_step(
+        &self,
+        t: TaskId,
+        m: MachineId,
+        exec: f64,
+        machine_of: impl Fn(TaskId) -> MachineId,
+        finish: &[f64],
+        machine_avail: &[f64],
+    ) -> (f64, f64) {
+        // Data-arrival constraint: every input item must have arrived.
+        let mut ready = 0.0f64;
+        for (src, d) in self.preds(t) {
+            let arrival = finish[src.index()] + self.transfer_time(d, machine_of(src), m);
+            ready = ready.max(arrival);
+        }
+        // Machine-order constraint: the machine must be free.
+        let start = ready.max(machine_avail[m.index()]);
+        (start, start + exec)
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@
 use mshc_platform::{HcInstance, HcSystem, MachineId, Matrix};
 use mshc_schedule::{
     objective_from_report, random_solution, replay, replay_with, BatchEvaluator, EvalSnapshot,
-    Evaluator, Gantt, NetworkModel, Objective, ObjectiveKind,
+    Evaluator, Gantt, IncrementalEvaluator, NetworkModel, Objective, ObjectiveKind,
 };
 use mshc_taskgraph::gen::{erdos_dag, layered, LayeredConfig};
 use mshc_taskgraph::TaskId;
@@ -166,6 +166,56 @@ proptest! {
             let got = batch.scores(&candidates, &kind);
             for (sol, &score) in candidates.iter().zip(&got) {
                 prop_assert_eq!(scalar.objective_value(sol, &kind), score, "{}", kind.name());
+            }
+        }
+    }
+
+    /// The incremental move evaluator is bit-identical to a full
+    /// re-evaluation of the materialized move, for **every** objective
+    /// kind, on random workloads, random moves and checkpoint strides
+    /// from 1 to beyond the task count (stride must never change a bit;
+    /// it is a pure memory/speed trade-off).
+    #[test]
+    fn incremental_score_move_equals_full_reevaluation(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+        stride_sel in 0usize..5,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = inst.graph();
+        let k = inst.task_count();
+        let base = random_solution(&inst, &mut rng);
+        let stride = match stride_sel {
+            0 => Some(1),
+            1 => Some(2),
+            2 => Some((k / 2).max(1)),
+            3 => Some(k + 7), // beyond k: degenerates to replay-from-zero
+            _ => None,        // auto ⌈√k⌉
+        };
+        let snap = EvalSnapshot::new(&inst);
+        let mut inc = IncrementalEvaluator::with_snapshot(&snap);
+        inc.set_stride(stride);
+        inc.prime(&base);
+        let mut scalar = Evaluator::new(&inst);
+        let weighted = ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.4, balance: 0.6 };
+        // The primed base itself scores identically.
+        for kind in ObjectiveKind::BASIC.into_iter().chain([weighted]) {
+            prop_assert_eq!(inc.base_score(&kind), scalar.objective_value(&base, &kind));
+        }
+        for _ in 0..12 {
+            let t = TaskId::new(rng.gen_range(0..k as u32));
+            let (lo, hi) = base.valid_range(g, t);
+            let pos = rng.gen_range(lo..=hi);
+            let m = MachineId::new(rng.gen_range(0..inst.machine_count() as u32));
+            let mut cand = base.clone();
+            cand.move_task(g, t, pos, m).unwrap();
+            for kind in ObjectiveKind::BASIC.into_iter().chain([weighted]) {
+                let fast = inc.score_move(t, pos, m, &kind);
+                let slow = scalar.objective_value(&cand, &kind);
+                prop_assert_eq!(
+                    fast, slow,
+                    "{} stride {:?}: move ({}, {}, {})", kind.name(), stride, t, pos, m
+                );
             }
         }
     }

@@ -7,7 +7,7 @@
 //! |---|---|
 //! | [`taskgraph`] | DAG substrate: ids, adjacency, topological orders, levels, generators |
 //! | [`platform`] | HC system: machines, execution matrix `E`, transfer matrix `Tr` |
-//! | [`schedule`] | solution encoding, objective-generic evaluators (scalar + parallel batch), Gantt, DES replay, `Scheduler` trait |
+//! | [`schedule`] | solution encoding, the three-tier objective-generic evaluation stack (scalar → batch → incremental), Gantt, DES replay, `Scheduler` trait |
 //! | [`core`] | **the paper's contribution**: the simulated-evolution scheduler |
 //! | [`ga`] | the Wang et al. genetic-algorithm baseline the paper compares against |
 //! | [`heuristics`] | HEFT, CPOP, min-min family, random search, SA, tabu |
@@ -67,8 +67,8 @@ pub mod prelude {
         ArchClass, HcInstance, HcSystem, InstanceMetrics, Machine, MachineId, Matrix,
     };
     pub use mshc_schedule::{
-        replay, BatchEvaluator, EvalSnapshot, Evaluator, Gantt, Objective, ObjectiveKind,
-        RunBudget, RunResult, Scheduler, Segment, Solution,
+        replay, BatchEvaluator, EvalSnapshot, Evaluator, Gantt, IncrementalEvaluator, Objective,
+        ObjectiveKind, ObjectiveState, RunBudget, RunResult, Scheduler, Segment, Solution,
     };
     pub use mshc_taskgraph::{DataId, TaskGraph, TaskGraphBuilder, TaskId};
     pub use mshc_trace::{AsciiPlot, Series, Trace, TraceRecord};

@@ -1,0 +1,397 @@
+//! Hermetic stand-in for `criterion`.
+//!
+//! Provides the `criterion_group!`/`criterion_main!` harness surface with
+//! a simple wall-clock measurement loop: per benchmark it warms up,
+//! then runs timed batches until the measurement budget is spent, and
+//! reports the median per-iteration time to stdout. When invoked by
+//! `cargo test` (the harness receives `--test`), every benchmark routine
+//! executes exactly once as a smoke test.
+//!
+//! There is no statistical analysis, plotting or `target/criterion`
+//! output — this shim exists so benches compile, run and emit usable
+//! numbers in an offline build.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration and registry.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Flags that take no value; anything else starting with '-' is
+        // assumed to consume the following argument, so that e.g.
+        // `--sample-size 50` doesn't turn `50` into a benchmark filter.
+        const BOOLEAN_FLAGS: &[&str] = &[
+            "--test",
+            "--bench",
+            "--list",
+            "--exact",
+            "--verbose",
+            "--quiet",
+            "--nocapture",
+            "--ignored",
+            "--include-ignored",
+        ];
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                a if BOOLEAN_FLAGS.contains(&a) => {}
+                a if a.starts_with('-') => {
+                    // `--flag=value` is self-contained; `--flag value`
+                    // consumes the next argument.
+                    if !a.contains('=') {
+                        args.next();
+                    }
+                }
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_millis(500),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of benchmarks. The group inherits the
+    /// harness configuration; overrides on the group stay group-local.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size, measurement_time }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one(&id, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (samples, time) = (self.sample_size, self.measurement_time);
+        self.run_one_with(id, samples, time, f);
+    }
+
+    fn run_one_with<F>(
+        &mut self,
+        id: &str,
+        sample_size: usize,
+        measurement_time: Duration,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.test_mode {
+            let mut b = Bencher { mode: Mode::TestOnce, samples: Vec::new() };
+            f(&mut b);
+            println!("test-mode smoke: {id} ... ok");
+            return;
+        }
+        // Warm-up: run until the warm-up budget is spent.
+        let mut b = Bencher {
+            mode: Mode::Timed { budget: self.warm_up_time, samples_wanted: 1 },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        // Measurement.
+        let mut b = Bencher {
+            mode: Mode::Timed { budget: measurement_time, samples_wanted: sample_size },
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.report(id);
+    }
+}
+
+/// A named group of benchmarks. Group-scoped `sample_size` /
+/// `measurement_time` overrides apply only within the group (as in real
+/// criterion) — they do not leak into the parent harness after
+/// `finish()`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total measurement budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion.run_one_with(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        self.criterion
+            .run_one_with(&full, self.sample_size, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (formatting no-op).
+    pub fn finish(self) {}
+}
+
+/// A function name + parameter pair identifying one benchmark.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Parameter-only id, for when the group name already says it all.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+/// Conversion into the printable benchmark id.
+pub trait IntoBenchmarkId {
+    /// The printable id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+enum Mode {
+    /// `cargo test` smoke: one execution, no timing.
+    TestOnce,
+    /// Timed batches until the budget is spent or enough samples exist.
+    Timed { budget: Duration, samples_wanted: usize },
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure the routine repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(routine());
+            }
+            Mode::Timed { budget, samples_wanted } => {
+                // Calibrate: how many iterations fit one sample slot?
+                let slot = budget.as_secs_f64() / samples_wanted as f64;
+                let t0 = Instant::now();
+                black_box(routine());
+                let once = t0.elapsed().as_secs_f64().max(1e-9);
+                let iters_per_sample = (slot / once).clamp(1.0, 1e9) as u64;
+                let deadline = Instant::now() + budget;
+                for _ in 0..samples_wanted {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            return;
+        }
+        self.samples.sort_by(|a, b| a.total_cmp(b));
+        let median = self.samples[self.samples.len() / 2];
+        let lo = self.samples[0];
+        let hi = self.samples[self.samples.len() - 1];
+        println!(
+            "{id:<60} time: [{} {} {}]  ({} samples)",
+            fmt_time(lo),
+            fmt_time(median),
+            fmt_time(hi),
+            self.samples.len()
+        );
+    }
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{:.2} s", seconds)
+    }
+}
+
+/// Declare a benchmark group: plain `criterion_group!(name, fns...)` or
+/// the `name = ...; config = ...; targets = ...` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+            warm_up_time: Duration::from_millis(5),
+            test_mode: false,
+            filter: None,
+        }
+    }
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = quick();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut c = quick();
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).measurement_time(Duration::from_millis(20));
+        g.bench_with_input(BenchmarkId::new("param", 40), &40usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        // Group overrides stay group-local, as in real criterion.
+        assert_eq!(c.sample_size, 3);
+        assert_eq!(c.measurement_time, Duration::from_millis(30));
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = quick();
+        c.test_mode = true;
+        let mut runs = 0;
+        c.bench_function("once", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert_eq!(runs, 1);
+    }
+}
