@@ -26,10 +26,11 @@
 //! cargo run --release -p mshc-bench --bin bench_eval -- --threads 8
 //! ```
 
+use mshc_portfolio::TournamentSpec;
 use mshc_schedule::{
     BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, ObjectiveKind, Solution,
 };
-use mshc_workloads::WorkloadSpec;
+use mshc_workloads::{tiny_suite, WorkloadSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -60,6 +61,10 @@ struct BenchReport {
     speedup_vs_scalar: f64,
     /// batch ×N over batch ×1 — pure thread scaling.
     thread_scaling: f64,
+    /// Tournament-engine throughput: completed cells per second on the
+    /// tiny scenario suite (6 algorithms × 2 scenarios × 2 seeds), races
+    /// fanned out over the same pool as batch ×N.
+    tournament_cells_per_sec: f64,
 }
 
 fn main() {
@@ -155,6 +160,28 @@ fn main() {
     let batch1_eps = batch_eps(1);
     let batchn_eps = batch_eps(threads);
 
+    // Tournament-engine probe: a fixed tiny grid raced end to end; the
+    // cells/sec series tracks whole-subsystem throughput (workload
+    // generation + all three evaluator tiers + aggregation) per commit.
+    let tournament_cps = {
+        let tournament = TournamentSpec {
+            algorithms: ["se", "ga", "sa", "tabu", "heft", "min-min"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            seeds: mshc_portfolio::replicate_seeds(2001, 2),
+            iterations: if rounds <= 6 { 10 } else { 30 },
+            ..TournamentSpec::new("tiny", tiny_suite())
+        };
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        let run = pool
+            .install(|| mshc_portfolio::run_tournament(&tournament))
+            .expect("tiny tournament runs");
+        let (board, timing) = mshc_portfolio::aggregate(&run);
+        assert_eq!(board.failures, 0, "bench tournament must not have failing cells");
+        timing.cells_per_sec
+    };
+
     let report = BenchReport {
         tasks: inst.task_count(),
         machines: inst.machine_count(),
@@ -168,6 +195,7 @@ fn main() {
         batch_evals_per_sec: batchn_eps,
         speedup_vs_scalar: batchn_eps / scalar_eps,
         thread_scaling: batchn_eps / batch1_eps,
+        tournament_cells_per_sec: tournament_cps,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_eval.json");
@@ -183,5 +211,6 @@ fn main() {
         batchn_eps,
         report.speedup_vs_scalar
     );
+    println!("tournament: {:.2} cells/sec (tiny suite, {} threads)", tournament_cps, threads);
     println!("wrote {out_path}");
 }

@@ -1,16 +1,17 @@
 //! Subcommand implementations.
 
 use crate::args::{parse, Parsed};
-use mshc_core::{SeConfig, SeScheduler};
+use mshc_core::{SeConfig, SePendingBias};
 use mshc_ga::{GaConfig, GaScheduler};
 use mshc_heuristics::{
     CpopScheduler, HeftScheduler, ListPolicy, ListScheduler, RandomSearch, SaConfig,
     SimulatedAnnealing, TabuConfig, TabuSearch,
 };
 use mshc_platform::{HcInstance, InstanceMetrics};
+use mshc_portfolio::{aggregate, cells_csv, render_report, replicate_seeds, TournamentSpec};
 use mshc_schedule::{Evaluator, Gantt, ObjectiveKind, RunBudget, Scheduler};
 use mshc_trace::Trace;
-use mshc_workloads::{Connectivity, Heterogeneity, WorkloadSpec};
+use mshc_workloads::{named_suite, Connectivity, Heterogeneity, WorkloadSpec};
 use std::time::Duration;
 
 /// Top-level usage text.
@@ -27,6 +28,13 @@ commands:
              [--seed N] [--bias B] [--y Y] [--gantt] [--report] [--trace FILE]
   compare    run every scheduler on one workload and print a table
              [--instance FILE | workload options] [--iters N] [--wall SECS]
+  tournament race schedulers across a scenario grid, deterministically
+             --spec FILE (pins all axes) | --suite tiny|small|full
+             [--algos a,b,c] [--seeds N] [--seed MASTER] [--iters N]
+             [--portfolio] [--rounds N] [--out FILE] [--csv FILE]
+             [--report]
+             the leaderboard JSON (--out) is bit-identical at any
+             --threads / RAYON_NUM_THREADS setting, portfolio on or off
   info       print instance metrics
              --instance FILE | workload options
 
@@ -64,6 +72,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("generate") => cmd_generate(&parsed),
         Some("run") => cmd_run(&parsed),
         Some("compare") => cmd_compare(&parsed),
+        Some("tournament") => cmd_tournament(&parsed),
         Some("info") => cmd_info(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_string()),
@@ -120,8 +129,7 @@ fn budget(p: &Parsed) -> Result<RunBudget, String> {
         eprintln!("note: no --iters/--wall budget given; defaulting to --iters 200");
     }
     if let Some(raw) = p.get("objective") {
-        b.objective = ObjectiveKind::parse(raw)
-            .ok_or_else(|| format!("--objective: unknown objective {raw:?}"))?;
+        b.objective = raw.parse().map_err(|e| format!("--objective: {e}"))?;
     }
     if p.get("checkpoint-stride").is_some() {
         let stride: usize = p.get_parse("checkpoint-stride", 0)?;
@@ -144,7 +152,7 @@ fn make_scheduler(p: &Parsed, name: &str) -> Result<Box<dyn Scheduler>, String> 
             if y > 0 {
                 cfg.y_limit = Some(y);
             }
-            Box::new(SePendingBias(cfg))
+            Box::new(SePendingBias::new(cfg))
         }
         "ga" => Box::new(GaScheduler::new(GaConfig { seed, ..GaConfig::default() })),
         "heft" => Box::new(HeftScheduler::new()),
@@ -160,29 +168,6 @@ fn make_scheduler(p: &Parsed, name: &str) -> Result<Box<dyn Scheduler>, String> 
         "tabu" => Box::new(TabuSearch::new(TabuConfig { seed, ..TabuConfig::default() })),
         other => return Err(format!("--algo: unknown algorithm {other:?}")),
     })
-}
-
-/// SE wrapper that resolves a NaN bias to the paper-recommended value for
-/// the instance size at run time (the CLI does not know the size when the
-/// flag is parsed).
-struct SePendingBias(SeConfig);
-
-impl Scheduler for SePendingBias {
-    fn name(&self) -> &str {
-        "se"
-    }
-    fn run(
-        &mut self,
-        inst: &HcInstance,
-        budget: &RunBudget,
-        trace: Option<&mut Trace>,
-    ) -> mshc_schedule::RunResult {
-        let mut cfg = self.0;
-        if cfg.selection_bias.is_nan() {
-            cfg.selection_bias = SeConfig::recommended_bias(inst.task_count());
-        }
-        SeScheduler::new(cfg).run(inst, budget, trace)
-    }
 }
 
 fn cmd_generate(p: &Parsed) -> Result<(), String> {
@@ -299,6 +284,102 @@ fn cmd_compare(p: &Parsed) -> Result<(), String> {
     }
     let best = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
     println!("best: {} ({:.2})", best.0, best.1);
+    Ok(())
+}
+
+/// Builds the tournament spec from `--spec FILE` or from the suite and
+/// axis flags.
+fn tournament_spec(p: &Parsed) -> Result<TournamentSpec, String> {
+    let mut spec = match p.get("spec") {
+        Some(path) => {
+            // The spec file pins every experiment axis; combining it with
+            // an axis flag would silently lose one side, so reject the
+            // combination outright (--portfolio/--rounds stay available
+            // as explicit execution-mode overrides).
+            for axis in ["suite", "algos", "seeds", "seed", "iters", "objective"] {
+                if p.get(axis).is_some() {
+                    return Err(format!(
+                        "tournament: --spec and --{axis} are mutually exclusive (the spec file \
+                         pins that axis)"
+                    ));
+                }
+            }
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            serde_json::from_str::<TournamentSpec>(&text)
+                .map_err(|e| format!("{path}: invalid tournament spec: {e}"))?
+        }
+        None => {
+            let suite_name = p.get("suite").unwrap_or("small");
+            let scenarios = named_suite(suite_name).ok_or_else(|| {
+                format!("--suite: unknown suite {suite_name:?} (tiny, small, full)")
+            })?;
+            let mut spec = TournamentSpec::new(suite_name, scenarios);
+            if let Some(algos) = p.get("algos") {
+                spec.algorithms = algos.split(',').map(|a| a.trim().to_string()).collect();
+            }
+            // Replicate seeds derive from the master seed via a ChaCha8
+            // stream; each replicate then seeds its cell's workload and
+            // algorithm exactly like `run --seed` would.
+            spec.seeds =
+                replicate_seeds(p.get_parse("seed", 2001u64)?, p.get_parse("seeds", 3usize)?);
+            spec.iterations = p.get_parse("iters", 60u64)?;
+            if let Some(raw) = p.get("objective") {
+                raw.parse::<ObjectiveKind>().map_err(|e| format!("--objective: {e}"))?;
+                spec.objectives = vec![raw.to_string()];
+            }
+            spec
+        }
+    };
+    if p.flag("portfolio") {
+        spec.portfolio = true;
+    }
+    if p.get("rounds").is_some() {
+        spec.rounds = p.get_parse("rounds", 8u64)?;
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
+fn cmd_tournament(p: &Parsed) -> Result<(), String> {
+    let spec = tournament_spec(p)?;
+    let run = mshc_portfolio::run_tournament(&spec)?;
+    let (board, timing) = aggregate(&run);
+    if p.flag("report") {
+        // The full report opens with the same header line; don't print
+        // the one-line summary twice.
+        print!("{}", render_report(&board, &timing));
+    } else {
+        println!(
+            "tournament: {} suite | {} races x {} algorithms = {} cells ({} failed) | \
+             portfolio {} | {} iterations per run",
+            board.suite,
+            board.races,
+            spec.algorithms.len(),
+            board.cells,
+            board.failures,
+            if board.portfolio { "on" } else { "off" },
+            board.iterations
+        );
+    }
+    match board.standings.first() {
+        Some(top) => println!(
+            "winner: {} ({} wins, {:.0}% win rate, mean rank {:.2})",
+            top.algorithm,
+            top.wins,
+            100.0 * top.win_rate,
+            top.mean_rank
+        ),
+        None => println!("no standings (empty spec?)"),
+    }
+    if let Some(path) = p.get("out") {
+        let json = serde_json::to_string(&board).map_err(|e| e.to_string())?;
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("leaderboard written to {path} ({} cells)", board.cells);
+    }
+    if let Some(path) = p.get("csv") {
+        cells_csv(&board).write_file(path).map_err(|e| format!("{path}: {e}"))?;
+        println!("cells CSV written to {path}");
+    }
     Ok(())
 }
 
@@ -498,6 +579,127 @@ mod tests {
         assert_eq!(rayon::current_num_threads(), 2);
         let e = dispatch(&argv(&["info", "--threads", "abc"])).unwrap_err();
         assert!(e.contains("--threads"));
+    }
+
+    #[test]
+    fn tournament_tiny_suite_smoke_writes_deterministic_leaderboard() {
+        let dir = std::env::temp_dir().join("mshc_cli_tournament");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("lb.json");
+        let csv = dir.join("cells.csv");
+        let args = [
+            "tournament",
+            "--suite",
+            "tiny",
+            "--algos",
+            "se,sa,heft,min-min",
+            "--seeds",
+            "2",
+            "--iters",
+            "8",
+            "--report",
+            "--out",
+            out.to_str().unwrap(),
+            "--csv",
+            csv.to_str().unwrap(),
+        ];
+        dispatch(&argv(&args)).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        assert!(first.contains("\"standings\""));
+        assert!(first.contains("\"evaluations\""));
+        let table = std::fs::read_to_string(&csv).unwrap();
+        assert!(table.starts_with("algorithm,scenario,seed,objective"));
+        // 2 scenarios x 2 seeds x 4 algorithms = 16 cells.
+        assert_eq!(table.lines().count(), 1 + 16);
+        // Re-running produces a byte-identical artifact.
+        dispatch(&argv(&args)).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tournament_portfolio_mode_runs() {
+        dispatch(&argv(&[
+            "tournament",
+            "--suite",
+            "tiny",
+            "--algos",
+            "sa,tabu,heft",
+            "--seeds",
+            "1",
+            "--iters",
+            "10",
+            "--portfolio",
+            "--rounds",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn tournament_flag_errors() {
+        let e = dispatch(&argv(&["tournament", "--suite", "galactic"])).unwrap_err();
+        assert!(e.contains("unknown suite"));
+        let e = dispatch(&argv(&["tournament", "--algos", "se,quantum"])).unwrap_err();
+        assert!(e.contains("quantum"));
+        let e =
+            dispatch(&argv(&["tournament", "--spec", "x.json", "--suite", "tiny"])).unwrap_err();
+        assert!(e.contains("mutually exclusive"));
+        // Every axis flag is rejected alongside --spec, not silently
+        // ignored in favor of the file.
+        let e = dispatch(&argv(&["tournament", "--spec", "x.json", "--iters", "500"])).unwrap_err();
+        assert!(e.contains("--iters") && e.contains("mutually exclusive"), "{e}");
+        let e = dispatch(&argv(&["tournament", "--spec", "x.json", "--algos", "se"])).unwrap_err();
+        assert!(e.contains("--algos"), "{e}");
+        let e =
+            dispatch(&argv(&["tournament", "--suite", "tiny", "--objective", "weighted:1,nan,2"]))
+                .unwrap_err();
+        assert!(e.contains("finite"), "{e}");
+    }
+
+    #[test]
+    fn tournament_csv_handles_weighted_objective_labels() {
+        // Regression: the weighted spelling carries commas; the CSV
+        // writer rejects raw commas, so the label must be sanitized.
+        let dir = std::env::temp_dir().join("mshc_cli_tournament_weighted");
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("cells.csv");
+        dispatch(&argv(&[
+            "tournament",
+            "--suite",
+            "tiny",
+            "--algos",
+            "mct,olb",
+            "--seeds",
+            "1",
+            "--iters",
+            "2",
+            "--objective",
+            "weighted:1,0.5,0.5",
+            "--csv",
+            csv.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&csv).unwrap();
+        assert!(text.contains("weighted:1;0.5;0.5"), "sanitized label present:\n{text}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tournament_spec_file_roundtrip() {
+        use mshc_workloads::tiny_suite;
+        let dir = std::env::temp_dir().join("mshc_cli_tournament_spec");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("spec.json");
+        let spec = TournamentSpec {
+            algorithms: vec!["mct".into(), "olb".into()],
+            seeds: vec![4],
+            iterations: 3,
+            ..TournamentSpec::new("custom", tiny_suite())
+        };
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        dispatch(&argv(&["tournament", "--spec", path.to_str().unwrap(), "--report"])).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -4,8 +4,9 @@ use crate::config::{AllocationStrategy, SeConfig};
 use crate::goodness::{goodness, optimal_costs};
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, Objective, ObjectiveKind,
-    RunBudget, RunResult, Scheduler, Solution,
+    run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, Incumbent,
+    Objective, ObjectiveKind, RunBudget, RunResult, ScheduleReport, Scheduler, SearchStep,
+    Solution, StepVerdict, SteppableSearch,
 };
 use mshc_taskgraph::{Levels, TaskId};
 use mshc_trace::{Trace, TraceRecord};
@@ -50,9 +51,19 @@ impl Scheduler for SeScheduler {
         &mut self,
         inst: &HcInstance,
         budget: &RunBudget,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> RunResult {
         budget.validate().expect("SE is an anytime algorithm");
+        // One maximal slice of the stepped state machine — plain and
+        // stepped runs share every line of search code, so they are
+        // bit-identical (solutions, objective values *and* evaluation
+        // counts) by construction.
+        run_stepped(self, inst, budget, trace)
+    }
+}
+
+impl SteppableSearch for SeScheduler {
+    fn start<'a>(&mut self, inst: &'a HcInstance, budget: &RunBudget) -> Box<dyn SearchStep + 'a> {
         let start = Instant::now();
         let g = inst.graph();
         let cfg = self.config;
@@ -72,107 +83,259 @@ impl Scheduler for SeScheduler {
             })
             .collect();
 
-        // One flattened snapshot shared by the scalar evaluator, the
+        // One flattened snapshot serves the scalar evaluator, the
         // incremental move evaluator and the batch workers for the
-        // whole run.
+        // whole run (the per-slice evaluator views in `step` all borrow
+        // it, so rebuilding them never changes a score).
         let snapshot = EvalSnapshot::new(inst);
-        let mut eval = Evaluator::with_snapshot(&snapshot);
-        let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
-        inc.set_stride(budget.checkpoint_stride);
-        let mut batch = BatchEvaluator::new(&snapshot).with_stride(budget.checkpoint_stride);
-        let mut moves = Vec::new();
 
         // ---- initial solution (§4.2) ----
         let perturb = cfg.init_perturbations.unwrap_or(2 * inst.task_count());
-        let mut current = mshc_schedule::init::random_solution_with(inst, perturb, &mut rng);
-        let mut report = eval.report(&current);
-        let mut score = objective.value(&report.view());
-        let mut best = current.clone();
-        let mut best_score = score;
+        let current = mshc_schedule::init::random_solution_with(inst, perturb, &mut rng);
+        let mut evaluations = 0;
+        let (report, score) = {
+            let mut eval = Evaluator::with_snapshot(&snapshot);
+            let report = eval.report(&current);
+            let score = objective.value(&report.view());
+            evaluations += eval.evaluations();
+            (report, score)
+        };
 
-        let mut iterations = 0u64;
-        let mut stall = 0u64;
-        let mut selected = Vec::with_capacity(inst.task_count());
-        let mut bias = cfg.selection_bias;
+        Box::new(SeState {
+            inst,
+            cfg,
+            budget: *budget,
+            objective,
+            rng,
+            optimal,
+            levels,
+            allowed,
+            snapshot,
+            best: current.clone(),
+            best_score: score,
+            current,
+            report,
+            score,
+            iterations: 0,
+            stall: 0,
+            evaluations,
+            selected: Vec::with_capacity(inst.task_count()),
+            bias: cfg.selection_bias,
+            start,
+        })
+    }
+}
 
-        while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
+/// A paused SE run: everything the evaluation → selection → allocation
+/// loop carries between iterations, plus accumulated budget accounting.
+struct SeState<'a> {
+    inst: &'a HcInstance,
+    cfg: SeConfig,
+    budget: RunBudget,
+    objective: ObjectiveKind,
+    rng: ChaCha8Rng,
+    optimal: Vec<f64>,
+    levels: Levels,
+    allowed: Vec<Vec<MachineId>>,
+    snapshot: EvalSnapshot,
+    current: Solution,
+    report: ScheduleReport,
+    score: f64,
+    best: Solution,
+    best_score: f64,
+    iterations: u64,
+    stall: u64,
+    /// Evaluations accumulated across completed step slices (the
+    /// per-slice evaluators contribute their counts when the slice
+    /// ends, so totals are independent of how the run is sliced).
+    evaluations: u64,
+    selected: Vec<TaskId>,
+    bias: f64,
+    start: Instant,
+}
+
+impl SearchStep for SeState<'_> {
+    fn name(&self) -> &str {
+        "se"
+    }
+
+    fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
+        let g = self.inst.graph();
+        let mut eval = Evaluator::with_snapshot(&self.snapshot);
+        let mut inc = IncrementalEvaluator::with_snapshot(&self.snapshot);
+        inc.set_stride(self.budget.checkpoint_stride);
+        let mut batch =
+            BatchEvaluator::new(&self.snapshot).with_stride(self.budget.checkpoint_stride);
+        let mut moves = Vec::new();
+        let mut stepped = 0u64;
+
+        while stepped < max_iterations
+            && !self.budget.exhausted(
+                self.iterations,
+                self.evaluations + eval.evaluations(),
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             // ---- evaluation + selection (§4.4) ----
             // Goodness stays the paper's finish-time ratio for every
             // objective: it measures how well an individual task sits,
             // which is what drives selection pressure; the objective
             // decides which *whole schedules* win.
-            selected.clear();
+            self.selected.clear();
             for t in g.tasks() {
-                let gi = goodness(optimal[t.index()], report.finish_of(t));
-                if rng.gen::<f64>() > gi + bias {
-                    selected.push(t);
+                let gi = goodness(self.optimal[t.index()], self.report.finish_of(t));
+                if self.rng.gen::<f64>() > gi + self.bias {
+                    self.selected.push(t);
                 }
             }
-            let selected_count = selected.len() as u32;
-            if let Some(adapt) = cfg.adaptive_bias {
+            let selected_count = self.selected.len() as u32;
+            if let Some(adapt) = self.cfg.adaptive_bias {
                 // Closed loop: over-selection raises the bias (restricts),
                 // under-selection lowers it (loosens). Clamped to the
                 // paper's published range.
-                let fraction = selected_count as f64 / inst.task_count() as f64;
-                bias = (bias + adapt.gain * (fraction - adapt.target_fraction)).clamp(-0.3, 0.1);
+                let fraction = selected_count as f64 / self.inst.task_count() as f64;
+                self.bias =
+                    (self.bias + adapt.gain * (fraction - adapt.target_fraction)).clamp(-0.3, 0.1);
             }
-            levels.sort_by_level(&mut selected);
+            self.levels.sort_by_level(&mut self.selected);
 
             // ---- allocation (§4.5) ----
-            for &t in &selected {
+            for &t in &self.selected {
                 allocate(
-                    &mut current,
-                    inst,
+                    &mut self.current,
+                    self.inst,
                     &mut eval,
                     &mut inc,
                     &mut batch,
                     &mut moves,
                     t,
-                    &allowed[t.index()],
-                    &cfg,
-                    objective,
+                    &self.allowed[t.index()],
+                    &self.cfg,
+                    self.objective,
                 );
             }
 
-            report = eval.report(&current);
-            score = objective.value(&report.view());
-            if score < best_score {
-                best_score = score;
-                best = current.clone();
-                stall = 0;
+            self.report = eval.report(&self.current);
+            self.score = self.objective.value(&self.report.view());
+            if self.score < self.best_score {
+                self.best_score = self.score;
+                self.best.clone_from(&self.current);
+                self.stall = 0;
             } else {
-                stall += 1;
+                self.stall += 1;
             }
-            iterations += 1;
+            self.iterations += 1;
+            stepped += 1;
 
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {
-                    iteration: iterations - 1,
-                    elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: eval.evaluations(),
-                    current_cost: score,
-                    best_cost: best_score,
+                    iteration: self.iterations - 1,
+                    elapsed_secs: self.start.elapsed().as_secs_f64(),
+                    evaluations: self.evaluations + eval.evaluations(),
+                    current_cost: self.score,
+                    best_cost: self.best_score,
                     selected: Some(selected_count),
                     population_mean: None,
                 });
             }
         }
 
-        let makespan = if objective.is_makespan() {
-            best_score
+        self.evaluations += eval.evaluations();
+        if self.budget.exhausted(
+            self.iterations,
+            self.evaluations,
+            self.start.elapsed(),
+            self.stall,
+        ) {
+            StepVerdict::Exhausted
+        } else {
+            StepVerdict::Running
+        }
+    }
+
+    fn incumbent(&self) -> Option<Incumbent<'_>> {
+        Some(Incumbent { solution: &self.best, cost: self.best_score })
+    }
+
+    fn inject(&mut self, migrant: &Solution, cost: f64) {
+        if cost < self.score {
+            self.current.clone_from(migrant);
+            self.score = cost;
+            // Selection needs the migrant's per-task finish times; this
+            // bookkeeping pass is uncounted, like the batch evaluator's
+            // per-chunk primes, so portfolio and solo runs share the
+            // same evaluation axis.
+            self.report = Evaluator::with_snapshot(&self.snapshot).report(&self.current);
+            if cost < self.best_score {
+                self.best.clone_from(migrant);
+                self.best_score = cost;
+                self.stall = 0;
+            }
+        }
+    }
+
+    fn result(&mut self) -> RunResult {
+        let makespan = if self.objective.is_makespan() {
+            self.best_score
         } else {
             // Reporting pass, deliberately uncounted: `evaluations` is
             // the search-cost axis of the figures.
-            Evaluator::with_snapshot(&snapshot).makespan(&best)
+            Evaluator::with_snapshot(&self.snapshot).makespan(&self.best)
         };
         RunResult {
-            solution: best,
+            solution: self.best.clone(),
             makespan,
-            objective_value: best_score,
-            iterations,
-            evaluations: eval.evaluations(),
-            elapsed: start.elapsed(),
+            objective_value: self.best_score,
+            iterations: self.iterations,
+            evaluations: self.evaluations,
+            elapsed: self.start.elapsed(),
         }
+    }
+}
+
+/// SE wrapper that resolves a NaN selection bias to the paper-recommended
+/// value for the instance size at run time — the size is unknown until
+/// the instance arrives, so the CLI (and the tournament engine) configure
+/// the bias lazily through this type instead of baking in a guess.
+#[derive(Debug, Clone)]
+pub struct SePendingBias(SeConfig);
+
+impl SePendingBias {
+    /// Wraps a configuration whose `selection_bias` may be NaN
+    /// ("resolve from the instance size at run time").
+    pub fn new(config: SeConfig) -> SePendingBias {
+        SePendingBias(config)
+    }
+
+    /// The configuration with the bias resolved for a `k`-task instance.
+    fn resolved(&self, task_count: usize) -> SeConfig {
+        let mut cfg = self.0;
+        if cfg.selection_bias.is_nan() {
+            cfg.selection_bias = SeConfig::recommended_bias(task_count);
+        }
+        cfg
+    }
+}
+
+impl Scheduler for SePendingBias {
+    fn name(&self) -> &str {
+        "se"
+    }
+
+    fn run(
+        &mut self,
+        inst: &HcInstance,
+        budget: &RunBudget,
+        trace: Option<&mut Trace>,
+    ) -> RunResult {
+        SeScheduler::new(self.resolved(inst.task_count())).run(inst, budget, trace)
+    }
+}
+
+impl SteppableSearch for SePendingBias {
+    fn start<'a>(&mut self, inst: &'a HcInstance, budget: &RunBudget) -> Box<dyn SearchStep + 'a> {
+        SeScheduler::new(self.resolved(inst.task_count())).start(inst, budget)
     }
 }
 
@@ -650,5 +813,112 @@ mod tests {
     #[test]
     fn scheduler_name() {
         assert_eq!(SeScheduler::with_seed(0).name(), "se");
+        assert_eq!(SePendingBias::new(SeConfig::default()).name(), "se");
+    }
+
+    #[test]
+    fn stepped_run_matches_plain_run_at_any_slice_size() {
+        // The cooperative interface must not perturb the trajectory:
+        // stepping in slices of 1, 3 or 7 iterations reproduces the
+        // plain run bit for bit, including the evaluation count.
+        let inst = random_instance(20, 4, 42);
+        let budget = RunBudget::iterations(18);
+        let plain = SeScheduler::with_seed(6).run(&inst, &budget, None);
+        for slice in [1u64, 3, 7] {
+            let mut se = SeScheduler::with_seed(6);
+            let mut state = se.start(&inst, &budget);
+            assert_eq!(state.name(), "se");
+            let mut steps = 0;
+            while !state.step(slice, None).is_exhausted() {
+                steps += 1;
+                assert!(steps < 100, "stepped run must exhaust");
+            }
+            let stepped = state.result();
+            assert_eq!(stepped.solution, plain.solution, "slice {slice}");
+            assert_eq!(stepped.makespan, plain.makespan, "slice {slice}");
+            assert_eq!(stepped.evaluations, plain.evaluations, "slice {slice}");
+            assert_eq!(stepped.iterations, plain.iterations, "slice {slice}");
+        }
+    }
+
+    #[test]
+    fn stepped_trace_matches_plain_trace() {
+        let inst = random_instance(16, 3, 43);
+        let budget = RunBudget::iterations(12);
+        let mut plain_trace = Trace::new();
+        SeScheduler::with_seed(2).run(&inst, &budget, Some(&mut plain_trace));
+        let mut stepped_trace = Trace::new();
+        let mut se = SeScheduler::with_seed(2);
+        let mut state = se.start(&inst, &budget);
+        while !state.step(5, Some(&mut stepped_trace)).is_exhausted() {}
+        assert_eq!(plain_trace.len(), stepped_trace.len());
+        for (a, b) in plain_trace.records().iter().zip(stepped_trace.records()) {
+            assert_eq!(a.iteration, b.iteration);
+            assert_eq!(a.evaluations, b.evaluations);
+            assert_eq!(a.current_cost, b.current_cost);
+            assert_eq!(a.best_cost, b.best_cost);
+            assert_eq!(a.selected, b.selected);
+        }
+    }
+
+    #[test]
+    fn inject_adopts_only_improving_migrants() {
+        let inst = random_instance(18, 3, 44);
+        let budget = RunBudget::iterations(40);
+        let mut se = SeScheduler::with_seed(9);
+        let mut state = se.start(&inst, &budget);
+        let _ = state.step(4, None);
+        let before = state.incumbent().expect("iterative searches always have an incumbent");
+        let (before_sol, before_cost) = (before.solution.clone(), before.cost);
+        // A worse migrant must be ignored entirely.
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let junk = mshc_schedule::random_solution(&inst, &mut rng);
+        state.inject(&junk, before_cost + 1e6);
+        let after = state.incumbent().unwrap();
+        assert_eq!(after.solution, &before_sol);
+        assert_eq!(after.cost, before_cost);
+        // A better one becomes the incumbent immediately.
+        let improved = {
+            let mut donor = SeScheduler::with_seed(77);
+            donor.run(&inst, &RunBudget::iterations(120), None)
+        };
+        if improved.objective_value < before_cost {
+            state.inject(&improved.solution, improved.objective_value);
+            let adopted = state.incumbent().unwrap();
+            assert_eq!(adopted.solution, &improved.solution);
+            assert_eq!(adopted.cost, improved.objective_value);
+        }
+        // The injected run still finishes valid and no worse.
+        while !state.step(u64::MAX, None).is_exhausted() {}
+        let r = state.result();
+        r.solution.check(inst.graph()).unwrap();
+        assert!(r.objective_value <= before_cost + 1e-9);
+    }
+
+    #[test]
+    fn pending_bias_matches_resolved_scheduler() {
+        // The lazily-resolved wrapper must behave exactly like an
+        // eagerly-configured scheduler with the recommended bias.
+        let inst = random_instance(24, 4, 45);
+        let budget = RunBudget::iterations(10);
+        let mut pending = SePendingBias::new(SeConfig {
+            seed: 3,
+            selection_bias: f64::NAN,
+            ..SeConfig::default()
+        });
+        let via_pending = pending.run(&inst, &budget, None);
+        let resolved = SeConfig {
+            seed: 3,
+            selection_bias: SeConfig::recommended_bias(24),
+            ..SeConfig::default()
+        };
+        let direct = SeScheduler::new(resolved).run(&inst, &budget, None);
+        assert_eq!(via_pending.solution, direct.solution);
+        assert_eq!(via_pending.evaluations, direct.evaluations);
+        // An explicit bias passes through untouched.
+        let mut explicit = SePendingBias::new(SeConfig { seed: 3, ..SeConfig::default() });
+        let explicit_run = explicit.run(&inst, &budget, None);
+        let plain = SeScheduler::with_seed(3).run(&inst, &budget, None);
+        assert_eq!(explicit_run.solution, plain.solution);
     }
 }

@@ -59,6 +59,6 @@ pub mod algorithm;
 pub mod config;
 pub mod goodness;
 
-pub use algorithm::SeScheduler;
+pub use algorithm::{SePendingBias, SeScheduler};
 pub use config::{AdaptiveBias, AllocationStrategy, SeConfig};
 pub use goodness::{goodness, optimal_costs};

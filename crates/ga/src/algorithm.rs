@@ -5,7 +5,8 @@ use crate::chromosome::{order_valid_range, Chromosome};
 use crate::config::GaConfig;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    BatchEvaluator, EvalSnapshot, Evaluator, RunBudget, RunResult, Scheduler, Solution,
+    run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, Incumbent, ObjectiveKind, RunBudget,
+    RunResult, Scheduler, SearchStep, Solution, StepVerdict, SteppableSearch,
 };
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
@@ -65,14 +66,19 @@ impl Scheduler for GaScheduler {
         &mut self,
         inst: &HcInstance,
         budget: &RunBudget,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> RunResult {
         budget.validate().expect("GA is an anytime algorithm");
+        // One maximal slice of the stepped state machine — plain and
+        // stepped runs are the same code path, hence bit-identical.
+        run_stepped(self, inst, budget, trace)
+    }
+}
+
+impl SteppableSearch for GaScheduler {
+    fn start<'a>(&mut self, inst: &'a HcInstance, budget: &RunBudget) -> Box<dyn SearchStep + 'a> {
         let start = Instant::now();
         let cfg = self.config;
-        let g = inst.graph();
-        let k = inst.task_count();
-        let l = inst.machine_count();
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         // Whole-population fitness goes through the batch evaluator: one
@@ -84,7 +90,6 @@ impl Scheduler for GaScheduler {
         // searches (the stride only matters if a custom scheduler mixes
         // in move scoring).
         let snapshot = EvalSnapshot::new(inst);
-        let mut batch = BatchEvaluator::new(&snapshot).with_stride(budget.checkpoint_stride);
         let mut sols: Vec<Solution> = Vec::with_capacity(cfg.population);
 
         // ---- initial population ----
@@ -94,30 +99,97 @@ impl Scheduler for GaScheduler {
             pop[0] = Chromosome::seeded(inst);
         }
         sols.extend(pop.iter().map(|c| c.to_solution(inst)));
-        let mut costs: Vec<f64> = batch.scores(&sols, &objective);
+        let mut evaluations = 0;
+        let costs = {
+            let mut batch = BatchEvaluator::new(&snapshot).with_stride(budget.checkpoint_stride);
+            let costs = batch.scores(&sols, &objective);
+            evaluations += batch.evaluations();
+            costs
+        };
 
-        let mut best_idx = argmin(&costs);
-        let mut best = pop[best_idx].clone();
-        let mut best_cost = costs[best_idx];
+        let best_idx = argmin(&costs);
+        let best = pop[best_idx].clone();
+        let best_cost = costs[best_idx];
 
-        let mut generations = 0u64;
-        let mut stall = 0u64;
+        Box::new(GaState {
+            inst,
+            cfg,
+            budget: *budget,
+            objective,
+            rng,
+            snapshot,
+            pop,
+            costs,
+            sols,
+            best_solution: best.to_solution(inst),
+            best,
+            best_cost,
+            generations: 0,
+            stall: 0,
+            evaluations,
+            start,
+        })
+    }
+}
 
-        while !budget.exhausted(generations, batch.evaluations(), start.elapsed(), stall) {
+/// A paused GA run: the population with its fitness, incumbent tracking
+/// and accumulated budget accounting.
+struct GaState<'a> {
+    inst: &'a HcInstance,
+    cfg: GaConfig,
+    budget: RunBudget,
+    objective: ObjectiveKind,
+    rng: ChaCha8Rng,
+    snapshot: EvalSnapshot,
+    pop: Vec<Chromosome>,
+    costs: Vec<f64>,
+    sols: Vec<Solution>,
+    best: Chromosome,
+    /// `best` in solution form, maintained eagerly so
+    /// [`SearchStep::incumbent`] can hand out a borrow.
+    best_solution: Solution,
+    best_cost: f64,
+    generations: u64,
+    stall: u64,
+    evaluations: u64,
+    start: Instant,
+}
+
+impl SearchStep for GaState<'_> {
+    fn name(&self) -> &str {
+        "ga"
+    }
+
+    fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
+        let g = self.inst.graph();
+        let k = self.inst.task_count();
+        let l = self.inst.machine_count();
+        let mut batch =
+            BatchEvaluator::new(&self.snapshot).with_stride(self.budget.checkpoint_stride);
+        let mut stepped = 0u64;
+
+        while stepped < max_iterations
+            && !self.budget.exhausted(
+                self.generations,
+                self.evaluations + batch.evaluations(),
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             // ---- next generation ----
-            let mut next = Vec::with_capacity(cfg.population);
+            let mut next = Vec::with_capacity(self.cfg.population);
             // Elitism: carry the best chromosomes over unchanged.
-            let mut ranked: Vec<usize> = (0..pop.len()).collect();
-            ranked.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]).then(a.cmp(&b)));
-            for &i in ranked.iter().take(cfg.elites) {
-                next.push(pop[i].clone());
+            let mut ranked: Vec<usize> = (0..self.pop.len()).collect();
+            ranked.sort_by(|&a, &b| self.costs[a].total_cmp(&self.costs[b]).then(a.cmp(&b)));
+            for &i in ranked.iter().take(self.cfg.elites) {
+                next.push(self.pop[i].clone());
             }
-            while next.len() < cfg.population {
-                let pa = &pop[roulette(&costs, &mut rng)];
-                let pb = &pop[roulette(&costs, &mut rng)];
-                let mut child = if rng.gen::<f64>() < cfg.crossover_prob {
-                    let cut_s = rng.gen_range(0..=k);
-                    let cut_m = rng.gen_range(0..=k);
+            while next.len() < self.cfg.population {
+                let pa = &self.pop[roulette(&self.costs, &mut self.rng)];
+                let pb = &self.pop[roulette(&self.costs, &mut self.rng)];
+                let mut child = if self.rng.gen::<f64>() < self.cfg.crossover_prob {
+                    let cut_s = self.rng.gen_range(0..=k);
+                    let cut_m = self.rng.gen_range(0..=k);
                     Chromosome {
                         order: pa.crossover_order(pb, cut_s),
                         matching: pa.crossover_matching(pb, cut_m),
@@ -125,61 +197,106 @@ impl Scheduler for GaScheduler {
                 } else {
                     pa.clone()
                 };
-                if rng.gen::<f64>() < cfg.sched_mutation_prob {
-                    let t = TaskId::from_usize(rng.gen_range(0..k));
+                if self.rng.gen::<f64>() < self.cfg.sched_mutation_prob {
+                    let t = TaskId::from_usize(self.rng.gen_range(0..k));
                     let (lo, hi) = order_valid_range(g, &child.order, t);
-                    let pos = rng.gen_range(lo..=hi);
+                    let pos = self.rng.gen_range(lo..=hi);
                     let moved = child.mutate_order(g, t, pos);
                     debug_assert!(moved);
                 }
-                if rng.gen::<f64>() < cfg.match_mutation_prob {
-                    let t = TaskId::from_usize(rng.gen_range(0..k));
-                    child.mutate_matching(t, MachineId::from_usize(rng.gen_range(0..l)));
+                if self.rng.gen::<f64>() < self.cfg.match_mutation_prob {
+                    let t = TaskId::from_usize(self.rng.gen_range(0..k));
+                    child.mutate_matching(t, MachineId::from_usize(self.rng.gen_range(0..l)));
                 }
                 next.push(child);
             }
-            pop = next;
-            sols.clear();
-            sols.extend(pop.iter().map(|c| c.to_solution(inst)));
-            costs = batch.scores(&sols, &objective);
+            self.pop = next;
+            self.sols.clear();
+            let inst = self.inst;
+            self.sols.extend(self.pop.iter().map(|c| c.to_solution(inst)));
+            self.costs = batch.scores(&self.sols, &self.objective);
 
-            best_idx = argmin(&costs);
-            if costs[best_idx] < best_cost {
-                best_cost = costs[best_idx];
-                best = pop[best_idx].clone();
-                stall = 0;
+            let best_idx = argmin(&self.costs);
+            if self.costs[best_idx] < self.best_cost {
+                self.best_cost = self.costs[best_idx];
+                self.best = self.pop[best_idx].clone();
+                self.best_solution = self.best.to_solution(inst);
+                self.stall = 0;
             } else {
-                stall += 1;
+                self.stall += 1;
             }
-            generations += 1;
+            self.generations += 1;
+            stepped += 1;
 
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {
-                    iteration: generations - 1,
-                    elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: batch.evaluations(),
-                    current_cost: costs[best_idx],
-                    best_cost,
+                    iteration: self.generations - 1,
+                    elapsed_secs: self.start.elapsed().as_secs_f64(),
+                    evaluations: self.evaluations + batch.evaluations(),
+                    current_cost: self.costs[best_idx],
+                    best_cost: self.best_cost,
                     selected: None,
-                    population_mean: Some(costs.iter().sum::<f64>() / costs.len() as f64),
+                    population_mean: Some(self.costs.iter().sum::<f64>() / self.costs.len() as f64),
                 });
             }
         }
 
-        let solution = best.to_solution(inst);
-        let makespan = if objective.is_makespan() {
-            best_cost
+        self.evaluations += batch.evaluations();
+        if self.budget.exhausted(
+            self.generations,
+            self.evaluations,
+            self.start.elapsed(),
+            self.stall,
+        ) {
+            StepVerdict::Exhausted
+        } else {
+            StepVerdict::Running
+        }
+    }
+
+    fn incumbent(&self) -> Option<Incumbent<'_>> {
+        Some(Incumbent { solution: &self.best_solution, cost: self.best_cost })
+    }
+
+    fn inject(&mut self, migrant: &Solution, cost: f64) {
+        // Replace the worst chromosome when the migrant beats it; the
+        // injected individual then competes through elitism and roulette
+        // like any other. No RNG is consumed and no evaluation counted
+        // (the cost arrives precomputed under the shared objective).
+        let worst = self
+            .costs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("non-empty population");
+        if cost < self.costs[worst] {
+            self.pop[worst] = Chromosome::from_solution(migrant);
+            self.costs[worst] = cost;
+            if cost < self.best_cost {
+                self.best = self.pop[worst].clone();
+                self.best_solution = self.best.to_solution(self.inst);
+                self.best_cost = cost;
+                self.stall = 0;
+            }
+        }
+    }
+
+    fn result(&mut self) -> RunResult {
+        let solution = self.best_solution.clone();
+        let makespan = if self.objective.is_makespan() {
+            self.best_cost
         } else {
             // Reporting pass, deliberately uncounted.
-            Evaluator::with_snapshot(&snapshot).makespan(&solution)
+            Evaluator::with_snapshot(&self.snapshot).makespan(&solution)
         };
         RunResult {
             solution,
             makespan,
-            objective_value: best_cost,
-            iterations: generations,
-            evaluations: batch.evaluations(),
-            elapsed: start.elapsed(),
+            objective_value: self.best_cost,
+            iterations: self.generations,
+            evaluations: self.evaluations,
+            elapsed: self.start.elapsed(),
         }
     }
 }
@@ -360,5 +477,56 @@ mod tests {
     #[test]
     fn scheduler_name() {
         assert_eq!(GaScheduler::with_seed(0).name(), "ga");
+    }
+
+    #[test]
+    fn stepped_run_matches_plain_run_at_any_slice_size() {
+        let inst = random_instance(20, 3, 50);
+        let budget = RunBudget::iterations(12);
+        let plain = GaScheduler::with_seed(4).run(&inst, &budget, None);
+        for slice in [1u64, 5] {
+            let mut ga = GaScheduler::with_seed(4);
+            let mut state = ga.start(&inst, &budget);
+            assert_eq!(state.name(), "ga");
+            while !state.step(slice, None).is_exhausted() {}
+            let stepped = state.result();
+            assert_eq!(stepped.solution, plain.solution, "slice {slice}");
+            assert_eq!(stepped.evaluations, plain.evaluations, "slice {slice}");
+            assert_eq!(stepped.iterations, plain.iterations, "slice {slice}");
+        }
+    }
+
+    #[test]
+    fn inject_replaces_worst_and_updates_incumbent() {
+        let inst = random_instance(18, 3, 51);
+        let mut ga = GaScheduler::with_seed(5);
+        let mut state = ga.start(&inst, &RunBudget::iterations(30));
+        let _ = state.step(2, None);
+        let before = state.incumbent().expect("population always has a best").cost;
+        // Donate a strong solution from a longer independent run.
+        let donor = GaScheduler::with_seed(99).run(&inst, &RunBudget::iterations(60), None);
+        state.inject(&donor.solution, donor.objective_value);
+        if donor.objective_value < before {
+            let inc = state.incumbent().unwrap();
+            assert_eq!(inc.cost, donor.objective_value);
+            assert_eq!(inc.solution, &donor.solution);
+        }
+        while !state.step(u64::MAX, None).is_exhausted() {}
+        let r = state.result();
+        r.solution.check(inst.graph()).unwrap();
+        assert!(r.objective_value <= before.min(donor.objective_value) + 1e-9);
+    }
+
+    #[test]
+    fn chromosome_solution_roundtrip_via_from_solution() {
+        let inst = random_instance(15, 3, 52);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..20 {
+            let c = Chromosome::random(&inst, &mut rng);
+            let sol = c.to_solution(&inst);
+            let back = Chromosome::from_solution(&sol);
+            assert!(back.check(&inst));
+            assert_eq!(back.to_solution(&inst), sol, "round-trip preserves the schedule");
+        }
     }
 }

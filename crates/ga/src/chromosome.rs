@@ -43,6 +43,20 @@ impl Chromosome {
             .expect("chromosome invariant: valid order + in-range machines")
     }
 
+    /// Splits a combined-string [`Solution`] back into the two-string
+    /// representation — the inverse of [`to_solution`](Self::to_solution).
+    /// Used to adopt migrant solutions from other algorithms in
+    /// portfolio (incumbent-exchange) runs; a valid solution string is a
+    /// linear extension, so the chromosome invariant holds.
+    pub fn from_solution(sol: &Solution) -> Chromosome {
+        let order: Vec<TaskId> = sol.order().collect();
+        let mut matching = vec![MachineId::from_usize(0); sol.len()];
+        for seg in sol.segments() {
+            matching[seg.task.index()] = seg.machine;
+        }
+        Chromosome { order, matching }
+    }
+
     /// Scheduling-string crossover: keep `self`'s prefix up to `cut`
     /// (exclusive), then append the tasks missing from the prefix in the
     /// order they occur in `other`. If both parents are linear extensions

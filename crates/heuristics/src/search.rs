@@ -11,8 +11,9 @@
 
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    random_solution, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, ObjectiveKind,
-    RunBudget, RunResult, Scheduler, Solution,
+    random_solution, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator,
+    Incumbent, ObjectiveKind, RunBudget, RunResult, Scheduler, SearchStep, Solution, StepVerdict,
+    SteppableSearch,
 };
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
@@ -79,48 +80,133 @@ impl Scheduler for RandomSearch {
         &mut self,
         inst: &HcInstance,
         budget: &RunBudget,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> RunResult {
         budget.validate().expect("random search needs a budget");
+        run_stepped(self, inst, budget, trace)
+    }
+}
+
+impl SteppableSearch for RandomSearch {
+    fn start<'a>(&mut self, inst: &'a HcInstance, budget: &RunBudget) -> Box<dyn SearchStep + 'a> {
         let start = Instant::now();
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut eval = Evaluator::new(inst);
-        let mut best = random_solution(inst, &mut rng);
-        let mut best_cost = eval.objective_value(&best, &objective);
-        let mut iterations = 1u64;
-        let mut stall = 0u64;
-        while !budget.exhausted(iterations, eval.evaluations(), start.elapsed(), stall) {
-            let cand = random_solution(inst, &mut rng);
-            let cost = eval.objective_value(&cand, &objective);
-            if cost < best_cost {
-                best_cost = cost;
-                best = cand;
-                stall = 0;
+        let snapshot = EvalSnapshot::new(inst);
+        let best = random_solution(inst, &mut rng);
+        let mut evaluations = 0;
+        let best_cost = {
+            let mut eval = Evaluator::with_snapshot(&snapshot);
+            let cost = eval.objective_value(&best, &objective);
+            evaluations += eval.evaluations();
+            cost
+        };
+        Box::new(RandomState {
+            inst,
+            budget: *budget,
+            objective,
+            rng,
+            snapshot,
+            best,
+            best_cost,
+            iterations: 1,
+            stall: 0,
+            evaluations,
+            start,
+        })
+    }
+}
+
+/// A paused random-restart run.
+struct RandomState<'a> {
+    inst: &'a HcInstance,
+    budget: RunBudget,
+    objective: ObjectiveKind,
+    rng: ChaCha8Rng,
+    snapshot: EvalSnapshot,
+    best: Solution,
+    best_cost: f64,
+    iterations: u64,
+    stall: u64,
+    evaluations: u64,
+    start: Instant,
+}
+
+impl SearchStep for RandomState<'_> {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
+        let mut eval = Evaluator::with_snapshot(&self.snapshot);
+        let mut stepped = 0u64;
+        while stepped < max_iterations
+            && !self.budget.exhausted(
+                self.iterations,
+                self.evaluations + eval.evaluations(),
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
+            let cand = random_solution(self.inst, &mut self.rng);
+            let cost = eval.objective_value(&cand, &self.objective);
+            if cost < self.best_cost {
+                self.best_cost = cost;
+                self.best = cand;
+                self.stall = 0;
             } else {
-                stall += 1;
+                self.stall += 1;
             }
-            iterations += 1;
+            self.iterations += 1;
+            stepped += 1;
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {
-                    iteration: iterations - 1,
-                    elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: eval.evaluations(),
+                    iteration: self.iterations - 1,
+                    elapsed_secs: self.start.elapsed().as_secs_f64(),
+                    evaluations: self.evaluations + eval.evaluations(),
                     current_cost: cost,
-                    best_cost,
+                    best_cost: self.best_cost,
                     selected: None,
                     population_mean: None,
                 });
             }
         }
-        let makespan = reported_makespan(inst, &best, best_cost, objective);
+        self.evaluations += eval.evaluations();
+        if self.budget.exhausted(
+            self.iterations,
+            self.evaluations,
+            self.start.elapsed(),
+            self.stall,
+        ) {
+            StepVerdict::Exhausted
+        } else {
+            StepVerdict::Running
+        }
+    }
+
+    fn incumbent(&self) -> Option<Incumbent<'_>> {
+        Some(Incumbent { solution: &self.best, cost: self.best_cost })
+    }
+
+    fn inject(&mut self, migrant: &Solution, cost: f64) {
+        // Restarts share no working state; a better migrant simply
+        // becomes the incumbent.
+        if cost < self.best_cost {
+            self.best.clone_from(migrant);
+            self.best_cost = cost;
+            self.stall = 0;
+        }
+    }
+
+    fn result(&mut self) -> RunResult {
+        let makespan = reported_makespan(self.inst, &self.best, self.best_cost, self.objective);
         RunResult {
-            solution: best,
+            solution: self.best.clone(),
             makespan,
-            objective_value: best_cost,
-            iterations,
-            evaluations: eval.evaluations(),
-            elapsed: start.elapsed(),
+            objective_value: self.best_cost,
+            iterations: self.iterations,
+            evaluations: self.evaluations,
+            elapsed: self.start.elapsed(),
         }
     }
 }
@@ -174,69 +260,166 @@ impl Scheduler for SimulatedAnnealing {
         &mut self,
         inst: &HcInstance,
         budget: &RunBudget,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> RunResult {
         budget.validate().expect("SA needs a budget");
+        run_stepped(self, inst, budget, trace)
+    }
+}
+
+impl SteppableSearch for SimulatedAnnealing {
+    fn start<'a>(&mut self, inst: &'a HcInstance, budget: &RunBudget) -> Box<dyn SearchStep + 'a> {
         let start = Instant::now();
         let cfg = self.config;
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut inc = IncrementalEvaluator::new(inst);
-        inc.set_stride(budget.checkpoint_stride);
-        let mut current = random_solution(inst, &mut rng);
-        inc.prime(&current);
-        let mut current_cost = inc.base_score(&objective);
-        // One evaluation for the initial priming pass; thereafter one per
-        // proposal (re-primes on acceptance are uncounted cache rebuilds,
-        // keeping the axis identical to the historic full-pass loop).
-        let evals = |inc: &IncrementalEvaluator<'_>| 1 + inc.evaluations();
-        let mut best = current.clone();
-        let mut best_cost = current_cost;
-        let mut temp = current_cost.max(f64::MIN_POSITIVE) * cfg.initial_temp_fraction;
-        let mut iterations = 0u64;
-        let mut stall = 0u64;
-        while !budget.exhausted(iterations, evals(&inc), start.elapsed(), stall) {
+        let snapshot = EvalSnapshot::new(inst);
+        let current = random_solution(inst, &mut rng);
+        let current_cost = {
+            let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
+            inc.set_stride(budget.checkpoint_stride);
+            inc.prime(&current);
+            inc.base_score(&objective)
+        };
+        let temp = current_cost.max(f64::MIN_POSITIVE) * cfg.initial_temp_fraction;
+        Box::new(SaState {
+            inst,
+            cfg,
+            budget: *budget,
+            objective,
+            rng,
+            snapshot,
+            best: current.clone(),
+            best_cost: current_cost,
+            current,
+            current_cost,
+            temp,
+            iterations: 0,
+            stall: 0,
+            proposals: 0,
+            start,
+        })
+    }
+}
+
+/// A paused SA run: the annealing trajectory (current solution,
+/// temperature) plus incumbent tracking and budget accounting.
+struct SaState<'a> {
+    inst: &'a HcInstance,
+    cfg: SaConfig,
+    budget: RunBudget,
+    objective: ObjectiveKind,
+    rng: ChaCha8Rng,
+    snapshot: EvalSnapshot,
+    current: Solution,
+    current_cost: f64,
+    best: Solution,
+    best_cost: f64,
+    temp: f64,
+    iterations: u64,
+    stall: u64,
+    /// Proposals scored across completed slices. The reported evaluation
+    /// count is `1 + proposals`: one for the initial priming pass, one
+    /// per proposal — re-primes (on acceptance and at slice starts) are
+    /// uncounted cache rebuilds, keeping the axis identical to the
+    /// historic full-pass loop however the run is sliced.
+    proposals: u64,
+    start: Instant,
+}
+
+impl SearchStep for SaState<'_> {
+    fn name(&self) -> &str {
+        "sa"
+    }
+
+    fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
+        let mut inc = IncrementalEvaluator::with_snapshot(&self.snapshot);
+        inc.set_stride(self.budget.checkpoint_stride);
+        inc.prime(&self.current);
+        let mut stepped = 0u64;
+        while stepped < max_iterations
+            && !self.budget.exhausted(
+                self.iterations,
+                1 + self.proposals + inc.evaluations(),
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             // Propose a move and score it by suffix replay — the current
             // solution is only mutated on acceptance.
-            let (t, pos, m) = sample_move(&current, inst, &mut rng);
-            let cand_cost = inc.score_move(t, pos, m, &objective);
-            let accept = cand_cost <= current_cost
-                || rng.gen::<f64>() < ((current_cost - cand_cost) / temp.max(1e-12)).exp();
+            let (t, pos, m) = sample_move(&self.current, self.inst, &mut self.rng);
+            let cand_cost = inc.score_move(t, pos, m, &self.objective);
+            let accept = cand_cost <= self.current_cost
+                || self.rng.gen::<f64>()
+                    < ((self.current_cost - cand_cost) / self.temp.max(1e-12)).exp();
             if accept {
-                current.move_task(inst.graph(), t, pos, m).expect("in-range move");
-                current_cost = cand_cost;
-                inc.prime(&current);
+                self.current.move_task(self.inst.graph(), t, pos, m).expect("in-range move");
+                self.current_cost = cand_cost;
+                inc.prime(&self.current);
             }
-            if current_cost < best_cost {
-                best_cost = current_cost;
-                best = current.clone();
-                stall = 0;
+            if self.current_cost < self.best_cost {
+                self.best_cost = self.current_cost;
+                self.best.clone_from(&self.current);
+                self.stall = 0;
             } else {
-                stall += 1;
+                self.stall += 1;
             }
-            temp *= cfg.cooling;
-            iterations += 1;
+            self.temp *= self.cfg.cooling;
+            self.iterations += 1;
+            stepped += 1;
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {
-                    iteration: iterations - 1,
-                    elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: evals(&inc),
-                    current_cost,
-                    best_cost,
+                    iteration: self.iterations - 1,
+                    elapsed_secs: self.start.elapsed().as_secs_f64(),
+                    evaluations: 1 + self.proposals + inc.evaluations(),
+                    current_cost: self.current_cost,
+                    best_cost: self.best_cost,
                     selected: None,
                     population_mean: None,
                 });
             }
         }
-        let makespan = reported_makespan(inst, &best, best_cost, objective);
-        let evaluations = evals(&inc);
+        self.proposals += inc.evaluations();
+        if self.budget.exhausted(
+            self.iterations,
+            1 + self.proposals,
+            self.start.elapsed(),
+            self.stall,
+        ) {
+            StepVerdict::Exhausted
+        } else {
+            StepVerdict::Running
+        }
+    }
+
+    fn incumbent(&self) -> Option<Incumbent<'_>> {
+        Some(Incumbent { solution: &self.best, cost: self.best_cost })
+    }
+
+    fn inject(&mut self, migrant: &Solution, cost: f64) {
+        // Adopt a better migrant as the annealing point; the temperature
+        // schedule continues undisturbed and the next slice re-primes on
+        // the adopted solution (uncounted, like any re-prime).
+        if cost < self.current_cost {
+            self.current.clone_from(migrant);
+            self.current_cost = cost;
+            if cost < self.best_cost {
+                self.best.clone_from(migrant);
+                self.best_cost = cost;
+                self.stall = 0;
+            }
+        }
+    }
+
+    fn result(&mut self) -> RunResult {
+        let makespan = reported_makespan(self.inst, &self.best, self.best_cost, self.objective);
         RunResult {
-            solution: best,
+            solution: self.best.clone(),
             makespan,
-            objective_value: best_cost,
-            iterations,
-            evaluations,
-            elapsed: start.elapsed(),
+            objective_value: self.best_cost,
+            iterations: self.iterations,
+            evaluations: 1 + self.proposals,
+            elapsed: self.start.elapsed(),
         }
     }
 }
@@ -286,84 +469,174 @@ impl Scheduler for TabuSearch {
         &mut self,
         inst: &HcInstance,
         budget: &RunBudget,
-        mut trace: Option<&mut Trace>,
+        trace: Option<&mut Trace>,
     ) -> RunResult {
         budget.validate().expect("tabu search needs a budget");
+        run_stepped(self, inst, budget, trace)
+    }
+}
+
+impl SteppableSearch for TabuSearch {
+    fn start<'a>(&mut self, inst: &'a HcInstance, budget: &RunBudget) -> Box<dyn SearchStep + 'a> {
         let start = Instant::now();
         let cfg = self.config;
-        let g = inst.graph();
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         let snapshot = EvalSnapshot::new(inst);
-        let mut eval = Evaluator::with_snapshot(&snapshot);
-        let mut batch = BatchEvaluator::new(&snapshot).with_stride(budget.checkpoint_stride);
-        let mut sampled: Vec<(TaskId, usize, MachineId)> = Vec::with_capacity(cfg.samples);
-        let mut current = random_solution(inst, &mut rng);
-        let mut current_cost = eval.objective_value(&current, &objective);
-        let mut best = current.clone();
-        let mut best_cost = current_cost;
-        let mut tabu_until = vec![0u64; inst.task_count()];
-        let mut iterations = 0u64;
-        let mut stall = 0u64;
-        let evals = |eval: &Evaluator<'_>, batch: &BatchEvaluator<'_>| {
-            eval.evaluations() + batch.evaluations()
+        let current = random_solution(inst, &mut rng);
+        let mut evaluations = 0;
+        let current_cost = {
+            let mut eval = Evaluator::with_snapshot(&snapshot);
+            let cost = eval.objective_value(&current, &objective);
+            evaluations += eval.evaluations();
+            cost
         };
-        while !budget.exhausted(iterations, evals(&eval, &batch), start.elapsed(), stall) {
+        Box::new(TabuState {
+            inst,
+            cfg,
+            budget: *budget,
+            objective,
+            rng,
+            snapshot,
+            best: current.clone(),
+            best_cost: current_cost,
+            current,
+            current_cost,
+            tabu_until: vec![0u64; inst.task_count()],
+            sampled: Vec::with_capacity(cfg.samples),
+            iterations: 0,
+            stall: 0,
+            evaluations,
+            start,
+        })
+    }
+}
+
+/// A paused tabu run: trajectory, tabu tenures and budget accounting.
+struct TabuState<'a> {
+    inst: &'a HcInstance,
+    cfg: TabuConfig,
+    budget: RunBudget,
+    objective: ObjectiveKind,
+    rng: ChaCha8Rng,
+    snapshot: EvalSnapshot,
+    current: Solution,
+    current_cost: f64,
+    best: Solution,
+    best_cost: f64,
+    tabu_until: Vec<u64>,
+    sampled: Vec<(TaskId, usize, MachineId)>,
+    iterations: u64,
+    stall: u64,
+    evaluations: u64,
+    start: Instant,
+}
+
+impl SearchStep for TabuState<'_> {
+    fn name(&self) -> &str {
+        "tabu"
+    }
+
+    fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
+        let g = self.inst.graph();
+        let mut batch =
+            BatchEvaluator::new(&self.snapshot).with_stride(self.budget.checkpoint_stride);
+        let mut stepped = 0u64;
+        while stepped < max_iterations
+            && !self.budget.exhausted(
+                self.iterations,
+                self.evaluations + batch.evaluations(),
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             // Sample the neighborhood, then score the whole sample at once.
-            sampled.clear();
-            for _ in 0..cfg.samples {
-                let t = TaskId::from_usize(rng.gen_range(0..inst.task_count()));
-                let (lo, hi) = current.valid_range(g, t);
-                let pos = rng.gen_range(lo..=hi);
-                let m = MachineId::from_usize(rng.gen_range(0..inst.machine_count()));
-                sampled.push((t, pos, m));
+            self.sampled.clear();
+            for _ in 0..self.cfg.samples {
+                let t = TaskId::from_usize(self.rng.gen_range(0..self.inst.task_count()));
+                let (lo, hi) = self.current.valid_range(g, t);
+                let pos = self.rng.gen_range(lo..=hi);
+                let m = MachineId::from_usize(self.rng.gen_range(0..self.inst.machine_count()));
+                self.sampled.push((t, pos, m));
             }
-            let costs = batch.score_task_moves(g, &current, &sampled, &objective);
+            let costs = batch.score_task_moves(g, &self.current, &self.sampled, &self.objective);
             let mut chosen: Option<(TaskId, usize, MachineId, f64)> = None;
-            for (&(t, pos, m), &cost) in sampled.iter().zip(&costs) {
-                let tabu = tabu_until[t.index()] > iterations;
-                let aspiration = cost < best_cost;
+            for (&(t, pos, m), &cost) in self.sampled.iter().zip(&costs) {
+                let tabu = self.tabu_until[t.index()] > self.iterations;
+                let aspiration = cost < self.best_cost;
                 if (tabu && !aspiration) || chosen.as_ref().is_some_and(|c| c.3 <= cost) {
                     continue;
                 }
                 chosen = Some((t, pos, m, cost));
             }
             if let Some((t, pos, m, cost)) = chosen {
-                current.move_task(g, t, pos, m).expect("apply chosen");
-                current_cost = cost;
-                tabu_until[t.index()] = iterations + cfg.tenure;
-                if current_cost < best_cost {
-                    best_cost = current_cost;
-                    best = current.clone();
-                    stall = 0;
+                self.current.move_task(g, t, pos, m).expect("apply chosen");
+                self.current_cost = cost;
+                self.tabu_until[t.index()] = self.iterations + self.cfg.tenure;
+                if self.current_cost < self.best_cost {
+                    self.best_cost = self.current_cost;
+                    self.best.clone_from(&self.current);
+                    self.stall = 0;
                 } else {
-                    stall += 1;
+                    self.stall += 1;
                 }
             } else {
-                stall += 1;
+                self.stall += 1;
             }
-            iterations += 1;
+            self.iterations += 1;
+            stepped += 1;
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {
-                    iteration: iterations - 1,
-                    elapsed_secs: start.elapsed().as_secs_f64(),
-                    evaluations: evals(&eval, &batch),
-                    current_cost,
-                    best_cost,
+                    iteration: self.iterations - 1,
+                    elapsed_secs: self.start.elapsed().as_secs_f64(),
+                    evaluations: self.evaluations + batch.evaluations(),
+                    current_cost: self.current_cost,
+                    best_cost: self.best_cost,
                     selected: None,
                     population_mean: None,
                 });
             }
         }
-        let makespan = reported_makespan(inst, &best, best_cost, objective);
-        let evaluations = evals(&eval, &batch);
+        self.evaluations += batch.evaluations();
+        if self.budget.exhausted(
+            self.iterations,
+            self.evaluations,
+            self.start.elapsed(),
+            self.stall,
+        ) {
+            StepVerdict::Exhausted
+        } else {
+            StepVerdict::Running
+        }
+    }
+
+    fn incumbent(&self) -> Option<Incumbent<'_>> {
+        Some(Incumbent { solution: &self.best, cost: self.best_cost })
+    }
+
+    fn inject(&mut self, migrant: &Solution, cost: f64) {
+        // Move the trajectory to a better migrant; tenures keep ticking
+        // so recently-moved tasks stay tabu around the adopted point.
+        if cost < self.current_cost {
+            self.current.clone_from(migrant);
+            self.current_cost = cost;
+            if cost < self.best_cost {
+                self.best.clone_from(migrant);
+                self.best_cost = cost;
+                self.stall = 0;
+            }
+        }
+    }
+
+    fn result(&mut self) -> RunResult {
+        let makespan = reported_makespan(self.inst, &self.best, self.best_cost, self.objective);
         RunResult {
-            solution: best,
+            solution: self.best.clone(),
             makespan,
-            objective_value: best_cost,
-            iterations,
-            evaluations,
-            elapsed: start.elapsed(),
+            objective_value: self.best_cost,
+            iterations: self.iterations,
+            evaluations: self.evaluations,
+            elapsed: self.start.elapsed(),
         }
     }
 }
@@ -490,6 +763,80 @@ mod tests {
             let sim = replay(&inst, &r.solution).unwrap();
             assert!((r.objective_value - objective_from_report(&kind, &sim)).abs() < 1e-9);
             assert!((r.makespan - sim.makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn stepped_runs_match_plain_runs_at_any_slice_size() {
+        // The cooperative interface must not perturb any trajectory:
+        // stepping in arbitrary slices reproduces the plain run bit for
+        // bit, evaluation counts included, for all three metaheuristics.
+        let inst = random_instance(18, 3, 40);
+        let budget = RunBudget::iterations(150);
+        type MakeSearch = Box<dyn Fn() -> Box<dyn SteppableSearch>>;
+        let checks: Vec<(MakeSearch, &str)> = vec![
+            (
+                Box::new(|| {
+                    Box::new(SimulatedAnnealing::new(SaConfig { seed: 6, ..Default::default() }))
+                }),
+                "sa",
+            ),
+            (
+                Box::new(|| {
+                    Box::new(TabuSearch::new(TabuConfig { seed: 6, ..Default::default() }))
+                }),
+                "tabu",
+            ),
+            (Box::new(|| Box::new(RandomSearch::new(6))), "random"),
+        ];
+        for (make, name) in checks {
+            let plain = make().run(&inst, &budget, None);
+            for slice in [1u64, 7, 64] {
+                let mut algo = make();
+                let mut state = algo.start(&inst, &budget);
+                assert_eq!(state.name(), name);
+                assert!(state.incumbent().is_some(), "{name} has an incumbent from the start");
+                while !state.step(slice, None).is_exhausted() {}
+                let stepped = state.result();
+                assert_eq!(stepped.solution, plain.solution, "{name} slice {slice}");
+                assert_eq!(stepped.makespan, plain.makespan, "{name} slice {slice}");
+                assert_eq!(stepped.evaluations, plain.evaluations, "{name} slice {slice}");
+                assert_eq!(stepped.iterations, plain.iterations, "{name} slice {slice}");
+            }
+        }
+    }
+
+    #[test]
+    fn inject_improving_migrant_steers_sa_and_tabu() {
+        let inst = random_instance(20, 3, 41);
+        let budget = RunBudget::iterations(400);
+        // A strong donor from an independent longer run.
+        let donor = TabuSearch::new(TabuConfig { seed: 13, ..Default::default() }).run(
+            &inst,
+            &RunBudget::iterations(600),
+            None,
+        );
+        let searches: Vec<Box<dyn SteppableSearch>> = vec![
+            Box::new(SimulatedAnnealing::new(SaConfig { seed: 8, ..Default::default() })),
+            Box::new(TabuSearch::new(TabuConfig { seed: 8, ..Default::default() })),
+            Box::new(RandomSearch::new(8)),
+        ];
+        for mut algo in searches {
+            let mut state = algo.start(&inst, &budget);
+            let _ = state.step(10, None);
+            state.inject(&donor.solution, donor.objective_value);
+            let inc = state.incumbent().expect("incumbent");
+            assert!(
+                inc.cost <= donor.objective_value,
+                "{}: incumbent {} must match/beat the migrant {}",
+                state.name(),
+                inc.cost,
+                donor.objective_value
+            );
+            while !state.step(u64::MAX, None).is_exhausted() {}
+            let r = state.result();
+            r.solution.check(inst.graph()).unwrap();
+            assert!(r.objective_value <= donor.objective_value + 1e-9);
         }
     }
 

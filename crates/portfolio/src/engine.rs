@@ -1,0 +1,298 @@
+//! The tournament executor: races over the rayon pool, cells isolated
+//! against panics, optional shared-incumbent portfolio rounds.
+//!
+//! Execution unit is the **race** (one instance × one objective): every
+//! algorithm of the spec contests it, so the instance is generated once
+//! and — in portfolio mode — the contestants can exchange incumbents at
+//! round barriers through the [`SearchStep`] interface. Races fan out
+//! over the rayon pool; results merge in race order, so the complete
+//! outcome is **bit-identical at any thread count** (each race is
+//! internally sequential and every evaluator in the stack is
+//! thread-count-invariant by construction).
+//!
+//! A panicking cell (degenerate scenario parameters, a scheduler bug)
+//! is caught with `std::panic::catch_unwind`, reported in that cell's
+//! [`CellOutcome::error`], and never aborts the run: the remaining
+//! cells of the race — and all other races — still complete.
+
+use crate::spec::{build_contestant, Race, TournamentSpec};
+use mshc_schedule::{RunResult, SearchStep, Solution};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// One algorithm's outcome on one race cell. Everything serialized here
+/// is deterministic (no wall-clock fields — timing lives in
+/// [`CellTiming`] and is reported separately), so leaderboard JSON is
+/// bit-identical across thread counts and repeat runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Scenario tag (stable cell coordinate).
+    pub scenario: String,
+    /// Replicate seed.
+    pub seed: u64,
+    /// Objective spelling.
+    pub objective: String,
+    /// Whether the cell completed (false = panicked; see `error`).
+    pub ok: bool,
+    /// Best value under the race objective (0.0 when failed).
+    pub objective_value: f64,
+    /// Best solution's makespan (0.0 when failed).
+    pub makespan: f64,
+    /// Iterations (generations) executed.
+    pub iterations: u64,
+    /// Schedule evaluations performed — part of the determinism
+    /// contract: identical at any thread count.
+    pub evaluations: u64,
+    /// Panic message when `ok` is false, empty otherwise.
+    pub error: String,
+}
+
+/// Wall-clock cost of one cell, kept out of the serialized outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct CellTiming {
+    /// Seconds spent executing the cell (in portfolio mode: this
+    /// contestant's share of the race, excluding barrier bookkeeping).
+    pub secs: f64,
+}
+
+/// A finished tournament: per-cell outcomes in deterministic expansion
+/// order plus the parallel wall-clock vector.
+#[derive(Debug)]
+pub struct TournamentRun {
+    /// The spec that produced it.
+    pub spec: TournamentSpec,
+    /// One outcome per cell, race-major then algorithm order.
+    pub cells: Vec<CellOutcome>,
+    /// Timing for the same cells, same order.
+    pub timing: Vec<CellTiming>,
+    /// Wall-clock seconds for the whole tournament.
+    pub total_secs: f64,
+}
+
+/// Executes the spec over the current rayon pool. Returns an error only
+/// for an invalid spec; individual cell failures are reported per cell.
+pub fn run_tournament(spec: &TournamentSpec) -> Result<TournamentRun, String> {
+    let races = spec.expand()?;
+    let start = Instant::now();
+    let per_race: Vec<Vec<(CellOutcome, CellTiming)>> =
+        races.par_iter().map(|race| run_race(spec, race)).collect();
+    let total_secs = start.elapsed().as_secs_f64();
+    let mut cells = Vec::with_capacity(spec.cell_count());
+    let mut timing = Vec::with_capacity(spec.cell_count());
+    for race_cells in per_race {
+        for (outcome, t) in race_cells {
+            cells.push(outcome);
+            timing.push(t);
+        }
+    }
+    Ok(TournamentRun { spec: spec.clone(), cells, timing, total_secs })
+}
+
+/// Renders a panic payload into a one-line message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn failed_cell(race: &Race, algorithm: &str, error: String) -> CellOutcome {
+    CellOutcome {
+        algorithm: algorithm.to_string(),
+        scenario: race.scenario.tag(),
+        seed: race.seed,
+        objective: race.objective_label.clone(),
+        ok: false,
+        objective_value: 0.0,
+        makespan: 0.0,
+        iterations: 0,
+        evaluations: 0,
+        error,
+    }
+}
+
+fn finished_cell(race: &Race, algorithm: &str, result: &RunResult) -> CellOutcome {
+    CellOutcome {
+        algorithm: algorithm.to_string(),
+        scenario: race.scenario.tag(),
+        seed: race.seed,
+        objective: race.objective_label.clone(),
+        ok: true,
+        objective_value: result.objective_value,
+        makespan: result.makespan,
+        iterations: result.iterations,
+        evaluations: result.evaluations,
+        error: String::new(),
+    }
+}
+
+/// Runs one race: generates the instance once, then contests it with
+/// every algorithm — independently, or cooperatively in portfolio mode.
+fn run_race(spec: &TournamentSpec, race: &Race) -> Vec<(CellOutcome, CellTiming)> {
+    let inst = match catch_unwind(AssertUnwindSafe(|| race.scenario.generate(race.seed))) {
+        Ok(inst) => inst,
+        Err(payload) => {
+            // The whole race shares the instance; report the generation
+            // failure on every cell.
+            let msg = format!("workload generation panicked: {}", panic_message(payload));
+            return spec
+                .algorithms
+                .iter()
+                .map(|a| (failed_cell(race, a, msg.clone()), CellTiming { secs: 0.0 }))
+                .collect();
+        }
+    };
+    let budget = spec.budget(race.objective);
+    if spec.portfolio {
+        run_race_portfolio(spec, race, &inst, &budget)
+    } else {
+        run_race_independent(spec, race, &inst, &budget)
+    }
+}
+
+fn run_race_independent(
+    spec: &TournamentSpec,
+    race: &Race,
+    inst: &mshc_platform::HcInstance,
+    budget: &mshc_schedule::RunBudget,
+) -> Vec<(CellOutcome, CellTiming)> {
+    spec.algorithms
+        .iter()
+        .map(|algorithm| {
+            let t0 = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut contestant =
+                    build_contestant(algorithm, race.seed).expect("spec validated");
+                contestant.run(inst, budget)
+            }));
+            let cell = match outcome {
+                Ok(result) => finished_cell(race, algorithm, &result),
+                Err(payload) => failed_cell(race, algorithm, panic_message(payload)),
+            };
+            (cell, CellTiming { secs: t0.elapsed().as_secs_f64() })
+        })
+        .collect()
+}
+
+/// One contestant's live state during a portfolio race.
+enum Lane<'a> {
+    Alive { state: Box<dyn SearchStep + 'a>, secs: f64, exhausted: bool },
+    Dead { error: String, secs: f64 },
+}
+
+fn run_race_portfolio<'a>(
+    spec: &TournamentSpec,
+    race: &Race,
+    inst: &'a mshc_platform::HcInstance,
+    budget: &mshc_schedule::RunBudget,
+) -> Vec<(CellOutcome, CellTiming)> {
+    // Open every contestant's cooperative interface.
+    let mut lanes: Vec<Lane<'a>> = spec
+        .algorithms
+        .iter()
+        .map(|algorithm| {
+            let t0 = Instant::now();
+            match catch_unwind(AssertUnwindSafe(|| {
+                build_contestant(algorithm, race.seed).expect("spec validated").start(inst, budget)
+            })) {
+                Ok(state) => {
+                    Lane::Alive { state, secs: t0.elapsed().as_secs_f64(), exhausted: false }
+                }
+                Err(payload) => {
+                    Lane::Dead { error: panic_message(payload), secs: t0.elapsed().as_secs_f64() }
+                }
+            }
+        })
+        .collect();
+
+    // Synchronized migration rounds: equal iteration slices, then the
+    // single best incumbent is offered to every *other* lane. Slices
+    // cover the whole budget (ceil division), so by the last round
+    // every lane is exhausted; extra slices after exhaustion are no-ops.
+    let slice = spec.iterations.div_ceil(spec.rounds).max(1);
+    for _ in 0..spec.rounds {
+        for lane in &mut lanes {
+            if let Lane::Alive { state, secs, exhausted } = lane {
+                if *exhausted {
+                    continue;
+                }
+                let t0 = Instant::now();
+                match catch_unwind(AssertUnwindSafe(|| state.step(slice, None))) {
+                    Ok(verdict) => {
+                        *secs += t0.elapsed().as_secs_f64();
+                        *exhausted = verdict.is_exhausted();
+                    }
+                    Err(payload) => {
+                        let secs = *secs + t0.elapsed().as_secs_f64();
+                        *lane = Lane::Dead { error: panic_message(payload), secs };
+                    }
+                }
+            }
+        }
+
+        // Barrier: pick the best incumbent (ties break to the earliest
+        // lane, so migration is deterministic), clone it out, offer it
+        // to everyone else.
+        let migrant: Option<(usize, Solution, f64)> = lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, lane)| match lane {
+                Lane::Alive { state, .. } => {
+                    state.incumbent().map(|inc| (i, inc.solution, inc.cost))
+                }
+                Lane::Dead { .. } => None,
+            })
+            .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.cmp(&b.0)))
+            .map(|(i, sol, cost)| (i, sol.clone(), cost));
+        if let Some((donor, solution, cost)) = migrant {
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                if i == donor {
+                    continue;
+                }
+                if let Lane::Alive { state, secs, .. } = lane {
+                    let t0 = Instant::now();
+                    if let Err(payload) =
+                        catch_unwind(AssertUnwindSafe(|| state.inject(&solution, cost)))
+                    {
+                        let secs = *secs + t0.elapsed().as_secs_f64();
+                        *lane = Lane::Dead { error: panic_message(payload), secs };
+                    }
+                }
+            }
+        }
+
+        if lanes.iter().all(|l| match l {
+            Lane::Alive { exhausted, .. } => *exhausted,
+            Lane::Dead { .. } => true,
+        }) {
+            break;
+        }
+    }
+
+    // Finalize each lane into its cell.
+    lanes
+        .into_iter()
+        .zip(&spec.algorithms)
+        .map(|(lane, algorithm)| match lane {
+            Lane::Alive { mut state, mut secs, .. } => {
+                let t0 = Instant::now();
+                let cell = match catch_unwind(AssertUnwindSafe(|| state.result())) {
+                    Ok(result) => finished_cell(race, algorithm, &result),
+                    Err(payload) => failed_cell(race, algorithm, panic_message(payload)),
+                };
+                secs += t0.elapsed().as_secs_f64();
+                (cell, CellTiming { secs })
+            }
+            Lane::Dead { error, secs } => {
+                (failed_cell(race, algorithm, error), CellTiming { secs })
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,58 @@
+//! # mshc-portfolio — the deterministic parallel tournament engine
+//!
+//! The paper's core claim is comparative: simulated evolution beats
+//! GA/tabu/SA/list heuristics across heterogeneous workloads. This
+//! crate reproduces — and stress-tests — that claim at fleet scale: a
+//! declarative [`TournamentSpec`] (algorithms × replicate seeds ×
+//! [`Scenario`](mshc_workloads::Scenario) grid × objectives) expands
+//! into cells, executes over the rayon pool, and aggregates into a JSON
+//! [`Leaderboard`] (win rate, mean rank, mean/best objective, total
+//! evaluations per algorithm).
+//!
+//! ## Determinism contract
+//!
+//! The serialized leaderboard — including per-cell **evaluation
+//! counts** — is bit-identical at any thread count, with portfolio mode
+//! on or off, because:
+//!
+//! * every race (one instance × one objective) executes sequentially
+//!   and races merge in expansion order;
+//! * every evaluator tier underneath is thread-count-invariant;
+//! * replicate seeds derive from a ChaCha8 stream
+//!   ([`replicate_seeds`]) and each cell seeds its workload *and* its
+//!   algorithm from the replicate seed — exactly like `mshc run
+//!   --seed`, so a single cell reproduces the CLI run bit for bit;
+//! * wall-clock timing is reported separately ([`Timing`]) and never
+//!   serialized into the leaderboard.
+//!
+//! ## Portfolio mode
+//!
+//! With [`TournamentSpec::portfolio`] set, the algorithms of a race run
+//! cooperatively through the [`SteppableSearch`] interface
+//! (`mshc-schedule`): the iteration budget splits into
+//! [`TournamentSpec::rounds`] synchronized slices, and at each round
+//! barrier the single best incumbent migrates to every other search
+//! ([`SearchStep::inject`](mshc_schedule::SearchStep::inject) adopts it
+//! only when it improves on the receiver's working solution). One-shot
+//! heuristics participate through
+//! [`OneShotStep`](mshc_schedule::OneShotStep), seeding the exchange
+//! with their constructive solutions after round one.
+//!
+//! ## Fault isolation
+//!
+//! A panicking cell (degenerate scenario, scheduler bug) is caught,
+//! recorded in [`CellOutcome::error`], and reported per cell by
+//! `--report`; it never aborts the tournament.
+//!
+//! [`SteppableSearch`]: mshc_schedule::SteppableSearch
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod leaderboard;
+pub mod spec;
+
+pub use engine::{run_tournament, CellOutcome, CellTiming, TournamentRun};
+pub use leaderboard::{aggregate, cells_csv, render_report, Leaderboard, Standing, Timing};
+pub use spec::{build_contestant, replicate_seeds, Contestant, Race, TournamentSpec, ALGORITHMS};

@@ -79,6 +79,7 @@ pub mod objective;
 pub mod runner;
 pub mod sim;
 pub mod snapshot;
+pub mod steppable;
 
 pub use batch::BatchEvaluator;
 pub use encoding::{Segment, Solution};
@@ -94,3 +95,6 @@ pub use objective::{
 pub use runner::{report_objective_value, RunBudget, RunResult, Scheduler};
 pub use sim::{replay, replay_with, NetworkModel, SimError};
 pub use snapshot::EvalSnapshot;
+pub use steppable::{
+    run_stepped, Incumbent, OneShotStep, SearchStep, StepVerdict, SteppableSearch,
+};

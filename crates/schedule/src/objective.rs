@@ -353,26 +353,49 @@ impl ObjectiveKind {
 
     /// Parses a CLI spelling: `makespan`, `total-flowtime`,
     /// `mean-flowtime`, `load-balance`, or `weighted:MK,FT,LB` (three
-    /// comma-separated weights).
+    /// comma-separated weights). Returns `None` on any malformed input;
+    /// the [`FromStr`](std::str::FromStr) impl reports *why* instead.
     pub fn parse(s: &str) -> Option<ObjectiveKind> {
-        match s {
-            "makespan" => Some(ObjectiveKind::Makespan),
-            "total-flowtime" => Some(ObjectiveKind::TotalFlowtime),
-            "mean-flowtime" => Some(ObjectiveKind::MeanFlowtime),
-            "load-balance" => Some(ObjectiveKind::LoadBalance),
-            _ => {
-                let weights = s.strip_prefix("weighted:")?;
-                let parts: Vec<&str> = weights.split(',').collect();
-                if parts.len() != 3 {
-                    return None;
-                }
-                let w: Vec<f64> = parts.iter().filter_map(|p| p.trim().parse().ok()).collect();
-                if w.len() != 3 || w.iter().any(|v| !v.is_finite()) {
-                    return None;
-                }
-                Some(ObjectiveKind::Weighted { makespan: w[0], flowtime: w[1], balance: w[2] })
-            }
+        s.parse().ok()
+    }
+
+    /// Parses the weight list of a `weighted:MK,FT,LB` spelling with
+    /// descriptive errors for each way the input can be malformed.
+    fn parse_weights(weights: &str) -> Result<ObjectiveKind, String> {
+        const COMPONENTS: [&str; 3] = ["makespan (MK)", "flowtime (FT)", "balance (LB)"];
+        let parts: Vec<&str> = weights.split(',').collect();
+        if parts.len() != 3 {
+            return Err(format!(
+                "weighted objective needs exactly 3 comma-separated weights (MK,FT,LB), got {} \
+                 in {weights:?}",
+                parts.len()
+            ));
         }
+        let mut w = [0.0f64; 3];
+        for (i, part) in parts.iter().enumerate() {
+            let trimmed = part.trim();
+            if trimmed.is_empty() {
+                return Err(format!("weighted objective: missing {} weight", COMPONENTS[i]));
+            }
+            let v: f64 = trimmed.parse().map_err(|_| {
+                format!("weighted objective: {} weight {trimmed:?} is not a number", COMPONENTS[i])
+            })?;
+            if !v.is_finite() {
+                return Err(format!(
+                    "weighted objective: {} weight {trimmed:?} must be finite",
+                    COMPONENTS[i]
+                ));
+            }
+            if v < 0.0 {
+                return Err(format!(
+                    "weighted objective: {} weight {v} must be >= 0 (objectives are minimized; \
+                     negative weights would reward worse schedules)",
+                    COMPONENTS[i]
+                ));
+            }
+            w[i] = v;
+        }
+        Ok(ObjectiveKind::Weighted { makespan: w[0], flowtime: w[1], balance: w[2] })
     }
 
     /// The CLI spelling; `parse(kind.label())` round-trips.
@@ -393,6 +416,30 @@ impl ObjectiveKind {
     #[inline]
     pub fn is_makespan(&self) -> bool {
         matches!(self, ObjectiveKind::Makespan)
+    }
+}
+
+impl std::str::FromStr for ObjectiveKind {
+    type Err = String;
+
+    /// Like [`ObjectiveKind::parse`], but malformed input yields a
+    /// descriptive error: unknown names list the valid spellings, and
+    /// `weighted:` inputs report exactly which component is missing,
+    /// non-numeric, non-finite or negative.
+    fn from_str(s: &str) -> Result<ObjectiveKind, String> {
+        match s {
+            "makespan" => Ok(ObjectiveKind::Makespan),
+            "total-flowtime" => Ok(ObjectiveKind::TotalFlowtime),
+            "mean-flowtime" => Ok(ObjectiveKind::MeanFlowtime),
+            "load-balance" => Ok(ObjectiveKind::LoadBalance),
+            other => match other.strip_prefix("weighted:") {
+                Some(weights) => ObjectiveKind::parse_weights(weights),
+                None => Err(format!(
+                    "unknown objective {other:?} (expected makespan, total-flowtime, \
+                     mean-flowtime, load-balance or weighted:MK,FT,LB)"
+                )),
+            },
+        }
     }
 }
 
@@ -593,5 +640,34 @@ mod tests {
         assert!(ObjectiveKind::parse("weighted:1,2,x").is_none());
         assert!(ObjectiveKind::default().is_makespan());
         assert!(!ObjectiveKind::LoadBalance.is_makespan());
+    }
+
+    #[test]
+    fn from_str_errors_are_descriptive() {
+        let err = |s: &str| s.parse::<ObjectiveKind>().unwrap_err();
+        assert!(err("bogus").contains("unknown objective"));
+        assert!(err("bogus").contains("weighted:MK,FT,LB"), "error lists valid spellings");
+        // Wrong arity.
+        assert!(err("weighted:1,2").contains("exactly 3"));
+        assert!(err("weighted:1,2,3,4").contains("exactly 3"));
+        // Missing component.
+        assert!(err("weighted:1,,3").contains("missing flowtime"));
+        assert!(err("weighted:").contains("exactly 3"), "empty weight list has arity 1");
+        // Non-numeric component names the component and the input.
+        let e = err("weighted:1,2,x");
+        assert!(e.contains("balance") && e.contains("\"x\"") && e.contains("not a number"));
+        // Non-finite and negative components are rejected loudly instead
+        // of silently steering the search the wrong way.
+        assert!(err("weighted:nan,1,1").contains("finite"));
+        assert!(err("weighted:inf,1,1").contains("finite"));
+        assert!(err("weighted:1,-0.5,1").contains(">= 0"));
+        // Happy paths still parse, with whitespace tolerated.
+        assert_eq!(
+            "weighted: 1 ,0.5, 2".parse::<ObjectiveKind>(),
+            Ok(ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.5, balance: 2.0 })
+        );
+        assert_eq!("load-balance".parse::<ObjectiveKind>(), Ok(ObjectiveKind::LoadBalance));
+        // parse() is exactly from_str().ok().
+        assert_eq!(ObjectiveKind::parse("weighted:1,-1,1"), None);
     }
 }

@@ -248,4 +248,61 @@ proptest! {
         prop_assert_eq!(sol.machine_of(t), m);
         prop_assert!(sol.check(inst.graph()).is_ok());
     }
+
+    /// Every representable objective kind round-trips through its CLI
+    /// spelling: `parse(label()) == kind`, and `FromStr` agrees with
+    /// `parse` on the same input.
+    #[test]
+    fn objective_label_parse_roundtrip(
+        which in 0usize..5,
+        mk in 0.0f64..1e6,
+        ft in 0.0f64..1e6,
+        lb in 0.0f64..1e6,
+    ) {
+        let kind = match which {
+            0 => ObjectiveKind::Makespan,
+            1 => ObjectiveKind::TotalFlowtime,
+            2 => ObjectiveKind::MeanFlowtime,
+            3 => ObjectiveKind::LoadBalance,
+            _ => ObjectiveKind::Weighted { makespan: mk, flowtime: ft, balance: lb },
+        };
+        let label = kind.label();
+        prop_assert_eq!(ObjectiveKind::parse(&label), Some(kind));
+        prop_assert_eq!(label.parse::<ObjectiveKind>(), Ok(kind));
+    }
+
+    /// Junk never parses silently: whatever `FromStr` rejects, `parse`
+    /// rejects too (no panic, no silent default on malformed input).
+    #[test]
+    fn objective_parse_never_panics_and_agrees_with_from_str(
+        bytes in prop::collection::vec(0x20u8..0x7f, 0..30),
+    ) {
+        let s = String::from_utf8(bytes).expect("printable ASCII");
+        let via_parse = ObjectiveKind::parse(&s);
+        let via_from_str = s.parse::<ObjectiveKind>().ok();
+        prop_assert_eq!(via_parse, via_from_str);
+    }
+
+    /// Malformed weighted spellings are rejected with an error that
+    /// names the offending weight, for every malformation class
+    /// (wrong arity, negative components, non-numeric junk).
+    #[test]
+    fn malformed_weighted_inputs_error_descriptively(
+        w in prop::collection::vec(-10.0f64..10.0, 0..6),
+        junk_pick in 0usize..4,
+    ) {
+        let spelling = format!(
+            "weighted:{}",
+            w.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+        );
+        let parsed = spelling.parse::<ObjectiveKind>();
+        if w.len() == 3 && w.iter().all(|v| *v >= 0.0) {
+            prop_assert!(parsed.is_ok());
+        } else {
+            prop_assert!(parsed.unwrap_err().contains("weight"));
+        }
+        let junk = ["x", "nan", "inf", "1.0.0"][junk_pick];
+        let with_junk = format!("weighted:1,{junk},3");
+        prop_assert!(with_junk.parse::<ObjectiveKind>().is_err());
+    }
 }

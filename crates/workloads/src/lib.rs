@@ -32,6 +32,8 @@
 pub mod presets;
 pub mod spec;
 pub mod structured;
+pub mod suite;
 
 pub use presets::{figure1, FigureWorkload};
 pub use spec::{Connectivity, Heterogeneity, WorkloadSpec};
+pub use suite::{named_suite, small_suite, tiny_suite, DagShape, Scenario};

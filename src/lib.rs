@@ -11,7 +11,8 @@
 //! | [`core`] | **the paper's contribution**: the simulated-evolution scheduler |
 //! | [`ga`] | the Wang et al. genetic-algorithm baseline the paper compares against |
 //! | [`heuristics`] | HEFT, CPOP, min-min family, random search, SA, tabu |
-//! | [`workloads`] | §5 random workload generator (connectivity × heterogeneity × CCR) |
+//! | [`workloads`] | §5 random workload generator (connectivity × heterogeneity × CCR) + scenario suites |
+//! | [`portfolio`] | deterministic parallel tournament engine: race every scheduler across scenario grids |
 //! | [`trace`] | per-iteration traces, CSV, ASCII plots |
 //! | [`stats`] | summaries, online accumulators, trend fits |
 //!
@@ -49,6 +50,7 @@ pub use mshc_core as core;
 pub use mshc_ga as ga;
 pub use mshc_heuristics as heuristics;
 pub use mshc_platform as platform;
+pub use mshc_portfolio as portfolio;
 pub use mshc_schedule as schedule;
 pub use mshc_stats as stats;
 pub use mshc_taskgraph as taskgraph;
@@ -66,13 +68,17 @@ pub mod prelude {
     pub use mshc_platform::{
         ArchClass, HcInstance, HcSystem, InstanceMetrics, Machine, MachineId, Matrix,
     };
+    pub use mshc_portfolio::{run_tournament, Leaderboard, TournamentSpec};
     pub use mshc_schedule::{
         replay, BatchEvaluator, EvalSnapshot, Evaluator, Gantt, IncrementalEvaluator, Objective,
-        ObjectiveKind, ObjectiveState, RunBudget, RunResult, Scheduler, Segment, Solution,
+        ObjectiveKind, ObjectiveState, RunBudget, RunResult, Scheduler, SearchStep, Segment,
+        Solution, StepVerdict, SteppableSearch,
     };
     pub use mshc_taskgraph::{DataId, TaskGraph, TaskGraphBuilder, TaskId};
     pub use mshc_trace::{AsciiPlot, Series, Trace, TraceRecord};
-    pub use mshc_workloads::{figure1, Connectivity, FigureWorkload, Heterogeneity, WorkloadSpec};
+    pub use mshc_workloads::{
+        figure1, Connectivity, FigureWorkload, Heterogeneity, Scenario, WorkloadSpec,
+    };
 }
 
 #[cfg(test)]
