@@ -47,7 +47,17 @@ global options:
   --checkpoint-stride N
              checkpoint stride of the incremental move evaluators used by
              se/sa/tabu (default: auto = ceil(sqrt(tasks)); results are
-             identical at every stride, only speed/memory change)
+             identical at every stride, only speed/memory change; N must
+             be at least 1 — 0 is rejected, omit the flag for auto)
+  --no-prune disable bound pruning and reconvergence splicing in the
+             se/sa/tabu move scans (the ablation escape hatch; default is
+             on). Solutions, objective values and evaluation counts are
+             bit-identical either way — only speed changes. Interacts
+             with --checkpoint-stride: splices can only fire at
+             checkpoint boundaries, so larger strides mean fewer splice
+             opportunities; with --no-prune the stride reverts to a pure
+             resume-cost knob. --report prints the realized pruned and
+             spliced fractions.
 ";
 
 /// Entry point: dispatches `argv` to a subcommand.
@@ -134,10 +144,15 @@ fn budget(p: &Parsed) -> Result<RunBudget, String> {
     if p.get("checkpoint-stride").is_some() {
         let stride: usize = p.get_parse("checkpoint-stride", 0)?;
         if stride == 0 {
-            return Err("--checkpoint-stride: must be at least 1 (omit for auto)".to_string());
+            return Err(
+                "--checkpoint-stride: must be at least 1 (omit the flag for the auto stride \
+                 ceil(sqrt(tasks)); use --no-prune to disable the bounded fast path instead)"
+                    .to_string(),
+            );
         }
         b.checkpoint_stride = Some(stride);
     }
+    b.prune = !p.flag("no-prune");
     debug_assert!(b.validate().is_ok());
     Ok(b)
 }
@@ -229,6 +244,14 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
             "throughput: {:.0} evals/sec ({} evals, {:.3}s)",
             evals_per_sec, result.evaluations, secs
         );
+        if result.scan.scored > 0 {
+            println!(
+                "move scan: {} bounded scorings | {:.1}% pruned | {:.1}% spliced",
+                result.scan.scored,
+                100.0 * result.scan.pruned_fraction(),
+                100.0 * result.scan.spliced_fraction()
+            );
+        }
     }
     if p.flag("gantt") {
         let report = full_report.as_ref().expect("computed above");
@@ -335,6 +358,11 @@ fn tournament_spec(p: &Parsed) -> Result<TournamentSpec, String> {
     }
     if p.get("rounds").is_some() {
         spec.rounds = p.get_parse("rounds", 8u64)?;
+    }
+    // Like --portfolio/--rounds, an execution-mode override that
+    // composes with --spec: it cannot change any leaderboard bit.
+    if p.flag("no-prune") {
+        spec.prune = false;
     }
     spec.validate()?;
     Ok(spec)
@@ -555,11 +583,51 @@ mod tests {
         let b = budget(&p).unwrap();
         assert_eq!(b.max_iterations, Some(7));
         assert_eq!(b.checkpoint_stride, Some(9));
+        assert!(b.prune, "fast path on by default");
         assert!(b.validate().is_ok());
         // No limits given: the loud default keeps the budget bounded.
         let b = budget(&parse(&argv(&[]))).unwrap();
         assert_eq!(b.max_iterations, Some(200));
         assert_eq!(b.checkpoint_stride, None);
+        // The escape hatch.
+        let b = budget(&parse(&argv(&["--iters", "7", "--no-prune"]))).unwrap();
+        assert!(!b.prune);
+    }
+
+    #[test]
+    fn no_prune_flag_runs_everywhere() {
+        // run + compare accept the escape hatch; tournament composes it
+        // with --spec like the other execution-mode overrides.
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "tabu",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "20",
+            "--no-prune",
+            "--report",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "tournament",
+            "--suite",
+            "tiny",
+            "--algos",
+            "sa,mct",
+            "--seeds",
+            "1",
+            "--iters",
+            "4",
+            "--no-prune",
+        ]))
+        .unwrap();
+        // --help documents the interaction.
+        assert!(USAGE.contains("--no-prune"));
+        assert!(USAGE.contains("--checkpoint-stride"));
     }
 
     #[test]

@@ -5,8 +5,8 @@ use crate::goodness::{goodness, optimal_costs};
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
     run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, Incumbent,
-    Objective, ObjectiveKind, RunBudget, RunResult, ScheduleReport, Scheduler, SearchStep,
-    Solution, StepVerdict, SteppableSearch,
+    MoveScore, Objective, ObjectiveKind, RunBudget, RunResult, ScanStats, ScheduleReport,
+    Scheduler, SearchStep, Solution, StepVerdict, SteppableSearch,
 };
 use mshc_taskgraph::{Levels, TaskId};
 use mshc_trace::{Trace, TraceRecord};
@@ -119,6 +119,7 @@ impl SteppableSearch for SeScheduler {
             iterations: 0,
             stall: 0,
             evaluations,
+            scan: ScanStats::default(),
             selected: Vec::with_capacity(inst.task_count()),
             bias: cfg.selection_bias,
             start,
@@ -149,6 +150,8 @@ struct SeState<'a> {
     /// per-slice evaluators contribute their counts when the slice
     /// ends, so totals are independent of how the run is sliced).
     evaluations: u64,
+    /// Fast-path counters accumulated across completed slices.
+    scan: ScanStats,
     selected: Vec<TaskId>,
     bias: f64,
     start: Instant,
@@ -164,8 +167,11 @@ impl SearchStep for SeState<'_> {
         let mut eval = Evaluator::with_snapshot(&self.snapshot);
         let mut inc = IncrementalEvaluator::with_snapshot(&self.snapshot);
         inc.set_stride(self.budget.checkpoint_stride);
-        let mut batch =
-            BatchEvaluator::new(&self.snapshot).with_stride(self.budget.checkpoint_stride);
+        inc.set_pruning(self.budget.prune);
+        inc.set_splicing(self.budget.prune);
+        let mut batch = BatchEvaluator::new(&self.snapshot)
+            .with_stride(self.budget.checkpoint_stride)
+            .with_pruning(self.budget.prune);
         let mut moves = Vec::new();
         let mut stepped = 0u64;
 
@@ -216,7 +222,7 @@ impl SearchStep for SeState<'_> {
                 );
             }
 
-            self.report = eval.report(&self.current);
+            eval.report_into(&self.current, &mut self.report);
             self.score = self.objective.value(&self.report.view());
             if self.score < self.best_score {
                 self.best_score = self.score;
@@ -242,6 +248,8 @@ impl SearchStep for SeState<'_> {
         }
 
         self.evaluations += eval.evaluations();
+        self.scan.merge(inc.stats());
+        self.scan.merge(batch.scan_stats());
         if self.budget.exhausted(
             self.iterations,
             self.evaluations,
@@ -266,7 +274,7 @@ impl SearchStep for SeState<'_> {
             // bookkeeping pass is uncounted, like the batch evaluator's
             // per-chunk primes, so portfolio and solo runs share the
             // same evaluation axis.
-            self.report = Evaluator::with_snapshot(&self.snapshot).report(&self.current);
+            Evaluator::with_snapshot(&self.snapshot).report_into(&self.current, &mut self.report);
             if cost < self.best_score {
                 self.best.clone_from(migrant);
                 self.best_score = cost;
@@ -290,6 +298,7 @@ impl SearchStep for SeState<'_> {
             iterations: self.iterations,
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
+            scan: self.scan,
         }
     }
 }
@@ -399,14 +408,13 @@ fn allocate(
                 .flat_map(|pos| machines.iter().map(move |&m| (pos, m)))
                 .filter(|&(pos, m)| pos != orig_pos || m != orig_m),
         );
-        let scores = batch.score_moves(g, sol, t, moves, &objective);
-        eval.bump_evaluations(scores.len() as u64);
-        let (idx, _cost) = scores
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
-            .expect("non-empty candidate grid");
-        let (pos, m) = moves[idx];
+        // The bounded scan commits the identical earliest-index argmin
+        // the historic score-everything + min_by fold committed, and
+        // charges the identical evaluation count — pruned candidates
+        // count too.
+        let best = batch.best_move(g, sol, t, moves, &objective).expect("non-empty candidate grid");
+        eval.bump_evaluations(moves.len() as u64);
+        let (pos, m) = moves[best.index];
         sol.move_task(g, t, pos, m).expect("committing the best candidate");
         return;
     }
@@ -438,7 +446,15 @@ fn allocate(
             }
             let cost = if use_incremental {
                 eval.bump_evaluations(1);
-                inc.score_move(t, pos, m, &objective)
+                // The running best rides along as the pruning bound: a
+                // pruned candidate is provably above `best_cost`, so the
+                // sequential scan would have rejected it (and, being no
+                // new best, never first-improvement-breaks on it) —
+                // skipping is behavior-identical.
+                match inc.score_move_bounded(t, pos, m, best_cost, &objective) {
+                    MoveScore::Exact(cost) => cost,
+                    MoveScore::Pruned => continue,
+                }
             } else {
                 sol.move_task(g, t, pos, m).expect("candidate within valid range");
                 eval.objective_value(sol, &objective)
@@ -655,6 +671,31 @@ mod tests {
             (mean - target).abs() < 0.12,
             "adaptive selection fraction {mean} should track target {target}"
         );
+    }
+
+    #[test]
+    fn no_prune_runs_are_bit_identical() {
+        // The bounded/spliced fast path is a pure cost knob: whole SE
+        // runs (serial and batch allocation routes) match with it off,
+        // solutions and evaluation counts included.
+        for parallel in [false, true] {
+            let inst = random_instance(24, 4, 51);
+            let cfg = SeConfig { seed: 9, parallel_allocation: parallel, ..Default::default() };
+            let on = SeScheduler::new(cfg).run(&inst, &RunBudget::iterations(15), None);
+            let off = SeScheduler::new(cfg).run(
+                &inst,
+                &RunBudget::iterations(15).with_prune(false),
+                None,
+            );
+            assert_eq!(on.solution, off.solution, "parallel={parallel}");
+            assert_eq!(on.makespan, off.makespan);
+            assert_eq!(on.evaluations, off.evaluations, "evaluation-count contract");
+            assert_eq!(off.scan.pruned, 0, "no-prune must not prune");
+            assert_eq!(off.scan.spliced, 0, "no-prune must not splice");
+            if parallel {
+                assert!(on.scan.scored > 0, "batch route scans incrementally");
+            }
+        }
     }
 
     #[test]

@@ -297,6 +297,7 @@ impl SearchStep for GaState<'_> {
             iterations: self.generations,
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
+            scan: Default::default(),
         }
     }
 }

@@ -200,6 +200,7 @@ impl Scheduler for HeftScheduler {
             iterations: 1,
             evaluations,
             elapsed: start.elapsed(),
+            scan: Default::default(),
         }
     }
 }
@@ -285,6 +286,7 @@ impl Scheduler for CpopScheduler {
             iterations: 1,
             evaluations: evaluations.max(1),
             elapsed: start.elapsed(),
+            scan: Default::default(),
         }
     }
 }

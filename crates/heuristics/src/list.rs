@@ -147,6 +147,7 @@ impl Scheduler for ListScheduler {
             iterations: 1,
             evaluations: evaluations.max(1),
             elapsed: start.elapsed(),
+            scan: Default::default(),
         }
     }
 }

@@ -12,8 +12,8 @@
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
     random_solution, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator,
-    Incumbent, ObjectiveKind, RunBudget, RunResult, Scheduler, SearchStep, Solution, StepVerdict,
-    SteppableSearch,
+    Incumbent, ObjectiveKind, RunBudget, RunResult, ScanStats, Scheduler, SearchStep, Solution,
+    StepVerdict, SteppableSearch,
 };
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
@@ -207,6 +207,7 @@ impl SearchStep for RandomState<'_> {
             iterations: self.iterations,
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
+            scan: ScanStats::default(),
         }
     }
 }
@@ -278,6 +279,8 @@ impl SteppableSearch for SimulatedAnnealing {
         let current_cost = {
             let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
             inc.set_stride(budget.checkpoint_stride);
+            inc.set_pruning(false);
+            inc.set_splicing(false);
             inc.prime(&current);
             inc.base_score(&objective)
         };
@@ -297,6 +300,7 @@ impl SteppableSearch for SimulatedAnnealing {
             iterations: 0,
             stall: 0,
             proposals: 0,
+            scan: ScanStats::default(),
             start,
         })
     }
@@ -324,6 +328,10 @@ struct SaState<'a> {
     /// uncounted cache rebuilds, keeping the axis identical to the
     /// historic full-pass loop however the run is sliced.
     proposals: u64,
+    /// Fast-path counters accumulated across completed slices. SA never
+    /// bound-prunes (the Metropolis rule needs every proposal's exact
+    /// score), but its proposals splice on reconvergence.
+    scan: ScanStats,
     start: Instant,
 }
 
@@ -335,6 +343,11 @@ impl SearchStep for SaState<'_> {
     fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
         let mut inc = IncrementalEvaluator::with_snapshot(&self.snapshot);
         inc.set_stride(self.budget.checkpoint_stride);
+        // SA scores every proposal exactly (the Metropolis rule needs
+        // the true delta), so pruning is off and its per-acceptance
+        // re-primes skip the bound structures entirely.
+        inc.set_pruning(false);
+        inc.set_splicing(self.budget.prune);
         inc.prime(&self.current);
         let mut stepped = 0u64;
         while stepped < max_iterations
@@ -380,6 +393,7 @@ impl SearchStep for SaState<'_> {
             }
         }
         self.proposals += inc.evaluations();
+        self.scan.merge(inc.stats());
         if self.budget.exhausted(
             self.iterations,
             1 + self.proposals,
@@ -420,6 +434,7 @@ impl SearchStep for SaState<'_> {
             iterations: self.iterations,
             evaluations: 1 + self.proposals,
             elapsed: self.start.elapsed(),
+            scan: self.scan,
         }
     }
 }
@@ -442,11 +457,13 @@ impl Default for TabuConfig {
 }
 
 /// Sampled-neighborhood tabu search: each iteration samples `samples`
-/// moves, scores the whole sample in one [`BatchEvaluator`] call, applies
-/// the best whose task is not tabu (aspiration: a move beating the global
-/// best is always allowed), and marks the moved task tabu for `tenure`
-/// iterations. Moves are drawn *before* any is scored, so results are
-/// bit-identical to the historic move-eval-undo loop at any thread count.
+/// moves, resolves the whole sample in one bounded
+/// [`BatchEvaluator::best_task_move`] scan (tabu moves contend only
+/// through the aspiration criterion: beating the global best), applies
+/// the winner and marks the moved task tabu for `tenure` iterations.
+/// Moves are drawn *before* any is scored, and the bounded scan selects
+/// exactly what the historic score-everything-then-pick loop selected —
+/// bit-identical at any thread count, with the same evaluation count.
 #[derive(Debug, Clone)]
 pub struct TabuSearch {
     config: TabuConfig,
@@ -504,9 +521,11 @@ impl SteppableSearch for TabuSearch {
             current_cost,
             tabu_until: vec![0u64; inst.task_count()],
             sampled: Vec::with_capacity(cfg.samples),
+            admissible: Vec::with_capacity(cfg.samples),
             iterations: 0,
             stall: 0,
             evaluations,
+            scan: ScanStats::default(),
             start,
         })
     }
@@ -526,9 +545,14 @@ struct TabuState<'a> {
     best_cost: f64,
     tabu_until: Vec<u64>,
     sampled: Vec<(TaskId, usize, MachineId)>,
+    /// Per-sample non-tabu mask for the bounded scan, rebuilt each
+    /// iteration.
+    admissible: Vec<bool>,
     iterations: u64,
     stall: u64,
     evaluations: u64,
+    /// Fast-path counters accumulated across completed slices.
+    scan: ScanStats,
     start: Instant,
 }
 
@@ -539,8 +563,9 @@ impl SearchStep for TabuState<'_> {
 
     fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
         let g = self.inst.graph();
-        let mut batch =
-            BatchEvaluator::new(&self.snapshot).with_stride(self.budget.checkpoint_stride);
+        let mut batch = BatchEvaluator::new(&self.snapshot)
+            .with_stride(self.budget.checkpoint_stride)
+            .with_pruning(self.budget.prune);
         let mut stepped = 0u64;
         while stepped < max_iterations
             && !self.budget.exhausted(
@@ -559,19 +584,26 @@ impl SearchStep for TabuState<'_> {
                 let m = MachineId::from_usize(self.rng.gen_range(0..self.inst.machine_count()));
                 self.sampled.push((t, pos, m));
             }
-            let costs = batch.score_task_moves(g, &self.current, &self.sampled, &self.objective);
-            let mut chosen: Option<(TaskId, usize, MachineId, f64)> = None;
-            for (&(t, pos, m), &cost) in self.sampled.iter().zip(&costs) {
-                let tabu = self.tabu_until[t.index()] > self.iterations;
-                let aspiration = cost < self.best_cost;
-                if (tabu && !aspiration) || chosen.as_ref().is_some_and(|c| c.3 <= cost) {
-                    continue;
-                }
-                chosen = Some((t, pos, m, cost));
-            }
-            if let Some((t, pos, m, cost)) = chosen {
+            // Tabu status is a pure function of the tenure table, so it
+            // is known before scoring — the bounded scan can cut a tabu
+            // candidate as soon as it provably misses the aspiration
+            // line, and any candidate once it provably loses the argmin.
+            self.admissible.clear();
+            self.admissible.extend(
+                self.sampled.iter().map(|&(t, _, _)| self.tabu_until[t.index()] <= self.iterations),
+            );
+            let chosen = batch.best_task_move(
+                g,
+                &self.current,
+                &self.sampled,
+                Some(&self.admissible),
+                self.best_cost,
+                &self.objective,
+            );
+            if let Some(best) = chosen {
+                let (t, pos, m) = self.sampled[best.index];
                 self.current.move_task(g, t, pos, m).expect("apply chosen");
-                self.current_cost = cost;
+                self.current_cost = best.score;
                 self.tabu_until[t.index()] = self.iterations + self.cfg.tenure;
                 if self.current_cost < self.best_cost {
                     self.best_cost = self.current_cost;
@@ -598,6 +630,7 @@ impl SearchStep for TabuState<'_> {
             }
         }
         self.evaluations += batch.evaluations();
+        self.scan.merge(batch.scan_stats());
         if self.budget.exhausted(
             self.iterations,
             self.evaluations,
@@ -637,6 +670,7 @@ impl SearchStep for TabuState<'_> {
             iterations: self.iterations,
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
+            scan: self.scan,
         }
     }
 }
@@ -721,6 +755,38 @@ mod tests {
         let e = RandomSearch::new(7).run(&inst, &budget, None);
         let f = RandomSearch::new(7).run(&inst, &budget, None);
         assert_eq!(e.solution, f.solution);
+    }
+
+    #[test]
+    fn no_prune_runs_are_bit_identical_for_sa_and_tabu() {
+        // Bounded selection (tabu) and spliced proposals (SA) are pure
+        // cost knobs: runs match bit for bit with the fast path off,
+        // evaluation counts included.
+        let inst = random_instance(22, 4, 39);
+        let on_budget = RunBudget::iterations(200);
+        let off_budget = RunBudget::iterations(200).with_prune(false);
+        let sa_on = SimulatedAnnealing::new(SaConfig { seed: 5, ..Default::default() })
+            .run(&inst, &on_budget, None);
+        let sa_off = SimulatedAnnealing::new(SaConfig { seed: 5, ..Default::default() }).run(
+            &inst,
+            &off_budget,
+            None,
+        );
+        assert_eq!(sa_on.solution, sa_off.solution);
+        assert_eq!(sa_on.evaluations, sa_off.evaluations);
+        assert_eq!(sa_off.scan.spliced, 0);
+        let tabu_on = TabuSearch::new(TabuConfig { seed: 5, ..Default::default() })
+            .run(&inst, &on_budget, None);
+        let tabu_off = TabuSearch::new(TabuConfig { seed: 5, ..Default::default() }).run(
+            &inst,
+            &off_budget,
+            None,
+        );
+        assert_eq!(tabu_on.solution, tabu_off.solution);
+        assert_eq!(tabu_on.makespan, tabu_off.makespan);
+        assert_eq!(tabu_on.evaluations, tabu_off.evaluations);
+        assert_eq!(tabu_off.scan.pruned, 0);
+        assert!(tabu_on.scan.scored > 0, "tabu scans through the bounded path");
     }
 
     #[test]

@@ -63,6 +63,16 @@ pub struct TournamentSpec {
     /// Migration rounds in portfolio mode (the iteration budget is
     /// split into this many synchronized slices).
     pub rounds: u64,
+    /// Whether the move-scan fast path may bound-prune and splice
+    /// (default `true`; `mshc tournament --no-prune` turns it off). A
+    /// pure cost knob — the leaderboard, evaluation counts included, is
+    /// bit-identical either way, which CI `cmp`s.
+    #[serde(default = "default_prune")]
+    pub prune: bool,
+}
+
+fn default_prune() -> bool {
+    true
 }
 
 impl TournamentSpec {
@@ -79,6 +89,7 @@ impl TournamentSpec {
             iterations: 60,
             portfolio: false,
             rounds: 8,
+            prune: true,
         }
     }
 
@@ -176,7 +187,7 @@ impl TournamentSpec {
 
     /// The per-race run budget for one objective.
     pub fn budget(&self, objective: ObjectiveKind) -> RunBudget {
-        RunBudget::iterations(self.iterations).with_objective(objective)
+        RunBudget::iterations(self.iterations).with_objective(objective).with_prune(self.prune)
     }
 }
 
@@ -272,6 +283,26 @@ pub fn build_contestant(name: &str, seed: u64) -> Result<Contestant, String> {
 mod tests {
     use super::*;
     use mshc_workloads::tiny_suite;
+
+    #[test]
+    fn spec_json_without_prune_defaults_to_on() {
+        // Pre-existing spec files (written before the bounded fast path)
+        // must keep parsing; the missing field defaults to pruning on,
+        // and the budget carries it.
+        let spec = TournamentSpec::new("tiny", tiny_suite());
+        let mut json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"prune\":true"));
+        json = json.replace(",\"prune\":true", "").replace("\"prune\":true,", "");
+        assert!(!json.contains("prune"));
+        let parsed: TournamentSpec = serde_json::from_str(&json).unwrap();
+        assert!(parsed.prune, "missing field defaults to on");
+        assert!(parsed.budget(ObjectiveKind::Makespan).prune);
+        let off = TournamentSpec { prune: false, ..spec };
+        let round: TournamentSpec =
+            serde_json::from_str(&serde_json::to_string(&off).unwrap()).unwrap();
+        assert!(!round.prune, "explicit false round-trips");
+        assert!(!round.budget(ObjectiveKind::Makespan).prune);
+    }
 
     #[test]
     fn default_spec_validates_and_expands() {

@@ -30,13 +30,24 @@
 
 use crate::encoding::Solution;
 use crate::eval::Evaluator;
-use crate::incremental::IncrementalEvaluator;
+use crate::incremental::{IncrementalEvaluator, MoveScore, ScanStats};
 use crate::objective::Objective;
 use crate::snapshot::EvalSnapshot;
 use mshc_platform::MachineId;
 use mshc_taskgraph::{TaskGraph, TaskId};
 use rayon::prelude::*;
+use std::ops::Range;
 use std::sync::Mutex;
+
+/// Winner of a bounded argmin scan: the earliest-index minimum-score
+/// candidate, with its exact score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BestMove {
+    /// Index into the caller's move slice.
+    pub index: usize,
+    /// The candidate's exact objective value (never a pruned bound).
+    pub score: f64,
+}
 
 /// One worker's reusable state: evaluators over the shared snapshot and
 /// an optional scratch solution for non-incremental move scoring.
@@ -79,18 +90,21 @@ impl<'p, 'a> ArenaGuard<'p, 'a> {
     }
 
     /// Checks out an arena with its incremental evaluator primed on
-    /// `base` at the requested checkpoint stride — the move-scoring
-    /// fast path. One O(k + p) prime per chunk, amortized over the
-    /// chunk's candidates.
+    /// `base` at the requested checkpoint stride and configured with the
+    /// evaluator's prune/splice flags — the move-scoring fast path. One
+    /// O(k + p) prime per chunk, amortized over the chunk's candidates.
     fn checkout_primed(
         pool: &'p Mutex<Vec<Arena<'a>>>,
         snap: &'a EvalSnapshot,
         base: &Solution,
         stride: Option<usize>,
+        prune: bool,
     ) -> ArenaGuard<'p, 'a> {
         let mut guard = ArenaGuard::checkout(pool, snap);
         let arena = guard.arena.as_mut().expect("arena present until drop");
         arena.inc.set_stride(stride);
+        arena.inc.set_pruning(prune);
+        arena.inc.set_splicing(prune);
         arena.inc.prime(base);
         guard
     }
@@ -120,19 +134,40 @@ pub struct BatchEvaluator<'a> {
     /// Checkpoint stride handed to the per-thread incremental evaluators
     /// (`None` = auto `⌈√k⌉`). Never affects scores, only resume cost.
     stride: Option<usize>,
+    /// Whether the bounded scans may prune/splice (`--no-prune` turns
+    /// this off). Selections are bit-identical either way.
+    prune: bool,
     evaluations: u64,
+    /// Aggregated fast-path counters across all calls (pruned/spliced
+    /// parts are diagnostics: they vary with the chunk grid).
+    scan: ScanStats,
 }
 
 impl<'a> BatchEvaluator<'a> {
     /// Creates a batch evaluator over a shared snapshot.
     pub fn new(snap: &'a EvalSnapshot) -> BatchEvaluator<'a> {
-        BatchEvaluator { snap, arenas: Mutex::new(Vec::new()), stride: None, evaluations: 0 }
+        BatchEvaluator {
+            snap,
+            arenas: Mutex::new(Vec::new()),
+            stride: None,
+            prune: true,
+            evaluations: 0,
+            scan: ScanStats::default(),
+        }
     }
 
     /// Sets the checkpoint stride for incremental move scoring (`None` =
     /// auto `⌈√k⌉`).
     pub fn with_stride(mut self, stride: Option<usize>) -> BatchEvaluator<'a> {
         self.stride = stride;
+        self
+    }
+
+    /// Enables/disables bound pruning and reconvergence splicing in the
+    /// incremental move scans (default: on). A pure cost knob — argmin
+    /// results, scores and evaluation counts are identical either way.
+    pub fn with_pruning(mut self, prune: bool) -> BatchEvaluator<'a> {
+        self.prune = prune;
         self
     }
 
@@ -148,6 +183,24 @@ impl<'a> BatchEvaluator<'a> {
     #[inline]
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Counters of the bounded/spliced fast path across all calls. The
+    /// `scored` axis is deterministic; pruned/spliced fractions vary
+    /// with the chunk grid (thread count) and are diagnostics only.
+    #[inline]
+    pub fn scan_stats(&self) -> ScanStats {
+        self.scan
+    }
+
+    /// Contiguous index chunks for a bounded scan: one chunk on a
+    /// single-thread pool (maximal bound reuse), a few per worker
+    /// otherwise. The grid never affects the scan's outcome — only
+    /// which candidates get pruned versus scored to completion.
+    fn scan_chunks(&self, len: usize) -> Vec<Range<usize>> {
+        let threads = rayon::current_num_threads().max(1);
+        let chunk = if threads == 1 { len } else { len.div_ceil(threads * 2).max(1) };
+        (0..len).step_by(chunk.max(1)).map(|lo| lo..(lo + chunk).min(len)).collect()
     }
 
     /// Scores every candidate solution under `obj`; `out[i]` is the score
@@ -186,11 +239,13 @@ impl<'a> BatchEvaluator<'a> {
         let snap = self.snap;
         let pool = &self.arenas;
         let stride = self.stride;
+        let prune = self.prune;
+        let before = self.arena_totals();
         let out: Vec<f64> = if obj.supports_incremental() {
             moves
                 .par_iter()
                 .map_init(
-                    || ArenaGuard::checkout_primed(pool, snap, base, stride),
+                    || ArenaGuard::checkout_primed(pool, snap, base, stride, prune),
                     |guard, &(pos, m)| guard.inc().score_move(t, pos, m, obj),
                 )
                 .collect()
@@ -209,6 +264,7 @@ impl<'a> BatchEvaluator<'a> {
                 .collect()
         };
         self.evaluations += moves.len() as u64;
+        self.absorb_arena_stats(before);
         out
     }
 
@@ -230,11 +286,13 @@ impl<'a> BatchEvaluator<'a> {
         let snap = self.snap;
         let pool = &self.arenas;
         let stride = self.stride;
+        let prune = self.prune;
+        let before = self.arena_totals();
         let out: Vec<f64> = if obj.supports_incremental() {
             moves
                 .par_iter()
                 .map_init(
-                    || ArenaGuard::checkout_primed(pool, snap, base, stride),
+                    || ArenaGuard::checkout_primed(pool, snap, base, stride, prune),
                     |guard, &(t, pos, m)| guard.inc().score_move(t, pos, m, obj),
                 )
                 .collect()
@@ -256,8 +314,189 @@ impl<'a> BatchEvaluator<'a> {
                 .collect()
         };
         self.evaluations += moves.len() as u64;
+        self.absorb_arena_stats(before);
         out
     }
+
+    /// Bounded argmin over the single-task candidate grid "`base` with
+    /// task `t` moved to `(position, machine)`" — the SE allocation
+    /// ripple scan. Returns the earliest-index minimum with its exact
+    /// score (`None` only for an empty grid).
+    ///
+    /// Each worker chunk threads its running best into
+    /// [`IncrementalEvaluator::score_move_bounded`], so provably losing
+    /// candidates are abandoned mid-replay. The winner is invariant
+    /// under the chunk grid: a pruned candidate's score is `>` some
+    /// already-seen exact score, so no minimum (first minimum included)
+    /// is ever pruned — the scan commits **exactly** the argmin an
+    /// unbounded [`score_moves`](Self::score_moves) + fold would, with
+    /// the same evaluation count (`moves.len()`), at any thread count.
+    pub fn best_move(
+        &mut self,
+        graph: &TaskGraph,
+        base: &Solution,
+        t: TaskId,
+        moves: &[(usize, MachineId)],
+        obj: &dyn Objective,
+    ) -> Option<BestMove> {
+        let move_at = |i: usize| (t, moves[i].0, moves[i].1);
+        self.bounded_argmin(graph, base, moves.len(), move_at, None, f64::INFINITY, obj)
+    }
+
+    /// Bounded argmin over a mixed-task move sample (tabu's shape).
+    ///
+    /// `admissible` marks moves that may always be chosen; a
+    /// non-admissible move (a tabu task) is only eligible when its score
+    /// strictly beats `aspiration` (the global best — tabu's aspiration
+    /// criterion). `None` admits everything. Returns the earliest-index
+    /// minimum among eligible candidates — exactly what the sequential
+    /// skip-tabu-unless-aspirating scan selects — or `None` when no move
+    /// is eligible. Evaluation count is `moves.len()` regardless.
+    pub fn best_task_move(
+        &mut self,
+        graph: &TaskGraph,
+        base: &Solution,
+        moves: &[(TaskId, usize, MachineId)],
+        admissible: Option<&[bool]>,
+        aspiration: f64,
+        obj: &dyn Objective,
+    ) -> Option<BestMove> {
+        if let Some(mask) = admissible {
+            debug_assert_eq!(mask.len(), moves.len(), "admissible mask/move mismatch");
+        }
+        self.bounded_argmin(graph, base, moves.len(), |i| moves[i], admissible, aspiration, obj)
+    }
+
+    /// Shared bounded-argmin engine. `move_at` resolves candidate `i`;
+    /// admissible candidates contend unconditionally (pruned only
+    /// against the chunk's running best), non-admissible ones only below
+    /// `aspiration` (which then also joins their pruning cut).
+    #[allow(clippy::too_many_arguments)]
+    fn bounded_argmin(
+        &mut self,
+        graph: &TaskGraph,
+        base: &Solution,
+        len: usize,
+        move_at: impl Fn(usize) -> (TaskId, usize, MachineId) + Sync,
+        admissible: Option<&[bool]>,
+        aspiration: f64,
+        obj: &dyn Objective,
+    ) -> Option<BestMove> {
+        if len == 0 {
+            return None;
+        }
+        if !obj.supports_incremental() {
+            // Full-pass fallback: score everything (counting happens in
+            // the called method), then fold eligibility sequentially.
+            let moves: Vec<(TaskId, usize, MachineId)> = (0..len).map(&move_at).collect();
+            let scores = self.score_task_moves(graph, base, &moves, obj);
+            return fold_eligible(
+                None,
+                scores.iter().enumerate().map(|(i, &s)| (i, MoveScore::Exact(s))),
+                admissible,
+                aspiration,
+            );
+        }
+        let snap = self.snap;
+        let pool = &self.arenas;
+        let stride = self.stride;
+        let prune = self.prune;
+        let before = self.arena_totals();
+        let chunks = self.scan_chunks(len);
+        // One chunk = one item: the per-chunk running bound lives inside
+        // the item computation, so per-item results stay deterministic
+        // (the merged winner is chunk-grid invariant besides).
+        let chunk_best: Vec<Option<BestMove>> = chunks
+            .par_iter()
+            .map_init(
+                || ArenaGuard::checkout_primed(pool, snap, base, stride, prune),
+                |guard, range| {
+                    let inc = guard.inc();
+                    let mut best: Option<BestMove> = None;
+                    for i in range.clone() {
+                        let (t, pos, m) = move_at(i);
+                        let local = best.map_or(f64::INFINITY, |b| b.score);
+                        let adm = admissible.is_none_or(|a| a[i]);
+                        // A non-admissible candidate must beat both the
+                        // aspiration line and the running best to be
+                        // chosen; either alone justifies the cut.
+                        let cut = if adm { local } else { aspiration.min(local) };
+                        match inc.score_move_bounded(t, pos, m, cut, obj) {
+                            MoveScore::Exact(score) => {
+                                best = fold_eligible(
+                                    best,
+                                    std::iter::once((i, MoveScore::Exact(score))),
+                                    admissible,
+                                    aspiration,
+                                );
+                            }
+                            MoveScore::Pruned => {}
+                        }
+                    }
+                    best
+                },
+            )
+            .collect();
+        self.evaluations += len as u64;
+        self.absorb_arena_stats(before);
+        // Merge in chunk (index) order; strict improvement (under
+        // total_cmp, so a NaN from a custom objective ranks greatest
+        // instead of poisoning the fold) keeps the earliest index on
+        // ties.
+        chunk_best.into_iter().flatten().fold(None, |acc: Option<BestMove>, b| match acc {
+            Some(a) if a.score.total_cmp(&b.score).is_le() => Some(a),
+            _ => Some(b),
+        })
+    }
+
+    /// Sums the fast-path counters over every pooled arena (all arenas
+    /// are at rest between calls — `&mut self` methods cannot overlap).
+    fn arena_totals(&self) -> ScanStats {
+        let pool = self.arenas.lock().expect("arena pool poisoned");
+        let mut total = ScanStats::default();
+        for arena in pool.iter() {
+            total.merge(arena.inc.stats());
+        }
+        total
+    }
+
+    /// Folds the arena counters gained since `before` into the
+    /// evaluator-level totals.
+    fn absorb_arena_stats(&mut self, before: ScanStats) {
+        let after = self.arena_totals();
+        self.scan.merge(ScanStats {
+            scored: after.scored - before.scored,
+            pruned: after.pruned - before.pruned,
+            spliced: after.spliced - before.spliced,
+        });
+    }
+}
+
+/// Sequential eligibility fold shared by the bounded scans: admissible
+/// candidates always contend, others only strictly below `aspiration`;
+/// strict score improvement keeps the earliest index on ties. All
+/// comparisons use `total_cmp` — matching the `min_by` fold this
+/// machinery replaced — so a NaN from a custom objective ranks greatest
+/// (never chosen over a finite score, never aspirating) instead of
+/// poisoning the fold.
+fn fold_eligible(
+    init: Option<BestMove>,
+    scored: impl Iterator<Item = (usize, MoveScore)>,
+    admissible: Option<&[bool]>,
+    aspiration: f64,
+) -> Option<BestMove> {
+    let mut best = init;
+    for (i, score) in scored {
+        let MoveScore::Exact(score) = score else { continue };
+        let adm = admissible.is_none_or(|a| a[i]);
+        if !adm && score.total_cmp(&aspiration).is_ge() {
+            continue;
+        }
+        if best.is_none_or(|b| score.total_cmp(&b.score).is_lt()) {
+            best = Some(BestMove { index: i, score });
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -444,5 +683,130 @@ mod tests {
         let mut batch = BatchEvaluator::new(&snap);
         assert!(batch.scores(&[], &ObjectiveKind::Makespan).is_empty());
         assert_eq!(batch.evaluations(), 0);
+        let g = inst.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let base = random_solution(&inst, &mut rng);
+        assert_eq!(batch.best_task_move(g, &base, &[], None, 0.0, &ObjectiveKind::Makespan), None);
+        assert_eq!(batch.best_move(g, &base, TaskId::new(0), &[], &ObjectiveKind::Makespan), None);
+        assert_eq!(batch.evaluations(), 0);
+        assert_eq!(batch.scan_stats(), crate::incremental::ScanStats::default());
+    }
+
+    #[test]
+    fn aspiration_scan_with_nothing_eligible_returns_none() {
+        // Every move tabu, aspiration at 0: nothing can be chosen, at
+        // any thread count, and every candidate still counts.
+        let inst = random_instance(14, 3, 30);
+        let g = inst.graph();
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let base = random_solution(&inst, &mut rng);
+        let moves: Vec<(TaskId, usize, MachineId)> = (0..16)
+            .map(|_| {
+                let t = TaskId::new(rng.gen_range(0..14));
+                let (lo, hi) = base.valid_range(g, t);
+                (t, rng.gen_range(lo..=hi), MachineId::new(rng.gen_range(0..3)))
+            })
+            .collect();
+        let admissible = vec![false; moves.len()];
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let mut batch = BatchEvaluator::new(&snap);
+            let got = pool.install(|| {
+                batch.best_task_move(
+                    g,
+                    &base,
+                    &moves,
+                    Some(&admissible),
+                    0.0,
+                    &ObjectiveKind::Makespan,
+                )
+            });
+            assert_eq!(got, None, "{threads} threads");
+            assert_eq!(batch.evaluations(), moves.len() as u64);
+        }
+    }
+
+    #[test]
+    fn bounded_argmin_serves_non_incremental_objectives() {
+        // Custom full-pass objectives fall back to exact scoring with
+        // the same argmin semantics.
+        struct StartSum;
+        impl Objective for StartSum {
+            fn name(&self) -> &str {
+                "start-sum"
+            }
+            fn value(&self, view: &EvalView<'_>) -> f64 {
+                view.start.iter().sum()
+            }
+        }
+        let inst = random_instance(12, 3, 33);
+        let g = inst.graph();
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let base = random_solution(&inst, &mut rng);
+        let t = TaskId::new(4);
+        let (lo, hi) = base.valid_range(g, t);
+        let moves: Vec<(usize, MachineId)> =
+            (lo..=hi).flat_map(|p| (0..3).map(move |m| (p, MachineId::new(m)))).collect();
+        let mut batch = BatchEvaluator::new(&snap);
+        let scores = batch.score_moves(g, &base, t, &moves, &StartSum);
+        let want = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, &s)| (i, s));
+        let got = batch.best_move(g, &base, t, &moves, &StartSum);
+        assert_eq!(got.map(|b| (b.index, b.score)), want);
+    }
+
+    #[test]
+    fn nan_scores_follow_total_cmp_in_bounded_argmin() {
+        // A custom objective emitting NaN for some candidates must not
+        // poison the argmin: the fold follows total_cmp exactly like the
+        // min_by fold this machinery replaced (-NaN smallest, +NaN
+        // greatest — never "sticky first seen"), at any thread count.
+        struct SqrtMargin(f64);
+        impl Objective for SqrtMargin {
+            fn name(&self) -> &str {
+                "sqrt-margin"
+            }
+            fn value(&self, view: &EvalView<'_>) -> f64 {
+                // NaN whenever the schedule beats the threshold.
+                let mk = view.finish.iter().copied().fold(0.0, f64::max);
+                (mk - self.0).sqrt()
+            }
+        }
+        let inst = random_instance(12, 3, 34);
+        let g = inst.graph();
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let base = random_solution(&inst, &mut rng);
+        let t = TaskId::new(6);
+        let (lo, hi) = base.valid_range(g, t);
+        let moves: Vec<(usize, MachineId)> =
+            (lo..=hi).flat_map(|p| (0..3).map(move |m| (p, MachineId::new(m)))).collect();
+        let mut batch = BatchEvaluator::new(&snap);
+        // Threshold at the median candidate makespan, so roughly half
+        // the candidates go NaN.
+        let mut makespans = batch.score_moves(g, &base, t, &moves, &ObjectiveKind::Makespan);
+        makespans.sort_by(f64::total_cmp);
+        let objective = SqrtMargin(makespans[makespans.len() / 2]);
+        let scores = batch.score_moves(g, &base, t, &moves, &objective);
+        assert!(scores.iter().any(|s| s.is_nan()), "test needs NaN candidates");
+        assert!(scores.iter().any(|s| !s.is_nan()), "test needs finite candidates");
+        let want = scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, &s)| (i, s.to_bits()))
+            .expect("non-empty grid");
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let got = pool
+                .install(|| BatchEvaluator::new(&snap).best_move(g, &base, t, &moves, &objective))
+                .expect("non-empty grid");
+            assert_eq!((got.index, got.score.to_bits()), want, "{threads} threads");
+        }
     }
 }

@@ -237,15 +237,36 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Evaluates `solution`, returning the full per-task report.
+    ///
+    /// Allocates three fresh vectors per call; call sites that rebuild a
+    /// report every iteration (the SE main loop feeding selection and
+    /// traces, leaderboard refreshes) should hold one report and use
+    /// [`report_into`](Self::report_into) instead.
     pub fn report(&mut self, solution: &Solution) -> ScheduleReport {
+        let mut out = ScheduleReport {
+            start: Vec::new(),
+            finish: Vec::new(),
+            machine_busy: Vec::new(),
+            makespan: 0.0,
+            total_flowtime: 0.0,
+        };
+        self.report_into(solution, &mut out);
+        out
+    }
+
+    /// Like [`report`](Self::report), but reuses `out`'s buffers —
+    /// steady-state reporting performs no allocations. `out`'s previous
+    /// contents are fully overwritten.
+    pub fn report_into(&mut self, solution: &Solution, out: &mut ScheduleReport) {
         self.pass(solution);
-        ScheduleReport {
-            start: self.start.clone(),
-            finish: self.finish.clone(),
-            machine_busy: self.state.machine_busy().to_vec(),
-            makespan: self.state.max_finish(),
-            total_flowtime: self.finish.iter().sum(),
-        }
+        out.start.clear();
+        out.start.extend_from_slice(&self.start);
+        out.finish.clear();
+        out.finish.extend_from_slice(&self.finish);
+        out.machine_busy.clear();
+        out.machine_busy.extend_from_slice(self.state.machine_busy());
+        out.makespan = self.state.max_finish();
+        out.total_flowtime = self.finish.iter().sum();
     }
 
     /// The single left-to-right pass computing start/finish times into the

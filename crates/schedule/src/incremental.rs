@@ -27,11 +27,27 @@
 //! remapping of the base, so scoring performs no `Solution` clones or
 //! `move_task` calls at all.
 //!
+//! On top of the suffix replay sits the **bounded + reconvergent fast
+//! path** ([`score_move_bounded`]): the caller's best-so-far score rides
+//! along and the replay is abandoned once a monotone
+//! [`lower bound`](crate::Objective::lower_bound) — fed by the running
+//! accumulators, the critical-task influence cone, per-task
+//! remaining-critical-path tails and per-machine load floors — reaches
+//! it ([`MoveScore::Pruned`]); independently, a replay whose frontier
+//! bitwise re-converges with the base walk at a checkpoint boundary
+//! splices precomputed suffix aggregates instead of walking the tail.
+//! Both cuts are *selection-exact*: pruned candidates are provably
+//! unable to strictly beat the bound (and every scan in the suite
+//! breaks ties toward the earlier candidate), spliced scores are
+//! bit-identical, and each scoring counts as exactly one evaluation
+//! whether or not it was cut.
+//!
 //! [`prime`]: IncrementalEvaluator::prime
+//! [`score_move_bounded`]: IncrementalEvaluator::score_move_bounded
 //! [`Evaluator::objective_value`]: crate::Evaluator::objective_value
 
 use crate::encoding::{Segment, Solution};
-use crate::objective::{Objective, ObjectiveState};
+use crate::objective::{BoundHints, Objective, ObjectiveState, SuffixView};
 use crate::snapshot::EvalSnapshot;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_taskgraph::TaskId;
@@ -40,6 +56,83 @@ use std::borrow::Cow;
 /// Returns the default checkpoint stride for a `k`-task string: `⌈√k⌉`.
 pub fn auto_stride(tasks: usize) -> usize {
     ((tasks as f64).sqrt().ceil() as usize).max(1)
+}
+
+/// Outcome of one bounded move scoring
+/// ([`IncrementalEvaluator::score_move_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MoveScore {
+    /// The candidate's exact objective value — bit-identical to a full
+    /// evaluation pass over the materialized mutated solution.
+    Exact(f64),
+    /// The replay was abandoned: a monotone lower bound on the
+    /// candidate's score reached the caller's bound, so the true score
+    /// is provably `>= bound` and the candidate can never *strictly
+    /// beat* a scan's best-so-far of `bound`. Every scan in the suite
+    /// selects by strict improvement with earliest-index tie-breaking —
+    /// a candidate that merely ties the incumbent loses — so pruning at
+    /// `>= bound` commits exactly the selections an unbounded scan
+    /// commits.
+    Pruned,
+}
+
+impl MoveScore {
+    /// The exact score, or `None` if the candidate was pruned.
+    #[inline]
+    pub fn exact(self) -> Option<f64> {
+        match self {
+            MoveScore::Exact(s) => Some(s),
+            MoveScore::Pruned => None,
+        }
+    }
+
+    /// Whether the candidate was pruned.
+    #[inline]
+    pub fn is_pruned(self) -> bool {
+        matches!(self, MoveScore::Pruned)
+    }
+}
+
+/// Counters of the bounded/spliced move-scan fast path. Scored counts
+/// are deterministic (one per scored candidate, pruned or not — the
+/// evaluation-count contract); pruned/spliced counts are diagnostics
+/// that legitimately vary with chunking and bounds, so they must never
+/// flow into deterministic artifacts (leaderboards, traces).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Move scorings performed (pruned candidates included).
+    pub scored: u64,
+    /// Scorings abandoned early by the bound cut.
+    pub pruned: u64,
+    /// Scorings completed early by a reconvergence splice.
+    pub spliced: u64,
+}
+
+impl ScanStats {
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: ScanStats) {
+        self.scored += other.scored;
+        self.pruned += other.pruned;
+        self.spliced += other.spliced;
+    }
+
+    /// Fraction of scorings cut by the bound (0 when nothing scored).
+    pub fn pruned_fraction(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / self.scored as f64
+        }
+    }
+
+    /// Fraction of scorings finished by a splice (0 when nothing scored).
+    pub fn spliced_fraction(&self) -> f64 {
+        if self.scored == 0 {
+            0.0
+        } else {
+            self.spliced as f64 / self.scored as f64
+        }
+    }
 }
 
 /// Scores single-task moves against a primed base solution by suffix
@@ -95,10 +188,70 @@ pub struct IncrementalEvaluator<'a> {
     ckpt_busy: Vec<f64>,
     ckpt_max: Vec<f64>,
     ckpt_sum: Vec<f64>,
-    /// Accumulators after the full base walk (serves [`Self::base_score`]).
+    /// Accumulators after the full base walk (serves [`Self::base_score`]
+    /// and the identity splice).
     end_state: ObjectiveState,
+    // Suffix aggregates: entry `j` aggregates the base walk over string
+    // positions `[j * stride, k)` — what a reconvergent replay splices
+    // instead of walking the tail.
+    sfx_max: Vec<f64>,
+    sfx_sum: Vec<f64>,
+    sfx_busy: Vec<f64>,
+    /// Latest base string position holding a consumer of each task
+    /// (0 when the task has no consumers); a replay may only splice once
+    /// it has passed every consumer of every timing it perturbed.
+    last_consumer: Vec<u32>,
+    /// One past the last base string position scheduled on each machine
+    /// (0 = machine unused). A machine whose last use is before a
+    /// checkpoint boundary hosts no suffix task there, so its frontier
+    /// entry cannot influence the tail — the reconvergence test skips
+    /// it.
+    last_use: Vec<u32>,
+    /// Total busy time of the primed base (feeds the load-balance bound
+    /// hint).
+    base_total_busy: f64,
+    /// Cheapest execution time of each task over all machines
+    /// (instance-level; computed once at construction).
+    min_exec: Vec<f64>,
+    /// Conservative deflation factor `1 − O(k)·ε` applied to every
+    /// derived (as opposed to directly folded) pending-work floor —
+    /// always to the floor's **whole magnitude** (`(f + tail) · deflate`,
+    /// never `f + tail·deflate`): the computed timing chain can absorb
+    /// up to half an ulp of its *running value* per addition, so a
+    /// margin scaled to anything smaller could overshoot the final
+    /// computed makespan and prune a candidate the exact scan keeps.
+    deflate: f64,
+    /// Lower bound (raw, undeflated — see `deflate`) on the remaining
+    /// critical path below each task: once `u` finishes at `f`, no
+    /// schedule — the base or any single-move mutation of it — can
+    /// finish before `f + tail[u]` in real arithmetic (transfers bounded
+    /// by zero, descendants by their cheapest machine). This is what
+    /// lets the makespan bound prune *early*, not just once the running
+    /// max itself crosses the bound.
+    tail: Vec<f64>,
+    /// Pending-work floor at each checkpoint (mirrors `ckpt_max` etc.).
+    ckpt_pending: Vec<f64>,
+    /// Influence cone of the base walk's critical (max-finish) task:
+    /// its DAG ancestors and machine-order predecessors, transitively.
+    /// A move of a task *outside* the cone onto a machine with no cone
+    /// task after the insertion point provably recomputes the critical
+    /// task bit-identically — the candidate's makespan is at least the
+    /// base makespan before a single position is replayed.
+    in_cone: Vec<bool>,
+    /// One past the last base string position of a cone task on each
+    /// machine (0 = none).
+    cone_last: Vec<u32>,
+    /// One past the base string position of each task's machine-order
+    /// predecessor (0 = first on its machine); prime-time scratch for
+    /// the cone closure.
+    prev_on_machine: Vec<u32>,
     // Replay scratch.
     machine_avail: Vec<f64>,
+    /// Per-machine execution time still to be folded by the current
+    /// bounded replay (mutated assignment). `avail[m] + remaining[m]`
+    /// floors machine `m`'s final frontier — and therefore the final
+    /// makespan — and is monotone along the fold.
+    remaining_busy: Vec<f64>,
     state: ObjectiveState,
     /// Working finish times; equal to `base_finish` between calls (the
     /// replay dirties only suffix entries and restores them afterwards).
@@ -108,6 +261,23 @@ pub struct IncrementalEvaluator<'a> {
     /// building, mirroring how batch arenas keep the evaluation axis
     /// independent of chunking).
     evaluations: u64,
+    /// Scorings abandoned by the bound cut.
+    pruned: u64,
+    /// Scorings completed by a reconvergence splice.
+    spliced: u64,
+    /// Whether bounded scorings may abandon candidates (the exactness of
+    /// returned scores never depends on this).
+    pruning: bool,
+    /// Whether replays may splice precomputed suffix aggregates on
+    /// reconvergence (bit-exact either way).
+    splicing: bool,
+    /// Whether the current priming built the pruning structures (tails,
+    /// cone, checkpoint floors) — disabled primings skip that work, so
+    /// scoring must not read the stale arrays.
+    prune_ready: bool,
+    /// Whether the current priming built the splice structures (suffix
+    /// aggregates, consumer/machine-use tables).
+    splice_ready: bool,
 }
 
 impl<'a> IncrementalEvaluator<'a> {
@@ -126,6 +296,20 @@ impl<'a> IncrementalEvaluator<'a> {
     fn from_snap(snap: Cow<'a, EvalSnapshot>) -> IncrementalEvaluator<'a> {
         let k = snap.task_count();
         let l = snap.machine_count();
+        let min_exec: Vec<f64> = (0..k)
+            .map(|t| {
+                let cheapest = (0..l)
+                    .map(|m| snap.exec_time(MachineId::from_usize(m), TaskId::from_usize(t)))
+                    .fold(f64::INFINITY, f64::min);
+                // Clamp: degenerate instances (no machines, negative
+                // times) must never inflate a lower bound.
+                if cheapest.is_finite() {
+                    cheapest.max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         IncrementalEvaluator {
             snap,
             stride_override: None,
@@ -137,11 +321,31 @@ impl<'a> IncrementalEvaluator<'a> {
             ckpt_max: Vec::new(),
             ckpt_sum: Vec::new(),
             end_state: ObjectiveState::new(l),
+            sfx_max: Vec::new(),
+            sfx_sum: Vec::new(),
+            sfx_busy: Vec::new(),
+            last_consumer: vec![0; k],
+            last_use: vec![0; l],
+            base_total_busy: 0.0,
+            min_exec,
+            deflate: 1.0 - (2 * k + 16) as f64 * f64::EPSILON,
+            tail: vec![0.0; k],
+            ckpt_pending: Vec::new(),
+            in_cone: vec![false; k],
+            cone_last: vec![0; l],
+            prev_on_machine: vec![0; k],
             machine_avail: vec![0.0; l],
+            remaining_busy: vec![0.0; l],
             state: ObjectiveState::new(l),
             finish: vec![0.0; k],
             dirty: Vec::new(),
             evaluations: 0,
+            pruned: 0,
+            spliced: 0,
+            pruning: true,
+            splicing: true,
+            prune_ready: false,
+            splice_ready: false,
         }
     }
 
@@ -177,10 +381,38 @@ impl<'a> IncrementalEvaluator<'a> {
         self.evaluations
     }
 
-    /// Walks `base` once, storing its finish times and a checkpoint of
-    /// the frontier state (machine-ready vector + objective accumulators)
-    /// every [`stride`](Self::stride) positions. O(k + p) plus
-    /// O(k/stride × l) checkpoint writes.
+    /// Counters of the bounded/spliced fast path: every scoring, plus
+    /// how many were cut by the bound or finished by a splice.
+    #[inline]
+    pub fn stats(&self) -> ScanStats {
+        ScanStats { scored: self.evaluations, pruned: self.pruned, spliced: self.spliced }
+    }
+
+    /// Enables/disables the bound cut in
+    /// [`score_move_bounded`](Self::score_move_bounded). Off, every
+    /// scoring replays to completion and returns [`MoveScore::Exact`] —
+    /// the `--no-prune` ablation path. Never changes any returned exact
+    /// score. Disabling takes effect immediately; enabling takes effect
+    /// at the next [`prime`](Self::prime) (which builds the bound
+    /// structures only when the flag is on).
+    pub fn set_pruning(&mut self, on: bool) {
+        self.pruning = on;
+    }
+
+    /// Enables/disables reconvergence splicing. Splices are bit-exact,
+    /// so this is a pure cost knob (off = the ablation baseline).
+    /// Disabling takes effect immediately; enabling takes effect at the
+    /// next [`prime`](Self::prime).
+    pub fn set_splicing(&mut self, on: bool) {
+        self.splicing = on;
+    }
+
+    /// Walks `base` once, storing its finish times, a checkpoint of the
+    /// frontier state (machine-ready vector + objective accumulators)
+    /// every [`stride`](Self::stride) positions, and — for the
+    /// reconvergence splice — per-checkpoint suffix aggregates plus the
+    /// latest-consumer position of every task. O(k + p) plus
+    /// O(k/stride × l) checkpoint/suffix writes.
     pub fn prime(&mut self, base: &Solution) {
         let snap = self.snap.as_ref();
         let k = snap.task_count();
@@ -192,10 +424,38 @@ impl<'a> IncrementalEvaluator<'a> {
             Some(b) => b.clone_from(base),
             none => *none = Some(base.clone()),
         }
+        // Remaining-critical-path tails, walked in reverse string order
+        // (a linear extension, so every consumer is final before its
+        // producer is read): after `u` finishes, at least its cheapest
+        // consumer chain still has to run, transfers bounded by zero.
+        // Stored raw; every floor derived from a tail deflates the whole
+        // `finish + tail` sum (see the `deflate` field) so the noted
+        // floor never overshoots the final *computed* makespan.
+        //
+        // All fast-path structures are built only for the flags in
+        // effect now (SA's per-acceptance re-primes and the --no-prune
+        // ablation skip them); `prune_ready`/`splice_ready` keep a
+        // later flag flip from reading stale arrays.
+        self.prune_ready = self.pruning;
+        self.splice_ready = self.splicing;
+        if self.pruning {
+            self.tail.clear();
+            self.tail.resize(k, 0.0);
+            for seg in base.segments().iter().rev() {
+                let u = seg.task;
+                let through = self.min_exec[u.index()] + self.tail[u.index()];
+                for (src, _) in snap.preds(u) {
+                    if through > self.tail[src.index()] {
+                        self.tail[src.index()] = through;
+                    }
+                }
+            }
+        }
         self.ckpt_avail.clear();
         self.ckpt_busy.clear();
         self.ckpt_max.clear();
         self.ckpt_sum.clear();
+        self.ckpt_pending.clear();
         self.machine_avail.fill(0.0);
         self.state.reset(l);
         for (i, seg) in base.segments().iter().enumerate() {
@@ -204,6 +464,9 @@ impl<'a> IncrementalEvaluator<'a> {
                 self.ckpt_busy.extend_from_slice(self.state.machine_busy());
                 self.ckpt_max.push(self.state.max_finish());
                 self.ckpt_sum.push(self.state.finish_sum());
+                if self.pruning {
+                    self.ckpt_pending.push(self.state.pending_floor());
+                }
             }
             let (t, m) = (seg.task, seg.machine);
             let exec = snap.exec_time(m, t);
@@ -218,9 +481,115 @@ impl<'a> IncrementalEvaluator<'a> {
             self.finish[t.index()] = finish;
             self.machine_avail[m.index()] = finish;
             self.state.fold(m, finish, exec);
+            if self.pruning {
+                self.state.note_pending((finish + self.tail[t.index()]) * self.deflate);
+            }
         }
         self.base_finish.copy_from_slice(&self.finish);
         self.end_state.clone_from(&self.state);
+        self.base_total_busy = self.end_state.machine_busy().iter().sum();
+
+        // Latest-consumer positions: a replay that perturbed task `u`'s
+        // timing (or `t`'s machine) must pass `last_consumer[u]` before
+        // it may splice. Last-use positions: which machines still host
+        // work at or after a boundary (frontier entries of idle-from-
+        // here-on machines are irrelevant to reconvergence).
+        if self.splicing {
+            self.last_consumer.clear();
+            self.last_consumer.resize(k, 0);
+            self.last_use.clear();
+            self.last_use.resize(l, 0);
+            for (i, seg) in base.segments().iter().enumerate() {
+                for (src, _) in snap.preds(seg.task) {
+                    self.last_consumer[src.index()] = i as u32;
+                }
+                self.last_use[seg.machine.index()] = i as u32 + 1;
+            }
+        }
+
+        // Influence cone of the critical (first max-finish) task: close
+        // over DAG predecessors and machine-order predecessors, walking
+        // positions downward (both kinds of edge point strictly left in
+        // a linear extension, so one descending pass saturates). Any
+        // move that provably stays out of the cone leaves the critical
+        // finish bit-identical — the strongest zero-replay floor.
+        if self.pruning {
+            self.build_cone(base);
+        }
+
+        // Reverse sweep: suffix aggregates per checkpoint boundary
+        // (the busy sums also feed pruning's machine-load floors).
+        if self.pruning || self.splicing {
+            let snap = self.snap.as_ref();
+            let ckpts = self.ckpt_max.len();
+            self.sfx_max.clear();
+            self.sfx_max.resize(ckpts, 0.0);
+            self.sfx_sum.clear();
+            self.sfx_sum.resize(ckpts, 0.0);
+            self.sfx_busy.clear();
+            self.sfx_busy.resize(ckpts * l, 0.0);
+            self.machine_avail.fill(0.0); // reused as the running busy vector
+            let mut max = 0.0f64;
+            let mut sum = 0.0f64;
+            for (i, seg) in base.segments().iter().enumerate().rev() {
+                let f = self.base_finish[seg.task.index()];
+                max = max.max(f);
+                sum += f;
+                self.machine_avail[seg.machine.index()] += snap.exec_time(seg.machine, seg.task);
+                if i % self.stride == 0 {
+                    let c = i / self.stride;
+                    self.sfx_max[c] = max;
+                    self.sfx_sum[c] = sum;
+                    self.sfx_busy[c * l..(c + 1) * l].copy_from_slice(&self.machine_avail);
+                }
+            }
+        }
+    }
+
+    /// Closes the critical task's influence cone over DAG predecessors
+    /// and machine-order predecessors (see [`prime`](Self::prime)).
+    fn build_cone(&mut self, base: &Solution) {
+        let snap = self.snap.as_ref();
+        let k = snap.task_count();
+        let l = snap.machine_count();
+        let mut crit_pos = 0usize;
+        let mut crit_finish = f64::NEG_INFINITY;
+        self.prev_on_machine.clear();
+        self.prev_on_machine.resize(k, 0);
+        self.cone_last.clear();
+        self.cone_last.resize(l, 0); // reused as the running machine cursor
+        for (i, seg) in base.segments().iter().enumerate() {
+            let f = self.base_finish[seg.task.index()];
+            if f > crit_finish {
+                crit_finish = f;
+                crit_pos = i;
+            }
+            let m = seg.machine.index();
+            self.prev_on_machine[seg.task.index()] = self.cone_last[m];
+            self.cone_last[m] = i as u32 + 1;
+        }
+        self.in_cone.clear();
+        self.in_cone.resize(k, false);
+        self.in_cone[base.segment_at(crit_pos).task.index()] = true;
+        for i in (0..=crit_pos).rev() {
+            let u = base.segment_at(i).task;
+            if self.in_cone[u.index()] {
+                for (src, _) in snap.preds(u) {
+                    self.in_cone[src.index()] = true;
+                }
+                let prev = self.prev_on_machine[u.index()];
+                if prev > 0 {
+                    self.in_cone[base.segment_at(prev as usize - 1).task.index()] = true;
+                }
+            }
+        }
+        self.cone_last.clear();
+        self.cone_last.resize(l, 0);
+        for (i, seg) in base.segments().iter().enumerate() {
+            if self.in_cone[seg.task.index()] {
+                self.cone_last[seg.machine.index()] = i as u32 + 1;
+            }
+        }
     }
 
     /// The primed base's own score under `obj` — a free accumulator read,
@@ -257,6 +626,50 @@ impl<'a> IncrementalEvaluator<'a> {
         new_m: MachineId,
         obj: &dyn Objective,
     ) -> f64 {
+        match self.score_move_bounded(t, new_pos, new_m, f64::INFINITY, obj) {
+            MoveScore::Exact(score) => score,
+            MoveScore::Pruned => unreachable!("an infinite bound never prunes"),
+        }
+    }
+
+    /// Like [`score_move`](Self::score_move), but threads the caller's
+    /// best-so-far score into the replay: the candidate is abandoned
+    /// ([`MoveScore::Pruned`]) the moment the objective's monotone
+    /// [`lower bound`](Objective::lower_bound) reaches `bound`. A pruned
+    /// candidate's true score is provably `>= bound` — it cannot
+    /// *strictly beat* the bound — so in an argmin scan committing
+    /// strict improvements with earliest-index tie-breaking it can
+    /// neither win nor displace the incumbent (a tie loses to the
+    /// earlier incumbent whether scored exactly or pruned): **bounded
+    /// and unbounded scans commit identical selections**, the bound only
+    /// skips work. Callers that need to distinguish an exact tie from a
+    /// worse candidate must use [`score_move`](Self::score_move).
+    ///
+    /// Independently, the replay watches for **reconvergence**: once it
+    /// is past the disturbed window and every consumer of a perturbed
+    /// timing, a checkpoint boundary whose machine frontier bitwise
+    /// matches the base walk's proves the remaining tail would replay
+    /// the base walk exactly — the precomputed suffix aggregates (or,
+    /// for sum-based objectives, the base end state when the whole
+    /// accumulator matches) are spliced in instead of walking the tail,
+    /// making the cost O(disturbed region) instead of O(k − pos). Both
+    /// cuts are exact: every [`MoveScore::Exact`] is bit-identical to a
+    /// full pass, whatever the flags ([`set_pruning`](Self::set_pruning),
+    /// [`set_splicing`](Self::set_splicing)).
+    ///
+    /// Every call counts as exactly one evaluation, pruned or not — the
+    /// evaluation axis measures candidates considered, not work done.
+    ///
+    /// # Panics
+    /// As [`score_move`](Self::score_move).
+    pub fn score_move_bounded(
+        &mut self,
+        t: TaskId,
+        new_pos: usize,
+        new_m: MachineId,
+        bound: f64,
+        obj: &dyn Objective,
+    ) -> MoveScore {
         let IncrementalEvaluator {
             snap,
             stride,
@@ -266,11 +679,30 @@ impl<'a> IncrementalEvaluator<'a> {
             ckpt_busy,
             ckpt_max,
             ckpt_sum,
+            end_state,
+            sfx_max,
+            sfx_sum,
+            sfx_busy,
+            last_consumer,
+            last_use,
+            base_total_busy,
+            deflate,
+            tail,
+            ckpt_pending,
+            in_cone,
+            cone_last,
             machine_avail,
+            remaining_busy,
             state,
             finish,
             dirty,
             evaluations,
+            pruned,
+            spliced,
+            pruning,
+            splicing,
+            prune_ready,
+            splice_ready,
             ..
         } = self;
         let snap = snap.as_ref();
@@ -281,11 +713,32 @@ impl<'a> IncrementalEvaluator<'a> {
         debug_assert!(new_m.index() < l, "machine out of range");
 
         let old_pos = base.position_of(t);
+        let old_m = base.machine_of(t);
         let first = old_pos.min(new_pos);
+        // No segment index at or beyond this differs from the base.
+        let ceiling = old_pos.max(new_pos);
+        *evaluations += 1;
         // Resume from the nearest checkpoint at or before `first`.
+        // Bound context. The total-busy hint must upper-bound the busy
+        // sum `finalize` will compute for *this candidate*, rounding
+        // included: take the base total plus the whole relocated exec
+        // (never subtracting the old placement) and inflate past the
+        // worst-case accumulation drift of O(k + l) roundings.
+        let do_prune = *pruning && *prune_ready && bound < f64::INFINITY;
+        let exec_new = snap.exec_time(new_m, t);
+        let hints = BoundHints {
+            total_tasks: k,
+            total_busy_upper: (*base_total_busy + exec_new)
+                * (1.0 + (4 * (k + l) + 64) as f64 * f64::EPSILON),
+        };
+
         let ci = first / *stride;
         machine_avail.copy_from_slice(&ckpt_avail[ci * l..(ci + 1) * l]);
         state.load(ckpt_max[ci], ckpt_sum[ci], ci * *stride, &ckpt_busy[ci * l..(ci + 1) * l]);
+        if do_prune {
+            state.note_pending(ckpt_pending[ci]);
+            remaining_busy.copy_from_slice(&sfx_busy[ci * l..(ci + 1) * l]);
+        }
 
         // Fast-forward the unchanged positions [ci·stride, first): their
         // timing is the base's, so the frontier folds from stored finish
@@ -293,12 +746,63 @@ impl<'a> IncrementalEvaluator<'a> {
         for seg in &base.segments()[ci * *stride..first] {
             let (u, mu) = (seg.task, seg.machine);
             let f = base_finish[u.index()];
+            let exec = snap.exec_time(mu, u);
             machine_avail[mu.index()] = f;
-            state.fold(mu, f, snap.exec_time(mu, u));
+            state.fold(mu, f, exec);
+            if do_prune {
+                state.note_pending((f + tail[u.index()]) * *deflate);
+                remaining_busy[mu.index()] -= exec;
+            }
         }
 
-        // Replay the disturbed suffix [first, k) of the *mutated* string,
-        // read through an index remapping of the base (no clone, no
+        if do_prune {
+            // `remaining_busy` now holds the execution time each machine
+            // still owes under the *mutated* assignment (base suffix
+            // with `t` relocated). Machine frontiers only move forward
+            // and `avail[m] + remaining[m]` floors machine `m`'s final
+            // frontier, so the floors below are valid before a single
+            // position is replayed — a zero-replay cut that kills
+            // "slow/busy machine" candidates outright. The chain floor
+            // through `t`'s tail comes along for free.
+            remaining_busy[old_m.index()] -= snap.exec_time(old_m, t);
+            remaining_busy[new_m.index()] += exec_new;
+            for (&now, &rem) in machine_avail.iter().zip(remaining_busy.iter()) {
+                state.note_pending((now + rem) * *deflate);
+            }
+            state.note_pending(
+                (machine_avail[new_m.index()] + exec_new + tail[t.index()]) * *deflate,
+            );
+            // Critical-cone floor: a move of a non-cone task is invisible
+            // to the critical task unless it inserts ahead of a cone
+            // task on the target machine — every cone input (DAG
+            // predecessors, machine-order predecessors) recomputes
+            // bit-identically, so the candidate's max finish is at least
+            // the base's, exactly. The dominant case in a move scan: the
+            // incumbent's critical chain instantly disqualifies every
+            // candidate that does not touch it.
+            if !in_cone[t.index()] {
+                let cone_end = cone_last[new_m.index()] as usize; // base pos + 1; 0 = none
+                let inserts_before_cone =
+                    if old_pos < new_pos { cone_end > new_pos + 1 } else { cone_end > new_pos };
+                if !inserts_before_cone {
+                    state.note_pending(end_state.max_finish());
+                }
+            }
+            if obj.lower_bound(state, &hints) >= bound {
+                // Nothing was dirtied yet.
+                *pruned += 1;
+                return MoveScore::Pruned;
+            }
+        }
+
+        // Latest position (base indexing — valid beyond `ceiling`) of a
+        // consumer reading a perturbed timing; splicing must wait until
+        // the replay has passed it. A machine change perturbs every
+        // transfer out of `t` whatever its finish time does.
+        let mut horizon = if new_m == old_m { 0 } else { last_consumer[t.index()] as usize };
+
+        // Replay the disturbed suffix of the *mutated* string, read
+        // through an index remapping of the base (no clone, no
         // move_task).
         let seg_at = |i: usize| -> Segment {
             if i == new_pos {
@@ -312,6 +816,46 @@ impl<'a> IncrementalEvaluator<'a> {
             }
         };
         for i in first..k {
+            // Reconvergence check, only at checkpoint boundaries past
+            // both the disturbed window and every perturbed consumer.
+            // The frontier must match the base walk's, but only on
+            // machines that still host work at or after the boundary —
+            // an entry nothing will read cannot influence the tail.
+            if i > ceiling && i % *stride == 0 {
+                let c = i / *stride;
+                let frontier_ok = *splicing
+                    && *splice_ready
+                    && horizon < i
+                    && machine_avail
+                        .iter()
+                        .zip(&ckpt_avail[c * l..(c + 1) * l])
+                        .zip(last_use.iter())
+                        .all(|((now, then), &used)| used <= i as u32 || now == then);
+                if frontier_ok {
+                    let suffix = SuffixView {
+                        max_finish: sfx_max[c],
+                        finish_sum: sfx_sum[c],
+                        machine_busy: &sfx_busy[c * l..(c + 1) * l],
+                        tasks: k - i,
+                    };
+                    let score = obj.splice(state, &suffix).or_else(|| {
+                        // Identity splice: the whole accumulator state
+                        // matches the base walk's, so the finished fold
+                        // is the base walk's finished fold.
+                        state
+                            .matches(ckpt_max[c], ckpt_sum[c], i, &ckpt_busy[c * l..(c + 1) * l])
+                            .then(|| obj.finalize(end_state))
+                    });
+                    if let Some(score) = score {
+                        *spliced += 1;
+                        for &u in dirty.iter() {
+                            finish[u as usize] = base_finish[u as usize];
+                        }
+                        dirty.clear();
+                        return MoveScore::Exact(score);
+                    }
+                }
+            }
             let seg = seg_at(i);
             let (u, mu) = (seg.task, seg.machine);
             let exec = snap.exec_time(mu, u);
@@ -327,6 +871,27 @@ impl<'a> IncrementalEvaluator<'a> {
             dirty.push(u.raw());
             machine_avail[mu.index()] = f;
             state.fold(mu, f, exec);
+            if f != base_finish[u.index()] {
+                horizon = horizon.max(last_consumer[u.index()] as usize);
+            }
+            if do_prune {
+                // Chain floor (this task's finish plus its remaining
+                // critical path) and machine-load floor (this machine's
+                // frontier plus the work it still owes) — both monotone
+                // along the fold, both O(1).
+                state.note_pending((f + tail[u.index()]) * *deflate);
+                let rem = remaining_busy[mu.index()] - exec;
+                remaining_busy[mu.index()] = rem;
+                state.note_pending((f + rem) * *deflate);
+                if obj.lower_bound(state, &hints) >= bound {
+                    *pruned += 1;
+                    for &u in dirty.iter() {
+                        finish[u as usize] = base_finish[u as usize];
+                    }
+                    dirty.clear();
+                    return MoveScore::Pruned;
+                }
+            }
         }
         let score = obj.finalize(state);
         // Restore the pristine base finish times (dirty entries only).
@@ -334,8 +899,7 @@ impl<'a> IncrementalEvaluator<'a> {
             finish[u as usize] = base_finish[u as usize];
         }
         dirty.clear();
-        *evaluations += 1;
-        score
+        MoveScore::Exact(score)
     }
 }
 
@@ -464,6 +1028,184 @@ mod tests {
         let a = owned.score_move(t, lo, MachineId::new(0), &ObjectiveKind::Makespan);
         let b = borrowed.score_move(t, lo, MachineId::new(0), &ObjectiveKind::Makespan);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_disturbed_region_splices_to_the_base_score() {
+        // Moving a task to its own (position, machine) disturbs nothing:
+        // the replay reconverges at the first checkpoint boundary past
+        // the position and splices, for every objective — and the score
+        // is exactly the base score.
+        let inst = random_instance(30, 4, 19);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let base = random_solution(&inst, &mut rng);
+        let weighted = ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.3, balance: 0.7 };
+        for kind in ObjectiveKind::BASIC.into_iter().chain([weighted]) {
+            let mut inc = IncrementalEvaluator::new(&inst);
+            inc.set_stride(Some(2));
+            inc.prime(&base);
+            // An early task: plenty of boundaries after it.
+            let t = base.segment_at(3).task;
+            let score = inc.score_move(t, 3, base.machine_of(t), &kind);
+            assert_eq!(score, inc.base_score(&kind), "{}", kind.label());
+            assert_eq!(inc.stats().spliced, 1, "{}: identity move must splice", kind.label());
+            assert_eq!(inc.stats().scored, 1);
+            // Splicing off: same bits, no splice.
+            inc.set_splicing(false);
+            assert_eq!(inc.score_move(t, 3, base.machine_of(t), &kind), score);
+            assert_eq!(inc.stats().spliced, 1, "splicing disabled");
+        }
+    }
+
+    #[test]
+    fn maximal_disturbed_region_stays_exact() {
+        // A move to position 0 replays from the very start — the worst
+        // case for both cuts; scores must still be bit-identical to the
+        // full pass, spliced or not, pruned path disabled or not.
+        let inst = random_instance(25, 4, 23);
+        let g = inst.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let base = random_solution(&inst, &mut rng);
+        // The task at position 0 always admits position-0 moves (it has
+        // no predecessors), and machine changes there disturb the whole
+        // string.
+        let t = base.segment_at(0).task;
+        assert_eq!(base.valid_range(g, t).0, 0);
+        let mut scalar = Evaluator::new(&inst);
+        for kind in ObjectiveKind::BASIC {
+            let mut inc = IncrementalEvaluator::new(&inst);
+            inc.prime(&base);
+            for m in 0..4 {
+                let m = MachineId::new(m);
+                let mut cand = base.clone();
+                cand.move_task(g, t, 0, m).unwrap();
+                let truth = scalar.objective_value(&cand, &kind);
+                assert_eq!(inc.score_move(t, 0, m, &kind), truth, "{}", kind.label());
+                // Bounded at exactly the true score: Exact(truth) or a
+                // (sound) prune are the only legal outcomes.
+                match inc.score_move_bounded(t, 0, m, truth, &kind) {
+                    MoveScore::Exact(s) => assert_eq!(s, truth),
+                    MoveScore::Pruned => {} // truth >= truth holds
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_and_splicing_flags_never_change_bits() {
+        let inst = random_instance(28, 4, 31);
+        let g = inst.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let base = random_solution(&inst, &mut rng);
+        let mut plain = IncrementalEvaluator::new(&inst);
+        plain.set_pruning(false);
+        plain.set_splicing(false);
+        plain.prime(&base);
+        let mut fast = IncrementalEvaluator::new(&inst);
+        fast.prime(&base);
+        let mut best = f64::INFINITY;
+        for _ in 0..60 {
+            let t = TaskId::new(rng.gen_range(0..28));
+            let (lo, hi) = base.valid_range(g, t);
+            let pos = rng.gen_range(lo..=hi);
+            let m = MachineId::new(rng.gen_range(0..4));
+            let truth = plain.score_move(t, pos, m, &ObjectiveKind::Makespan);
+            match fast.score_move_bounded(t, pos, m, best, &ObjectiveKind::Makespan) {
+                MoveScore::Exact(s) => assert_eq!(s, truth),
+                MoveScore::Pruned => assert!(truth >= best, "pruned but {truth} < bound {best}"),
+            }
+            if truth < best {
+                best = truth;
+            }
+        }
+        // With pruning off, a bounded call never prunes.
+        assert_eq!(plain.stats().pruned, 0);
+        assert!(plain
+            .score_move_bounded(
+                TaskId::new(0),
+                base.position_of(TaskId::new(0)),
+                base.machine_of(TaskId::new(0)),
+                0.0,
+                &ObjectiveKind::Makespan
+            )
+            .exact()
+            .is_some());
+        // MoveScore helpers.
+        assert!(MoveScore::Pruned.is_pruned());
+        assert_eq!(MoveScore::Pruned.exact(), None);
+        assert_eq!(MoveScore::Exact(2.0).exact(), Some(2.0));
+        assert!(!MoveScore::Exact(2.0).is_pruned());
+    }
+
+    #[test]
+    fn wide_dynamic_range_floors_never_over_prune() {
+        // Regression: a huge finish feeding a tiny consumer chain. The
+        // computed chain absorbs the small execs entirely
+        // (round(1e16 + 1) == 1e16), so any floor whose rounding margin
+        // scales with the *tail* instead of the whole `finish + tail`
+        // magnitude overshoots the true computed makespan and prunes
+        // candidates that strictly beat the bound.
+        let mut b = mshc_taskgraph::TaskGraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 3).unwrap();
+        let g = b.build().unwrap();
+        let huge = 1e16;
+        let exec =
+            Matrix::from_rows(&[vec![huge, 1.0, 1.0, 1.0], vec![huge * 1.25, 2.0, 2.0, 2.0]]);
+        let transfer = Matrix::from_fn(1, g.data_count(), |_, _| 0.5);
+        let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let graph = inst.graph();
+        let order: Vec<TaskId> = (0..4).map(TaskId::new).collect();
+        let base = Solution::from_order(graph, 2, &order, &[MachineId::new(0); 4]).unwrap();
+        let mut inc = IncrementalEvaluator::new(&inst);
+        inc.set_stride(Some(1));
+        inc.prime(&base);
+        let mut scalar = Evaluator::new(&inst);
+        // Every candidate, bounded by every candidate's exact score: a
+        // strictly better candidate must never come back Pruned.
+        let mut candidates = Vec::new();
+        for t in 0..4u32 {
+            let t = TaskId::new(t);
+            let (lo, hi) = base.valid_range(graph, t);
+            for pos in lo..=hi {
+                for m in 0..2 {
+                    candidates.push((t, pos, MachineId::new(m)));
+                }
+            }
+        }
+        let truths: Vec<f64> = candidates
+            .iter()
+            .map(|&(t, pos, m)| {
+                let mut cand = base.clone();
+                cand.move_task(graph, t, pos, m).unwrap();
+                scalar.objective_value(&cand, &ObjectiveKind::Makespan)
+            })
+            .collect();
+        for (&(t, pos, m), &truth) in candidates.iter().zip(&truths) {
+            for &bound in &truths {
+                match inc.score_move_bounded(t, pos, m, bound, &ObjectiveKind::Makespan) {
+                    MoveScore::Exact(s) => assert_eq!(s, truth),
+                    MoveScore::Pruned => assert!(
+                        truth >= bound,
+                        "pruned at bound {bound} but true score {truth} strictly beats it \
+                         ({t} -> ({pos}, {m}))"
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_stats_track_and_merge() {
+        let mut a = ScanStats { scored: 10, pruned: 4, spliced: 1 };
+        a.merge(ScanStats { scored: 10, pruned: 0, spliced: 3 });
+        assert_eq!(a, ScanStats { scored: 20, pruned: 4, spliced: 4 });
+        assert_eq!(a.pruned_fraction(), 0.2);
+        assert_eq!(a.spliced_fraction(), 0.2);
+        assert_eq!(ScanStats::default().pruned_fraction(), 0.0);
+        assert_eq!(ScanStats::default().spliced_fraction(), 0.0);
     }
 
     #[test]

@@ -38,6 +38,33 @@
 //!    loop. The batch move-scoring entry points route through per-thread
 //!    incremental evaluators automatically, so tiers 2 and 3 compose.
 //!
+//! Tier 3's **fast path** cuts the replay itself two ways, both exact:
+//!
+//! * **Bound pruning**
+//!   ([`score_move_bounded`](IncrementalEvaluator::score_move_bounded)):
+//!   the caller's best-so-far score rides along, and the replay abandons
+//!   a candidate the moment the objective's monotone
+//!   [`lower bound`](Objective::lower_bound) reaches it.
+//!   *Why this can never change a selection*: suppose the scan's
+//!   incumbent scored `b` and a later candidate is pruned. Pruning
+//!   required `lower_bound >= b`, and the true score is at least the
+//!   lower bound, so the candidate's score is `>= b` — it either loses
+//!   to the incumbent outright or ties it, and every scan in the suite
+//!   commits strict improvements with earliest-index tie-breaking, so a
+//!   tie loses to the earlier incumbent whether it was scored exactly
+//!   or abandoned. The winner itself can never be pruned: every bound
+//!   it is checked against comes from a strictly worse (or infinite)
+//!   score, which its own lower bound cannot reach. Pruned candidates
+//!   still count as one evaluation each, so evaluation counts are
+//!   unchanged too.
+//! * **Reconvergence splicing**: priming precomputes per-checkpoint
+//!   suffix aggregates; when a replay's frontier bitwise re-converges
+//!   with the base walk at a checkpoint boundary (past the disturbed
+//!   window and every perturbed consumer), the tail is spliced from the
+//!   aggregates instead of replayed — O(disturbed region) per move, not
+//!   O(k − pos). Only exact merges are taken (`max` for makespan; the
+//!   full-state identity splice otherwise), preserving bit-identity.
+//!
 //! ## The encoding
 //!
 //! A solution is a string of `k` segments, each pairing a subtask with a
@@ -81,16 +108,16 @@ pub mod sim;
 pub mod snapshot;
 pub mod steppable;
 
-pub use batch::BatchEvaluator;
+pub use batch::{BatchEvaluator, BestMove};
 pub use encoding::{Segment, Solution};
 pub use error::ScheduleError;
 pub use eval::{Evaluator, ScheduleReport};
 pub use gantt::Gantt;
-pub use incremental::{auto_stride, IncrementalEvaluator};
+pub use incremental::{auto_stride, IncrementalEvaluator, MoveScore, ScanStats};
 pub use init::random_solution;
 pub use objective::{
-    objective_from_report, EvalView, LoadBalance, Makespan, MeanFlowtime, Objective, ObjectiveKind,
-    ObjectiveState, ObjectiveValues, TotalFlowtime, Weighted,
+    objective_from_report, BoundHints, EvalView, LoadBalance, Makespan, MeanFlowtime, Objective,
+    ObjectiveKind, ObjectiveState, ObjectiveValues, SuffixView, TotalFlowtime, Weighted,
 };
 pub use runner::{report_objective_value, RunBudget, RunResult, Scheduler};
 pub use sim::{replay, replay_with, NetworkModel, SimError};

@@ -15,6 +15,7 @@
 
 use crate::encoding::Solution;
 use crate::error::ScheduleError;
+use crate::incremental::ScanStats;
 use crate::objective::ObjectiveKind;
 use mshc_platform::HcInstance;
 use mshc_trace::Trace;
@@ -24,7 +25,7 @@ use std::time::Duration;
 /// as *any* set limit is reached. A fully `None` budget never stops —
 /// constructive heuristics ignore budgets, iterative schedulers require
 /// at least one limit ([`validate`](RunBudget::validate) enforces this).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunBudget {
     /// Maximum iterations (SE) / generations (GA).
     pub max_iterations: Option<u64>,
@@ -45,6 +46,25 @@ pub struct RunBudget {
     /// auto stride `⌈√k⌉`. A pure cost knob: results are bit-identical
     /// at every stride.
     pub checkpoint_stride: Option<usize>,
+    /// Whether the move-scan fast path may bound-prune and splice
+    /// (default `true`; the CLI's `--no-prune` escape hatch turns it
+    /// off). Another pure cost knob: solutions, objective values and
+    /// evaluation counts are bit-identical either way.
+    pub prune: bool,
+}
+
+impl Default for RunBudget {
+    fn default() -> RunBudget {
+        RunBudget {
+            max_iterations: None,
+            max_evaluations: None,
+            max_wall: None,
+            max_stall: None,
+            objective: ObjectiveKind::default(),
+            checkpoint_stride: None,
+            prune: true,
+        }
+    }
 }
 
 impl RunBudget {
@@ -79,6 +99,13 @@ impl RunBudget {
     /// (`None` = auto `⌈√k⌉`).
     pub fn with_checkpoint_stride(mut self, stride: Option<usize>) -> RunBudget {
         self.checkpoint_stride = stride;
+        self
+    }
+
+    /// Enables/disables the bounded+spliced move-scan fast path
+    /// (default: on).
+    pub fn with_prune(mut self, prune: bool) -> RunBudget {
+        self.prune = prune;
         self
     }
 
@@ -134,6 +161,11 @@ pub struct RunResult {
     pub evaluations: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Move-scan fast-path counters (all zero for schedulers that never
+    /// scan moves incrementally). Like `elapsed`, a diagnostic: the
+    /// pruned/spliced parts vary with the chunk grid and must not flow
+    /// into deterministic artifacts.
+    pub scan: ScanStats,
 }
 
 /// Scores `solution` under `objective` for reporting, reusing the known

@@ -221,6 +221,7 @@ mod tests {
                 iterations: 1,
                 evaluations: 1,
                 elapsed: Duration::ZERO,
+                scan: Default::default(),
             }
         }
     }

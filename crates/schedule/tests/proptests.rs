@@ -5,13 +5,54 @@
 use mshc_platform::{HcInstance, HcSystem, MachineId, Matrix};
 use mshc_schedule::{
     objective_from_report, random_solution, replay, replay_with, BatchEvaluator, EvalSnapshot,
-    Evaluator, Gantt, IncrementalEvaluator, NetworkModel, Objective, ObjectiveKind,
+    Evaluator, Gantt, IncrementalEvaluator, MoveScore, NetworkModel, Objective, ObjectiveKind,
+    Solution,
 };
 use mshc_taskgraph::gen::{erdos_dag, layered, LayeredConfig};
 use mshc_taskgraph::TaskId;
 use proptest::prelude::*;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// A random mixed-task move sample inside `base`'s valid ranges — the
+/// shape the bounded scans serve.
+fn sample_moves(
+    inst: &HcInstance,
+    base: &Solution,
+    n: usize,
+    rng: &mut ChaCha8Rng,
+) -> Vec<(TaskId, usize, MachineId)> {
+    (0..n)
+        .map(|_| {
+            let t = TaskId::new(rng.gen_range(0..inst.task_count() as u32));
+            let (lo, hi) = base.valid_range(inst.graph(), t);
+            (
+                t,
+                rng.gen_range(lo..=hi),
+                MachineId::new(rng.gen_range(0..inst.machine_count() as u32)),
+            )
+        })
+        .collect()
+}
+
+/// Tabu's sequential selection rule over exact scores: skip
+/// non-admissible moves unless they beat `aspiration`, keep the first
+/// strict minimum among the rest.
+fn reference_choice(
+    scores: &[f64],
+    admissible: Option<&[bool]>,
+    aspiration: f64,
+) -> Option<(usize, f64)> {
+    let mut chosen: Option<(usize, f64)> = None;
+    for (i, &cost) in scores.iter().enumerate() {
+        let adm = admissible.is_none_or(|a| a[i]);
+        if (!adm && cost >= aspiration) || chosen.is_some_and(|(_, c)| c <= cost) {
+            continue;
+        }
+        chosen = Some((i, cost));
+    }
+    chosen
+}
 
 fn instance_strategy() -> impl Strategy<Value = HcInstance> {
     (1usize..25, 1usize..6, 0.0f64..0.9, any::<u64>(), prop::bool::ANY).prop_map(
@@ -218,6 +259,128 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Every [`MoveScore::Pruned`] verdict is sound: the candidate's true
+    /// (full-evaluation) score is at least the bound it was pruned
+    /// against, and every [`MoveScore::Exact`] is bit-identical to the
+    /// unbounded scoring — across random workloads, strides, bounds and
+    /// objectives. This is the property the whole bounded fast path
+    /// rests on: an invalid lower bound (critical-cone, chain-tail or
+    /// machine-load floor, or a rounding overshoot) would fail it.
+    #[test]
+    fn pruned_verdicts_are_sound_and_exact_scores_exact(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+        stride_sel in 0usize..3,
+        tighten in 0.7f64..1.3,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = inst.graph();
+        let k = inst.task_count();
+        let base = random_solution(&inst, &mut rng);
+        let stride = [Some(1), Some((k / 2).max(1)), None][stride_sel];
+        let snap = EvalSnapshot::new(&inst);
+        let mut inc = IncrementalEvaluator::with_snapshot(&snap);
+        inc.set_stride(stride);
+        inc.prime(&base);
+        let mut scalar = Evaluator::new(&inst);
+        let weighted = ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.4, balance: 0.6 };
+        let base_score = inc.base_score(&ObjectiveKind::Makespan);
+        for (t, pos, m) in sample_moves(&inst, &base, 10, &mut rng) {
+            let mut cand = base.clone();
+            cand.move_task(g, t, pos, m).unwrap();
+            for kind in ObjectiveKind::BASIC.into_iter().chain([weighted]) {
+                let truth = scalar.objective_value(&cand, &kind);
+                // Bounds straddling the score distribution, ties included.
+                for bound in [truth, base_score * tighten, truth * tighten, f64::INFINITY] {
+                    match inc.score_move_bounded(t, pos, m, bound, &kind) {
+                        MoveScore::Exact(s) => prop_assert_eq!(
+                            s, truth, "{} stride {:?} bound {}", kind.name(), stride, bound
+                        ),
+                        MoveScore::Pruned => prop_assert!(
+                            truth >= bound,
+                            "{}: pruned at bound {bound} but true score {truth} beats it \
+                             (stride {:?}, move {t} -> ({pos}, {m}))",
+                            kind.name(), stride
+                        ),
+                    }
+                }
+            }
+        }
+        let stats = inc.stats();
+        prop_assert_eq!(stats.scored, inc.evaluations(), "every call counts once");
+    }
+
+    /// The bounded batch argmin commits exactly what the unbounded
+    /// score-everything-then-fold scan commits — same index (tie-breaks
+    /// included), same exact score, same evaluation count — across
+    /// random workloads, strides, thread counts, and the tabu-style
+    /// admissibility/aspiration rule.
+    #[test]
+    fn bounded_scan_commits_identical_argmin_value_and_count(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+        stride_sel in 0usize..3,
+        threads_sel in 0usize..3,
+        kind_sel in 0usize..3,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = inst.graph();
+        let k = inst.task_count();
+        let base = random_solution(&inst, &mut rng);
+        let moves = sample_moves(&inst, &base, 24, &mut rng);
+        let stride = [Some(1), Some((k / 2).max(1)), None][stride_sel];
+        let threads = [1usize, 2, 8][threads_sel];
+        let kind = [
+            ObjectiveKind::Makespan,
+            ObjectiveKind::TotalFlowtime,
+            ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.4, balance: 0.6 },
+        ][kind_sel];
+        let snap = EvalSnapshot::new(&inst);
+        // Unbounded reference: exact scores, sequential fold.
+        let scores = BatchEvaluator::new(&snap).score_task_moves(g, &base, &moves, &kind);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+
+        // Plain argmin (admit everything).
+        let mut batch = BatchEvaluator::new(&snap).with_stride(stride);
+        let got = pool.install(|| batch.best_task_move(g, &base, &moves, None, 0.0, &kind));
+        let want = reference_choice(&scores, None, 0.0);
+        prop_assert_eq!(got.map(|b| (b.index, b.score)), want, "plain argmin, {threads} threads");
+        prop_assert_eq!(batch.evaluations(), moves.len() as u64, "one evaluation per candidate");
+
+        // Tabu-style rule: random admissibility + a mid-range aspiration.
+        let admissible: Vec<bool> = (0..moves.len()).map(|_| rng.gen_bool(0.5)).collect();
+        let aspiration =
+            scores[rng.gen_range(0..scores.len())] * [0.9, 1.0, 1.1][rng.gen_range(0..3)];
+        let got = pool.install(|| {
+            BatchEvaluator::new(&snap).with_stride(stride).best_task_move(
+                g, &base, &moves, Some(&admissible), aspiration, &kind,
+            )
+        });
+        let want = reference_choice(&scores, Some(&admissible), aspiration);
+        prop_assert_eq!(
+            got.map(|b| (b.index, b.score)), want,
+            "aspiration {aspiration}, {threads} threads, stride {:?}", stride
+        );
+
+        // The single-task grid scan (SE's shape) agrees with min_by over
+        // exact scores, index tie-break included.
+        let t = moves[0].0;
+        let (lo, hi) = base.valid_range(g, t);
+        let grid: Vec<(usize, MachineId)> = (lo..=hi)
+            .flat_map(|p| (0..inst.machine_count() as u32).map(move |m| (p, MachineId::new(m))))
+            .collect();
+        let grid_scores = BatchEvaluator::new(&snap).score_moves(g, &base, t, &grid, &kind);
+        let want = grid_scores
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1).then(a.0.cmp(&b.0)))
+            .map(|(i, &s)| (i, s));
+        let got = pool.install(|| {
+            BatchEvaluator::new(&snap).with_stride(stride).best_move(g, &base, t, &grid, &kind)
+        });
+        prop_assert_eq!(got.map(|b| (b.index, b.score)), want, "grid scan");
     }
 
     /// Contention can only delay: the per-pair-link network dominates the

@@ -4,8 +4,11 @@
 //! is parsed directly from the raw [`TokenStream`]. The parser covers
 //! exactly the shapes this workspace derives on: non-generic structs
 //! with named fields, tuple structs, and enums whose variants are all
-//! unit variants, plus the `#[serde(transparent)]` container attribute.
-//! Anything else fails the build with a clear compile error.
+//! unit variants, plus the `#[serde(transparent)]` container attribute
+//! and the `#[serde(default)]` / `#[serde(default = "path")]` field
+//! attributes (missing-field fallbacks on deserialization, exactly like
+//! real serde). Anything else fails the build with a clear compile
+//! error.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -29,11 +32,30 @@ enum Which {
 
 enum Shape {
     /// Struct with named fields.
-    Named { fields: Vec<String>, transparent: bool },
+    Named { fields: Vec<FieldDef>, transparent: bool },
     /// Tuple struct with `n` unnamed fields.
     Tuple { arity: usize },
     /// Enum whose variants are all unit variants.
     UnitEnum { variants: Vec<String> },
+}
+
+/// One named field and its missing-value policy.
+struct FieldDef {
+    name: String,
+    /// `None` = the field is required; `Some(None)` = fall back to
+    /// `Default::default()`; `Some(Some(path))` = call `path()`.
+    default: Option<Option<String>>,
+}
+
+/// What one `#[serde(...)]` (or unrelated) attribute meant.
+enum SerdeAttr {
+    /// Not a `serde` attribute (doc comment, `derive`, ...).
+    NotSerde,
+    /// `#[serde(transparent)]` — container attribute.
+    Transparent,
+    /// `#[serde(default)]` / `#[serde(default = "path")]` — field
+    /// attribute.
+    Default(Option<String>),
 }
 
 fn expand(input: TokenStream, which: Which) -> TokenStream {
@@ -58,8 +80,14 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = iter.next() {
-                    if parse_serde_attr(&g.stream())? {
-                        transparent = true;
+                    match parse_serde_attr(&g.stream())? {
+                        SerdeAttr::Transparent => transparent = true,
+                        SerdeAttr::Default(_) => {
+                            return Err("#[serde(default)] is a field attribute in this shim, \
+                                        not a container attribute"
+                                .into())
+                        }
+                        SerdeAttr::NotSerde => {}
                     }
                 } else {
                     return Err("malformed attribute".into());
@@ -122,13 +150,12 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
     }
 }
 
-/// Inspect one attribute's content. Returns `Ok(true)` for
-/// `serde(transparent)`, `Ok(false)` for non-serde attributes (doc
-/// comments, `derive`, ...), and an error for any *other* `serde(...)`
-/// attribute — the shim supports none of them, and silently ignoring
-/// e.g. `rename`/`default` would change the wire format relative to
-/// real serde.
-fn parse_serde_attr(content: &TokenStream) -> Result<bool, String> {
+/// Inspect one attribute's content. Non-serde attributes (doc comments,
+/// `derive`, ...) yield [`SerdeAttr::NotSerde`]; the supported serde
+/// attributes yield their parse; any *other* `serde(...)` attribute is
+/// an error — the shim supports nothing else, and silently ignoring
+/// e.g. `rename` would change the wire format relative to real serde.
+fn parse_serde_attr(content: &TokenStream) -> Result<SerdeAttr, String> {
     let mut iter = content.clone().into_iter();
     match (iter.next(), iter.next()) {
         (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g)))
@@ -136,36 +163,54 @@ fn parse_serde_attr(content: &TokenStream) -> Result<bool, String> {
         {
             let args: Vec<String> = g.stream().into_iter().map(|t| t.to_string()).collect();
             if args.len() == 1 && args[0] == "transparent" {
-                Ok(true)
+                Ok(SerdeAttr::Transparent)
+            } else if args.len() == 1 && args[0] == "default" {
+                Ok(SerdeAttr::Default(None))
+            } else if args.len() == 3 && args[0] == "default" && args[1] == "=" {
+                // The value must be a quoted string literal, like real
+                // serde — reject bare paths/numbers before trimming so
+                // they fail here with a clear message instead of as a
+                // confusing error inside the generated impl.
+                let raw = &args[2];
+                if raw.len() < 3 || !raw.starts_with('"') || !raw.ends_with('"') {
+                    return Err("#[serde(default = ...)] needs a quoted function path".into());
+                }
+                Ok(SerdeAttr::Default(Some(raw[1..raw.len() - 1].to_string())))
             } else {
                 Err(format!(
                     "unsupported attribute #[serde({})]: the shim derive only knows \
-                     #[serde(transparent)]",
+                     #[serde(transparent)] and #[serde(default)] / #[serde(default = ...)]",
                     args.join("")
                 ))
             }
         }
-        _ => Ok(false),
+        _ => Ok(SerdeAttr::NotSerde),
     }
 }
 
-/// Field names of a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
-    let mut fields = Vec::new();
+/// Fields of a named-field struct body, with their `#[serde(default)]`
+/// policies.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<FieldDef>, String> {
+    let mut fields: Vec<FieldDef> = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Skip per-field attributes and visibility. Field-level
-        // #[serde(...)] attributes are all unsupported — reject rather
-        // than silently changing the wire format.
+        // Gather per-field attributes, skip visibility. Field-level
+        // #[serde(...)] attributes other than `default` are unsupported
+        // — reject rather than silently changing the wire format.
+        let mut default = None;
         loop {
             match iter.peek() {
                 Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
                     iter.next();
                     if let Some(TokenTree::Group(g)) = iter.next() {
-                        if parse_serde_attr(&g.stream())? {
-                            return Err("#[serde(transparent)] is a container attribute, \
-                                        not a field attribute"
-                                .into());
+                        match parse_serde_attr(&g.stream())? {
+                            SerdeAttr::Transparent => {
+                                return Err("#[serde(transparent)] is a container attribute, \
+                                            not a field attribute"
+                                    .into())
+                            }
+                            SerdeAttr::Default(d) => default = Some(d),
+                            SerdeAttr::NotSerde => {}
                         }
                     }
                 }
@@ -181,7 +226,7 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
             }
         }
         match iter.next() {
-            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => fields.push(FieldDef { name: id.to_string(), default }),
             None => break,
             Some(other) => return Err(format!("expected field name, found `{other}`")),
         }
@@ -265,9 +310,9 @@ fn parse_unit_variants(body: TokenStream) -> Result<Vec<String>, String> {
             if p.as_char() == '#' {
                 iter.next();
                 if let Some(TokenTree::Group(g)) = iter.next() {
-                    if parse_serde_attr(&g.stream())? {
-                        return Err("#[serde(transparent)] is a container attribute, \
-                                    not a variant attribute"
+                    if !matches!(parse_serde_attr(&g.stream())?, SerdeAttr::NotSerde) {
+                        return Err("serde attributes are not supported on enum variants \
+                                    by the shim derive"
                             .into());
                     }
                 }
@@ -309,12 +354,13 @@ fn render(name: &str, shape: &Shape, which: Which) -> String {
 fn render_serialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::Named { fields, transparent: true } => {
-            format!("::serde::Serialize::serialize(&self.{})", fields[0])
+            format!("::serde::Serialize::serialize(&self.{})", fields[0].name)
         }
         Shape::Named { fields, transparent: false } => {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::serialize(&self.{f}))"
@@ -352,18 +398,37 @@ fn render_serialize(name: &str, shape: &Shape) -> String {
 fn render_deserialize(name: &str, shape: &Shape) -> String {
     let body = match shape {
         Shape::Named { fields, transparent: true } => {
-            let f = &fields[0];
+            let f = &fields[0].name;
             format!("Ok({name} {{ {f}: ::serde::Deserialize::deserialize(v)? }})")
         }
         Shape::Named { fields, transparent: false } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::deserialize(\
-                             v.get_field(\"{f}\").ok_or_else(|| \
-                                 ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?"
-                    )
+                .map(|field| {
+                    let f = &field.name;
+                    match &field.default {
+                        // Required field: missing is an error.
+                        None => format!(
+                            "{f}: ::serde::Deserialize::deserialize(\
+                                 v.get_field(\"{f}\").ok_or_else(|| \
+                                     ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?"
+                        ),
+                        // Defaulted field: missing falls back, exactly
+                        // like real serde's #[serde(default)].
+                        Some(default) => {
+                            let fallback = match default {
+                                Some(path) => format!("{path}()"),
+                                None => "::std::default::Default::default()".to_string(),
+                            };
+                            format!(
+                                "{f}: match v.get_field(\"{f}\") {{\n\
+                                     ::std::option::Option::Some(fv) => \
+                                         ::serde::Deserialize::deserialize(fv)?,\n\
+                                     ::std::option::Option::None => {fallback},\n\
+                                 }}"
+                            )
+                        }
+                    }
                 })
                 .collect();
             format!(
