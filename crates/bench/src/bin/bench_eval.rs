@@ -31,11 +31,13 @@
 //! cargo run --release -p mshc-bench --bin bench_eval -- --threads 8
 //! ```
 
-use mshc_portfolio::TournamentSpec;
+use mshc_platform::{HcInstance, HcSystem, Matrix};
+use mshc_portfolio::{TournamentSpec, ALGORITHMS};
 use mshc_schedule::{
-    BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, MoveScore, ObjectiveKind,
-    Solution,
+    BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, InstanceBound, MoveScore,
+    ObjectiveKind, RunBudget, Solution,
 };
+use mshc_taskgraph::TaskGraphBuilder;
 use mshc_workloads::{tiny_suite, WorkloadSpec};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -83,6 +85,18 @@ struct BenchReport {
     /// tiny scenario suite (6 algorithms × 2 scenarios × 2 seeds), races
     /// fanned out over the same pool as batch ×N.
     tournament_cells_per_sec: f64,
+    /// Mean microseconds to compute the certified instance lower bound
+    /// (`InstanceBound::compute`) on the 100-task preset — the one-off
+    /// per-run cost the certificate stack adds.
+    lower_bound_us_per_instance: f64,
+    /// Mean certified optimality gap across the completed tournament
+    /// cells (1.0 = provably optimal; tiny-suite makespan races are all
+    /// certified, so no cell is excluded).
+    mean_gap: f64,
+    /// Fraction of certified-probe cells (every algorithm raced on an
+    /// integer-exact balanced instance whose floor is reachable) that
+    /// terminated early at the certified floor.
+    early_stop_fraction: f64,
 }
 
 fn main() {
@@ -225,7 +239,44 @@ fn main() {
             .expect("tiny tournament runs");
         let (board, timing) = mshc_portfolio::aggregate(&run);
         assert_eq!(board.failures, 0, "bench tournament must not have failing cells");
-        timing.cells_per_sec
+        let gaps: Vec<f64> = board.results.iter().filter_map(|c| c.gap).collect();
+        assert!(!gaps.is_empty(), "makespan races must carry certificates");
+        (timing.cells_per_sec, gaps.iter().sum::<f64>() / gaps.len() as f64)
+    };
+    let (tournament_cps, mean_gap) = tournament_cps;
+
+    // Certificate probes. The bound computation is a one-off per-run
+    // cost, so its series is microseconds per instance, not evals/sec.
+    let lower_bound_us = {
+        let reps = (rounds * 50).max(100);
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(InstanceBound::compute(black_box(&inst)));
+        }
+        start.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+
+    // Early-stop probe: an integer-exact balanced instance (8
+    // independent tasks, 2 machines, every execution 6.0 → certified
+    // floor 24.0, reachable by any 4+4 split) raced by the full
+    // portfolio. Iterative schedulers that land on the floor terminate
+    // early; one-shot heuristics never do — the fraction tracks how
+    // much of the portfolio the certificate actually short-circuits.
+    let early_stop_fraction = {
+        let g = TaskGraphBuilder::new(8).build().expect("trivial graph");
+        let exec = Matrix::filled(2, 8, 6.0);
+        let sys = HcSystem::with_anonymous_machines(2, exec, Matrix::filled(1, 0, 0.0))
+            .expect("balanced system");
+        let balanced = HcInstance::new(g, sys).expect("balanced instance");
+        let budget = RunBudget::iterations(if rounds <= 6 { 40 } else { 120 });
+        let stops = ALGORITHMS
+            .iter()
+            .filter(|name| {
+                let mut s = mshc_portfolio::build_contestant(name, 2001).expect("known algorithm");
+                s.run(&balanced, &budget).early_stopped
+            })
+            .count();
+        stops as f64 / ALGORITHMS.len() as f64
     };
 
     let report = BenchReport {
@@ -246,6 +297,9 @@ fn main() {
         speedup_vs_scalar: batchn_eps / scalar_eps,
         thread_scaling: batchn_eps / batch1_eps,
         tournament_cells_per_sec: tournament_cps,
+        lower_bound_us_per_instance: lower_bound_us,
+        mean_gap,
+        early_stop_fraction,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_eval.json");
@@ -269,5 +323,12 @@ fn main() {
         100.0 * report.spliced_fraction
     );
     println!("tournament: {:.2} cells/sec (tiny suite, {} threads)", tournament_cps, threads);
+    println!(
+        "certificates: lower bound {:.1}us/instance | mean gap {:.3}x | {:.0}% of the probe \
+         portfolio early-stopped",
+        lower_bound_us,
+        mean_gap,
+        100.0 * early_stop_fraction
+    );
     println!("wrote {out_path}");
 }

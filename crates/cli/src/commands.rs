@@ -58,6 +58,15 @@ global options:
              opportunities; with --no-prune the stride reverts to a pure
              resume-cost knob. --report prints the realized pruned and
              spliced fractions.
+  --no-early-stop
+             disable early termination at the certified instance lower
+             bound (default is on). When the incumbent's makespan reaches
+             the certified floor no strict improvement exists, so the
+             iterative schedulers stop spending budget; the solution and
+             objective value are identical either way — only iteration
+             and evaluation counts can shrink. The certificate itself
+             (lower bound and gap, printed by --report and carried in
+             tournament artifacts) is unaffected by this flag.
 ";
 
 /// Entry point: dispatches `argv` to a subcommand.
@@ -153,6 +162,7 @@ fn budget(p: &Parsed) -> Result<RunBudget, String> {
         b.checkpoint_stride = Some(stride);
     }
     b.prune = !p.flag("no-prune");
+    b.early_stop = !p.flag("no-early-stop");
     debug_assert!(b.validate().is_ok());
     Ok(b)
 }
@@ -237,6 +247,16 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
              load-imbalance {:.2}",
             o.makespan, o.total_flowtime, o.mean_flowtime, o.load_imbalance
         );
+        match (result.lower_bound, result.gap) {
+            (Some(lb), Some(gap)) => println!(
+                "certificate: lower bound {:.2} | gap {:.4}x{}",
+                lb,
+                gap,
+                if result.early_stopped { " | stopped early at the floor" } else { "" }
+            ),
+            (Some(lb), None) => println!("certificate: lower bound {lb:.2}"),
+            _ => println!("certificate: none (objective is not makespan)"),
+        }
         let secs = result.elapsed.as_secs_f64();
         let evals_per_sec =
             if secs > 0.0 { result.evaluations as f64 / secs } else { f64::INFINITY };
@@ -282,23 +302,30 @@ fn cmd_compare(p: &Parsed) -> Result<(), String> {
         inst.data_count()
     );
     println!(
-        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>9}",
+        "{:<10} {:>12} {:>12} {:>8} {:>12} {:>12} {:>9}",
         "algorithm",
         "makespan",
         budget.objective.label(),
+        "gap",
         "iterations",
         "evals",
         "secs"
     );
     let mut rows: Vec<(String, f64)> = Vec::new();
+    let mut floor: Option<f64> = None;
     for name in names {
         let mut s = make_scheduler(p, name)?;
         let r = s.run(&inst, &budget, None);
+        // The bound is instance-level, so every row certifies against
+        // the same floor; remember it for the summary line.
+        floor = floor.or(r.lower_bound);
+        let gap = r.gap.map_or_else(|| "-".to_string(), |g| format!("{g:.4}"));
         println!(
-            "{:<10} {:>12.2} {:>12.2} {:>12} {:>12} {:>9.3}",
+            "{:<10} {:>12.2} {:>12.2} {:>8} {:>12} {:>12} {:>9.3}",
             name,
             r.makespan,
             r.objective_value,
+            gap,
             r.iterations,
             r.evaluations,
             r.elapsed.as_secs_f64()
@@ -307,6 +334,9 @@ fn cmd_compare(p: &Parsed) -> Result<(), String> {
     }
     let best = rows.iter().min_by(|a, b| a.1.total_cmp(&b.1)).expect("non-empty");
     println!("best: {} ({:.2})", best.0, best.1);
+    if let Some(lb) = floor {
+        println!("certified lower bound: {lb:.2}");
+    }
     Ok(())
 }
 
@@ -363,6 +393,11 @@ fn tournament_spec(p: &Parsed) -> Result<TournamentSpec, String> {
     // composes with --spec: it cannot change any leaderboard bit.
     if p.flag("no-prune") {
         spec.prune = false;
+    }
+    // Early stopping can change iteration/evaluation counts (never
+    // solutions), so it composes with --spec the same way.
+    if p.flag("no-early-stop") {
+        spec.early_stop = false;
     }
     spec.validate()?;
     Ok(spec)
@@ -589,9 +624,12 @@ mod tests {
         let b = budget(&parse(&argv(&[]))).unwrap();
         assert_eq!(b.max_iterations, Some(200));
         assert_eq!(b.checkpoint_stride, None);
-        // The escape hatch.
+        // The escape hatches.
         let b = budget(&parse(&argv(&["--iters", "7", "--no-prune"]))).unwrap();
         assert!(!b.prune);
+        assert!(b.early_stop, "early stop on by default");
+        let b = budget(&parse(&argv(&["--iters", "7", "--no-early-stop"]))).unwrap();
+        assert!(!b.early_stop);
     }
 
     #[test]
@@ -628,6 +666,38 @@ mod tests {
         // --help documents the interaction.
         assert!(USAGE.contains("--no-prune"));
         assert!(USAGE.contains("--checkpoint-stride"));
+    }
+
+    #[test]
+    fn no_early_stop_flag_runs_everywhere() {
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "se",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "10",
+            "--no-early-stop",
+            "--report",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "tournament",
+            "--suite",
+            "tiny",
+            "--algos",
+            "sa,mct",
+            "--seeds",
+            "1",
+            "--iters",
+            "4",
+            "--no-early-stop",
+        ]))
+        .unwrap();
+        assert!(USAGE.contains("--no-early-stop"));
     }
 
     #[test]

@@ -4,9 +4,10 @@ use crate::config::{AllocationStrategy, SeConfig};
 use crate::goodness::{goodness, optimal_costs};
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, Incumbent,
-    MoveScore, Objective, ObjectiveKind, RunBudget, RunResult, ScanStats, ScheduleReport,
-    Scheduler, SearchStep, Solution, StepVerdict, SteppableSearch,
+    certified_gap, next_up, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator,
+    IncrementalEvaluator, Incumbent, InstanceBound, MoveScore, Objective, ObjectiveKind, RunBudget,
+    RunResult, ScanStats, ScheduleReport, Scheduler, SearchStep, Solution, StepVerdict,
+    SteppableSearch,
 };
 use mshc_taskgraph::{Levels, TaskId};
 use mshc_trace::{Trace, TraceRecord};
@@ -89,6 +90,12 @@ impl SteppableSearch for SeScheduler {
         // it, so rebuilding them never changes a score).
         let snapshot = EvalSnapshot::new(inst);
 
+        // Certified instance floor (makespan only): drives the scan-
+        // global cutoff, the bound-aware allocation order and early
+        // termination. Computed once; consumes no RNG, counts no
+        // evaluations.
+        let bound = objective.is_makespan().then(|| InstanceBound::compute(inst));
+
         // ---- initial solution (§4.2) ----
         let perturb = cfg.init_perturbations.unwrap_or(2 * inst.task_count());
         let current = mshc_schedule::init::random_solution_with(inst, perturb, &mut rng);
@@ -122,6 +129,8 @@ impl SteppableSearch for SeScheduler {
             scan: ScanStats::default(),
             selected: Vec::with_capacity(inst.task_count()),
             bias: cfg.selection_bias,
+            bound,
+            early_stopped: false,
             start,
         })
     }
@@ -154,6 +163,12 @@ struct SeState<'a> {
     scan: ScanStats,
     selected: Vec<TaskId>,
     bias: f64,
+    /// Certified instance floor, present iff the objective is makespan.
+    bound: Option<InstanceBound>,
+    /// Whether the incumbent reached the certified floor and the run
+    /// stopped early (observable only as fewer evaluations — never a
+    /// different solution, since nothing below the floor exists).
+    early_stopped: bool,
     start: Instant,
 }
 
@@ -164,18 +179,28 @@ impl SearchStep for SeState<'_> {
 
     fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
         let g = self.inst.graph();
+        let floor = self.bound.as_ref().map(|b| b.floor());
         let mut eval = Evaluator::with_snapshot(&self.snapshot);
         let mut inc = IncrementalEvaluator::with_snapshot(&self.snapshot);
         inc.set_stride(self.budget.checkpoint_stride);
         inc.set_pruning(self.budget.prune);
         inc.set_splicing(self.budget.prune);
+        inc.set_scan_floor(floor.unwrap_or(f64::NEG_INFINITY));
         let mut batch = BatchEvaluator::new(&self.snapshot)
             .with_stride(self.budget.checkpoint_stride)
-            .with_pruning(self.budget.prune);
+            .with_pruning(self.budget.prune)
+            .with_scan_floor(floor.unwrap_or(f64::NEG_INFINITY));
         let mut moves = Vec::new();
         let mut stepped = 0u64;
 
-        while stepped < max_iterations
+        // The initial solution (or an injected migrant) may already sit
+        // on the certified floor — nothing below it exists, so there is
+        // nothing left to search.
+        self.early_stopped =
+            self.early_stopped || self.budget.floor_reached(floor, self.best_score);
+
+        while !self.early_stopped
+            && stepped < max_iterations
             && !self.budget.exhausted(
                 self.iterations,
                 self.evaluations + eval.evaluations(),
@@ -219,6 +244,7 @@ impl SearchStep for SeState<'_> {
                     &self.allowed[t.index()],
                     &self.cfg,
                     self.objective,
+                    self.bound.as_ref(),
                 );
             }
 
@@ -228,6 +254,9 @@ impl SearchStep for SeState<'_> {
                 self.best_score = self.score;
                 self.best.clone_from(&self.current);
                 self.stall = 0;
+                if self.budget.floor_reached(floor, self.best_score) {
+                    self.early_stopped = true;
+                }
             } else {
                 self.stall += 1;
             }
@@ -250,12 +279,14 @@ impl SearchStep for SeState<'_> {
         self.evaluations += eval.evaluations();
         self.scan.merge(inc.stats());
         self.scan.merge(batch.scan_stats());
-        if self.budget.exhausted(
-            self.iterations,
-            self.evaluations,
-            self.start.elapsed(),
-            self.stall,
-        ) {
+        if self.early_stopped
+            || self.budget.exhausted(
+                self.iterations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             StepVerdict::Exhausted
         } else {
             StepVerdict::Running
@@ -291,6 +322,7 @@ impl SearchStep for SeState<'_> {
             // the search-cost axis of the figures.
             Evaluator::with_snapshot(&self.snapshot).makespan(&self.best)
         };
+        let lower_bound = self.bound.as_ref().map(|b| b.floor());
         RunResult {
             solution: self.best.clone(),
             makespan,
@@ -299,6 +331,9 @@ impl SearchStep for SeState<'_> {
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
             scan: self.scan,
+            lower_bound,
+            gap: certified_gap(lower_bound, self.best_score),
+            early_stopped: self.early_stopped,
         }
     }
 }
@@ -379,6 +414,16 @@ impl SteppableSearch for SePendingBias {
 /// [`AllocationStrategy::FirstImprovement`] is inherently sequential
 /// (the commit depends on scan order cutting the scan short), so it
 /// always takes the serial route even when `parallel_allocation` is set.
+///
+/// Under the makespan objective the serial incremental best-fit scan is
+/// additionally *bound-aware*: machines are visited in ascending order
+/// of the candidate's certified placement floor (the tightest lower
+/// bound [`InstanceBound`] can state for "`t` runs on `m`"), so the
+/// running best drops fast and later candidates are pruned earlier.
+/// The committed argmin is the original pos-major earliest-index
+/// minimum regardless of visit order: the scan tracks each candidate's
+/// original grid index, breaks score ties toward the smaller index, and
+/// widens the pruning bound by one ULP while a tie could still win.
 #[allow(clippy::too_many_arguments)]
 fn allocate(
     sol: &mut Solution,
@@ -391,6 +436,7 @@ fn allocate(
     machines: &[MachineId],
     cfg: &SeConfig,
     objective: ObjectiveKind,
+    bound: Option<&InstanceBound>,
 ) {
     let g = inst.graph();
     let (lo, hi) = sol.valid_range(g, t);
@@ -439,6 +485,55 @@ fn allocate(
     let mut best_pos = orig_pos;
     let mut best_m = orig_m;
     let mut best_cost = f64::INFINITY;
+
+    if use_incremental && cfg.allocation == AllocationStrategy::BestFit {
+        // Bound-aware serial scan. Machine-major, machines ordered by
+        // ascending certified placement floor (original rank breaks
+        // floor ties, and is the order outright when no bound exists —
+        // non-makespan objectives). The argmin is forced back onto the
+        // original pos-major axis through the grid index: a later-
+        // visited candidate replaces the best only on a strictly better
+        // score or an equal score at a smaller grid index, and while a
+        // tie could still win the pruning bound is one ULP above the
+        // best so the tie is never pruned away. Bit-identical
+        // selections and evaluation counts to the natural-order scan.
+        let width = machines.len();
+        let mut order: Vec<usize> = (0..width).collect();
+        if let Some(b) = bound {
+            let sys = inst.system();
+            order.sort_by(|&i, &j| {
+                let fi = b.placement_floor(t, sys.exec_time(machines[i], t));
+                let fj = b.placement_floor(t, sys.exec_time(machines[j], t));
+                fi.total_cmp(&fj).then(i.cmp(&j))
+            });
+        }
+        let mut best_grid = usize::MAX;
+        for &rank in &order {
+            let m = machines[rank];
+            for pos in lo..=hi {
+                if pos == orig_pos && m == orig_m {
+                    continue; // relocation is mandatory
+                }
+                let grid = (pos - lo) * width + rank;
+                eval.bump_evaluations(1);
+                let cut = if grid < best_grid { next_up(best_cost) } else { best_cost };
+                match inc.score_move_bounded(t, pos, m, cut, &objective) {
+                    MoveScore::Exact(cost) => {
+                        if cost < best_cost || (cost == best_cost && grid < best_grid) {
+                            best_cost = cost;
+                            best_grid = grid;
+                            best_pos = pos;
+                            best_m = m;
+                        }
+                    }
+                    MoveScore::Pruned => {}
+                }
+            }
+        }
+        sol.move_task(g, t, best_pos, best_m).expect("committing the best candidate");
+        return;
+    }
+
     'search: for pos in lo..=hi {
         for &m in machines {
             if pos == orig_pos && m == orig_m {
@@ -827,6 +922,44 @@ mod tests {
             first.evaluations <= best_fit.evaluations,
             "first-improvement must not evaluate more than best-fit"
         );
+    }
+
+    #[test]
+    fn early_termination_at_the_certified_floor() {
+        // Balanced integer instance: 4 independent tasks on 2 machines,
+        // every execution 6.0 → certified floor 12.0 (work 24 over
+        // capacity 2), reachable by any 2+2 split. SE finds it, the
+        // early-stopped run and the full run return the same solution
+        // (nothing below a certified floor exists to find), and the
+        // stop is observable only as fewer iterations/evaluations.
+        let g = TaskGraphBuilder::new(4).build().unwrap();
+        let exec = Matrix::filled(2, 4, 6.0);
+        let sys = HcSystem::with_anonymous_machines(2, exec, Matrix::filled(1, 0, 0.0)).unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let budget = RunBudget::iterations(200);
+        let stopped = SeScheduler::with_seed(4).run(&inst, &budget, None);
+        let full = SeScheduler::with_seed(4).run(&inst, &budget.with_early_stop(false), None);
+        assert_eq!(stopped.lower_bound, Some(12.0));
+        assert_eq!(stopped.makespan, 12.0);
+        assert_eq!(stopped.gap, Some(1.0));
+        assert!(stopped.early_stopped, "floor hit must flag the stop");
+        assert!(!full.early_stopped, "disabled early stop never flags");
+        assert_eq!(stopped.solution, full.solution, "early stop never changes the answer");
+        assert_eq!(stopped.objective_value, full.objective_value);
+        assert!(stopped.iterations < full.iterations, "the stop must actually save work");
+        assert!(stopped.evaluations <= full.evaluations);
+        assert_eq!(full.lower_bound, Some(12.0), "certificate reported either way");
+        assert_eq!(full.gap, Some(1.0));
+    }
+
+    #[test]
+    fn non_makespan_objectives_report_no_certificate() {
+        let inst = random_instance(15, 3, 23);
+        let budget = RunBudget::iterations(10).with_objective(ObjectiveKind::TotalFlowtime);
+        let r = SeScheduler::with_seed(5).run(&inst, &budget, None);
+        assert_eq!(r.lower_bound, None);
+        assert_eq!(r.gap, None);
+        assert!(!r.early_stopped);
     }
 
     #[test]

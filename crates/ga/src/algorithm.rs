@@ -5,8 +5,9 @@ use crate::chromosome::{order_valid_range, Chromosome};
 use crate::config::GaConfig;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, Incumbent, ObjectiveKind, RunBudget,
-    RunResult, Scheduler, SearchStep, Solution, StepVerdict, SteppableSearch,
+    certified_gap, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, Incumbent, InstanceBound,
+    ObjectiveKind, RunBudget, RunResult, Scheduler, SearchStep, Solution, StepVerdict,
+    SteppableSearch,
 };
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
@@ -111,6 +112,11 @@ impl SteppableSearch for GaScheduler {
         let best = pop[best_idx].clone();
         let best_cost = costs[best_idx];
 
+        // The certified floor for early termination and gap reporting
+        // (makespan objective only); consumes no RNG and counts no
+        // evaluations, so it cannot perturb the trajectory.
+        let lower_bound = objective.is_makespan().then(|| InstanceBound::compute(inst).floor());
+
         Box::new(GaState {
             inst,
             cfg,
@@ -127,6 +133,8 @@ impl SteppableSearch for GaScheduler {
             generations: 0,
             stall: 0,
             evaluations,
+            lower_bound,
+            early_stopped: false,
             start,
         })
     }
@@ -152,6 +160,11 @@ struct GaState<'a> {
     generations: u64,
     stall: u64,
     evaluations: u64,
+    /// The certified instance floor (`Some` iff makespan objective).
+    lower_bound: Option<f64>,
+    /// Set when the incumbent reached the floor and the run stopped
+    /// early (the incumbent is then provably optimal).
+    early_stopped: bool,
     start: Instant,
 }
 
@@ -168,7 +181,12 @@ impl SearchStep for GaState<'_> {
             BatchEvaluator::new(&self.snapshot).with_stride(self.budget.checkpoint_stride);
         let mut stepped = 0u64;
 
-        while stepped < max_iterations
+        // Generation 0 (or an injected migrant) may already sit on the
+        // certified floor — then nothing can improve and the run stops.
+        self.early_stopped =
+            self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
+        while !self.early_stopped
+            && stepped < max_iterations
             && !self.budget.exhausted(
                 self.generations,
                 self.evaluations + batch.evaluations(),
@@ -222,6 +240,9 @@ impl SearchStep for GaState<'_> {
                 self.best = self.pop[best_idx].clone();
                 self.best_solution = self.best.to_solution(inst);
                 self.stall = 0;
+                if self.budget.floor_reached(self.lower_bound, self.best_cost) {
+                    self.early_stopped = true;
+                }
             } else {
                 self.stall += 1;
             }
@@ -242,12 +263,14 @@ impl SearchStep for GaState<'_> {
         }
 
         self.evaluations += batch.evaluations();
-        if self.budget.exhausted(
-            self.generations,
-            self.evaluations,
-            self.start.elapsed(),
-            self.stall,
-        ) {
+        if self.early_stopped
+            || self.budget.exhausted(
+                self.generations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             StepVerdict::Exhausted
         } else {
             StepVerdict::Running
@@ -298,6 +321,9 @@ impl SearchStep for GaState<'_> {
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
             scan: Default::default(),
+            lower_bound: self.lower_bound,
+            gap: certified_gap(self.lower_bound, self.best_cost),
+            early_stopped: self.early_stopped,
         }
     }
 }

@@ -201,7 +201,11 @@ impl Scheduler for HeftScheduler {
             evaluations,
             elapsed: start.elapsed(),
             scan: Default::default(),
+            lower_bound: None,
+            gap: None,
+            early_stopped: false,
         }
+        .with_certificate(inst, budget.objective)
     }
 }
 
@@ -287,7 +291,11 @@ impl Scheduler for CpopScheduler {
             evaluations: evaluations.max(1),
             elapsed: start.elapsed(),
             scan: Default::default(),
+            lower_bound: None,
+            gap: None,
+            early_stopped: false,
         }
+        .with_certificate(inst, budget.objective)
     }
 }
 

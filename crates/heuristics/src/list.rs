@@ -148,7 +148,11 @@ impl Scheduler for ListScheduler {
             evaluations: evaluations.max(1),
             elapsed: start.elapsed(),
             scan: Default::default(),
+            lower_bound: None,
+            gap: None,
+            early_stopped: false,
         }
+        .with_certificate(inst, budget.objective)
     }
 }
 

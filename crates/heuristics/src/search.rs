@@ -11,9 +11,9 @@
 
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    random_solution, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator,
-    Incumbent, ObjectiveKind, RunBudget, RunResult, ScanStats, Scheduler, SearchStep, Solution,
-    StepVerdict, SteppableSearch,
+    certified_gap, random_solution, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator,
+    IncrementalEvaluator, Incumbent, InstanceBound, ObjectiveKind, RunBudget, RunResult, ScanStats,
+    Scheduler, SearchStep, Solution, StepVerdict, SteppableSearch,
 };
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
@@ -21,6 +21,14 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// The certified instance floor for early termination and gap
+/// reporting: `Some` only for the makespan objective (the only one
+/// with a certificate). Computed once per run start; consumes no RNG
+/// and counts no evaluations, so it cannot perturb a trajectory.
+fn certified_floor(inst: &HcInstance, objective: ObjectiveKind) -> Option<f64> {
+    objective.is_makespan().then(|| InstanceBound::compute(inst).floor())
+}
 
 /// Makespan to report alongside a best objective value: reuses the value
 /// when the objective *is* makespan, otherwise runs one (uncounted)
@@ -102,6 +110,7 @@ impl SteppableSearch for RandomSearch {
             cost
         };
         Box::new(RandomState {
+            lower_bound: certified_floor(inst, objective),
             inst,
             budget: *budget,
             objective,
@@ -112,6 +121,7 @@ impl SteppableSearch for RandomSearch {
             iterations: 1,
             stall: 0,
             evaluations,
+            early_stopped: false,
             start,
         })
     }
@@ -129,6 +139,11 @@ struct RandomState<'a> {
     iterations: u64,
     stall: u64,
     evaluations: u64,
+    /// The certified instance floor (`Some` iff makespan objective).
+    lower_bound: Option<f64>,
+    /// Set when the incumbent reached the floor and the run stopped
+    /// early (the incumbent is then provably optimal).
+    early_stopped: bool,
     start: Instant,
 }
 
@@ -140,7 +155,12 @@ impl SearchStep for RandomState<'_> {
     fn step(&mut self, max_iterations: u64, mut trace: Option<&mut Trace>) -> StepVerdict {
         let mut eval = Evaluator::with_snapshot(&self.snapshot);
         let mut stepped = 0u64;
-        while stepped < max_iterations
+        // The initial solution (or an injected migrant) may already sit
+        // on the certified floor — then there is nothing left to search.
+        self.early_stopped =
+            self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
+        while !self.early_stopped
+            && stepped < max_iterations
             && !self.budget.exhausted(
                 self.iterations,
                 self.evaluations + eval.evaluations(),
@@ -154,6 +174,9 @@ impl SearchStep for RandomState<'_> {
                 self.best_cost = cost;
                 self.best = cand;
                 self.stall = 0;
+                if self.budget.floor_reached(self.lower_bound, self.best_cost) {
+                    self.early_stopped = true;
+                }
             } else {
                 self.stall += 1;
             }
@@ -172,12 +195,14 @@ impl SearchStep for RandomState<'_> {
             }
         }
         self.evaluations += eval.evaluations();
-        if self.budget.exhausted(
-            self.iterations,
-            self.evaluations,
-            self.start.elapsed(),
-            self.stall,
-        ) {
+        if self.early_stopped
+            || self.budget.exhausted(
+                self.iterations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             StepVerdict::Exhausted
         } else {
             StepVerdict::Running
@@ -208,6 +233,9 @@ impl SearchStep for RandomState<'_> {
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
             scan: ScanStats::default(),
+            lower_bound: self.lower_bound,
+            gap: certified_gap(self.lower_bound, self.best_cost),
+            early_stopped: self.early_stopped,
         }
     }
 }
@@ -286,6 +314,7 @@ impl SteppableSearch for SimulatedAnnealing {
         };
         let temp = current_cost.max(f64::MIN_POSITIVE) * cfg.initial_temp_fraction;
         Box::new(SaState {
+            lower_bound: certified_floor(inst, objective),
             inst,
             cfg,
             budget: *budget,
@@ -301,6 +330,7 @@ impl SteppableSearch for SimulatedAnnealing {
             stall: 0,
             proposals: 0,
             scan: ScanStats::default(),
+            early_stopped: false,
             start,
         })
     }
@@ -332,6 +362,11 @@ struct SaState<'a> {
     /// bound-prunes (the Metropolis rule needs every proposal's exact
     /// score), but its proposals splice on reconvergence.
     scan: ScanStats,
+    /// The certified instance floor (`Some` iff makespan objective).
+    lower_bound: Option<f64>,
+    /// Set when the incumbent reached the floor and the run stopped
+    /// early (the incumbent is then provably optimal).
+    early_stopped: bool,
     start: Instant,
 }
 
@@ -350,7 +385,10 @@ impl SearchStep for SaState<'_> {
         inc.set_splicing(self.budget.prune);
         inc.prime(&self.current);
         let mut stepped = 0u64;
-        while stepped < max_iterations
+        self.early_stopped =
+            self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
+        while !self.early_stopped
+            && stepped < max_iterations
             && !self.budget.exhausted(
                 self.iterations,
                 1 + self.proposals + inc.evaluations(),
@@ -374,6 +412,9 @@ impl SearchStep for SaState<'_> {
                 self.best_cost = self.current_cost;
                 self.best.clone_from(&self.current);
                 self.stall = 0;
+                if self.budget.floor_reached(self.lower_bound, self.best_cost) {
+                    self.early_stopped = true;
+                }
             } else {
                 self.stall += 1;
             }
@@ -394,12 +435,14 @@ impl SearchStep for SaState<'_> {
         }
         self.proposals += inc.evaluations();
         self.scan.merge(inc.stats());
-        if self.budget.exhausted(
-            self.iterations,
-            1 + self.proposals,
-            self.start.elapsed(),
-            self.stall,
-        ) {
+        if self.early_stopped
+            || self.budget.exhausted(
+                self.iterations,
+                1 + self.proposals,
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             StepVerdict::Exhausted
         } else {
             StepVerdict::Running
@@ -435,6 +478,9 @@ impl SearchStep for SaState<'_> {
             evaluations: 1 + self.proposals,
             elapsed: self.start.elapsed(),
             scan: self.scan,
+            lower_bound: self.lower_bound,
+            gap: certified_gap(self.lower_bound, self.best_cost),
+            early_stopped: self.early_stopped,
         }
     }
 }
@@ -509,6 +555,7 @@ impl SteppableSearch for TabuSearch {
             cost
         };
         Box::new(TabuState {
+            lower_bound: certified_floor(inst, objective),
             inst,
             cfg,
             budget: *budget,
@@ -526,6 +573,7 @@ impl SteppableSearch for TabuSearch {
             stall: 0,
             evaluations,
             scan: ScanStats::default(),
+            early_stopped: false,
             start,
         })
     }
@@ -553,6 +601,11 @@ struct TabuState<'a> {
     evaluations: u64,
     /// Fast-path counters accumulated across completed slices.
     scan: ScanStats,
+    /// The certified instance floor (`Some` iff makespan objective).
+    lower_bound: Option<f64>,
+    /// Set when the incumbent reached the floor and the run stopped
+    /// early (the incumbent is then provably optimal).
+    early_stopped: bool,
     start: Instant,
 }
 
@@ -565,9 +618,15 @@ impl SearchStep for TabuState<'_> {
         let g = self.inst.graph();
         let mut batch = BatchEvaluator::new(&self.snapshot)
             .with_stride(self.budget.checkpoint_stride)
-            .with_pruning(self.budget.prune);
+            .with_pruning(self.budget.prune)
+            // The certified floor is only Some under makespan, where it
+            // lower-bounds every neighbor — the scan-global cutoff.
+            .with_scan_floor(self.lower_bound.unwrap_or(f64::NEG_INFINITY));
         let mut stepped = 0u64;
-        while stepped < max_iterations
+        self.early_stopped =
+            self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
+        while !self.early_stopped
+            && stepped < max_iterations
             && !self.budget.exhausted(
                 self.iterations,
                 self.evaluations + batch.evaluations(),
@@ -609,6 +668,9 @@ impl SearchStep for TabuState<'_> {
                     self.best_cost = self.current_cost;
                     self.best.clone_from(&self.current);
                     self.stall = 0;
+                    if self.budget.floor_reached(self.lower_bound, self.best_cost) {
+                        self.early_stopped = true;
+                    }
                 } else {
                     self.stall += 1;
                 }
@@ -631,12 +693,14 @@ impl SearchStep for TabuState<'_> {
         }
         self.evaluations += batch.evaluations();
         self.scan.merge(batch.scan_stats());
-        if self.budget.exhausted(
-            self.iterations,
-            self.evaluations,
-            self.start.elapsed(),
-            self.stall,
-        ) {
+        if self.early_stopped
+            || self.budget.exhausted(
+                self.iterations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+            )
+        {
             StepVerdict::Exhausted
         } else {
             StepVerdict::Running
@@ -671,6 +735,9 @@ impl SearchStep for TabuState<'_> {
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
             scan: self.scan,
+            lower_bound: self.lower_bound,
+            gap: certified_gap(self.lower_bound, self.best_cost),
+            early_stopped: self.early_stopped,
         }
     }
 }

@@ -47,6 +47,20 @@ pub struct CellOutcome {
     /// Schedule evaluations performed — part of the determinism
     /// contract: identical at any thread count.
     pub evaluations: u64,
+    /// Certified instance lower bound on the makespan (`None` for
+    /// non-makespan objectives and failed cells). Instance-level, so
+    /// identical across every algorithm of a race — and, like every
+    /// other serialized field, bit-identical at any thread count.
+    #[serde(default)]
+    pub lower_bound: Option<f64>,
+    /// Certified optimality gap `objective_value / lower_bound` (≥ 1 by
+    /// construction of the bound; `None` wherever `lower_bound` is).
+    #[serde(default)]
+    pub gap: Option<f64>,
+    /// Whether the run terminated early because its incumbent reached
+    /// the certified floor.
+    #[serde(default)]
+    pub early_stopped: bool,
     /// Panic message when `ok` is false, empty otherwise.
     pub error: String,
 }
@@ -114,6 +128,9 @@ fn failed_cell(race: &Race, algorithm: &str, error: String) -> CellOutcome {
         makespan: 0.0,
         iterations: 0,
         evaluations: 0,
+        lower_bound: None,
+        gap: None,
+        early_stopped: false,
         error,
     }
 }
@@ -129,6 +146,9 @@ fn finished_cell(race: &Race, algorithm: &str, result: &RunResult) -> CellOutcom
         makespan: result.makespan,
         iterations: result.iterations,
         evaluations: result.evaluations,
+        lower_bound: result.lower_bound,
+        gap: result.gap,
+        early_stopped: result.early_stopped,
         error: String::new(),
     }
 }

@@ -37,6 +37,17 @@ pub struct Standing {
     pub best_objective: f64,
     /// Total schedule evaluations across completed cells.
     pub total_evaluations: u64,
+    /// Mean certified optimality gap across completed cells that carry
+    /// a certificate (`None` when none do — non-makespan objectives).
+    /// Scale-free like rank: 1.0 means provably optimal everywhere.
+    #[serde(default)]
+    pub mean_gap: Option<f64>,
+    /// Best (smallest) certified gap across certified cells.
+    #[serde(default)]
+    pub best_gap: Option<f64>,
+    /// Completed cells that terminated early at the certified floor.
+    #[serde(default)]
+    pub early_stops: usize,
 }
 
 /// The deterministic tournament artifact (`mshc tournament --out`).
@@ -122,6 +133,8 @@ pub fn aggregate(run: &TournamentRun) -> (Leaderboard, Timing) {
             }
             let values: Vec<f64> = done.iter().map(|c| c.objective_value).collect();
             let summary = if values.is_empty() { None } else { Some(Summary::of(&values)) };
+            let gaps: Vec<f64> = done.iter().filter_map(|c| c.gap).collect();
+            let gap_summary = if gaps.is_empty() { None } else { Some(Summary::of(&gaps)) };
             Standing {
                 algorithm: algorithm.clone(),
                 cells: mine.len(),
@@ -132,6 +145,9 @@ pub fn aggregate(run: &TournamentRun) -> (Leaderboard, Timing) {
                 mean_objective: summary.map_or(0.0, |s| s.mean),
                 best_objective: summary.map_or(0.0, |s| s.min),
                 total_evaluations: done.iter().map(|c| c.evaluations).sum(),
+                mean_gap: gap_summary.as_ref().map(|s| s.mean),
+                best_gap: gap_summary.as_ref().map(|s| s.min),
+                early_stops: done.iter().filter(|c| c.early_stopped).count(),
             }
         })
         .collect();
@@ -189,7 +205,14 @@ pub fn cells_csv(board: &Leaderboard) -> CsvTable {
         "iterations",
         "evaluations",
         "error",
+        "lower_bound",
+        "gap",
+        "early_stopped",
     ]);
+    // New certificate columns append after the historic ones, so column
+    // indices of pre-existing consumers stay valid; `None` serializes
+    // as the empty cell.
+    let opt = |v: Option<f64>| v.map_or_else(String::new, |x| format!("{x}"));
     for c in &board.results {
         table.push_row([
             c.algorithm.clone(),
@@ -202,6 +225,9 @@ pub fn cells_csv(board: &Leaderboard) -> CsvTable {
             c.iterations.to_string(),
             c.evaluations.to_string(),
             sanitize(&c.error),
+            opt(c.lower_bound),
+            opt(c.gap),
+            c.early_stopped.to_string(),
         ]);
     }
     table
@@ -223,19 +249,29 @@ pub fn render_report(board: &Leaderboard, timing: &Timing) -> String {
     );
     let _ = writeln!(
         out,
-        "{:<10} {:>6} {:>9} {:>10} {:>14} {:>14} {:>14} {:>9}",
-        "algorithm", "wins", "win-rate", "mean-rank", "mean-obj", "best-obj", "evals", "failed"
+        "{:<10} {:>6} {:>9} {:>10} {:>14} {:>14} {:>9} {:>14} {:>9}",
+        "algorithm",
+        "wins",
+        "win-rate",
+        "mean-rank",
+        "mean-obj",
+        "best-obj",
+        "mean-gap",
+        "evals",
+        "failed"
     );
     for s in &board.standings {
+        let gap = s.mean_gap.map_or_else(|| "-".to_string(), |g| format!("{g:.3}"));
         let _ = writeln!(
             out,
-            "{:<10} {:>6} {:>8.1}% {:>10.2} {:>14.2} {:>14.2} {:>14} {:>9}",
+            "{:<10} {:>6} {:>8.1}% {:>10.2} {:>14.2} {:>14.2} {:>9} {:>14} {:>9}",
             s.algorithm,
             s.wins,
             100.0 * s.win_rate,
             s.mean_rank,
             s.mean_objective,
             s.best_objective,
+            gap,
             s.total_evaluations,
             s.failures
         );

@@ -69,9 +69,21 @@ pub struct TournamentSpec {
     /// bit-identical either way, which CI `cmp`s.
     #[serde(default = "default_prune")]
     pub prune: bool,
+    /// Whether iterative searches may terminate as soon as their
+    /// incumbent reaches the certified instance lower bound (default
+    /// `true`; `mshc tournament --no-early-stop` turns it off).
+    /// Solutions and objective values are bit-identical either way —
+    /// nothing below a certified floor exists to find — only iteration
+    /// and evaluation counts can shrink.
+    #[serde(default = "default_early_stop")]
+    pub early_stop: bool,
 }
 
 fn default_prune() -> bool {
+    true
+}
+
+fn default_early_stop() -> bool {
     true
 }
 
@@ -90,6 +102,7 @@ impl TournamentSpec {
             portfolio: false,
             rounds: 8,
             prune: true,
+            early_stop: true,
         }
     }
 
@@ -187,7 +200,10 @@ impl TournamentSpec {
 
     /// The per-race run budget for one objective.
     pub fn budget(&self, objective: ObjectiveKind) -> RunBudget {
-        RunBudget::iterations(self.iterations).with_objective(objective).with_prune(self.prune)
+        RunBudget::iterations(self.iterations)
+            .with_objective(objective)
+            .with_prune(self.prune)
+            .with_early_stop(self.early_stop)
     }
 }
 
@@ -302,6 +318,25 @@ mod tests {
             serde_json::from_str(&serde_json::to_string(&off).unwrap()).unwrap();
         assert!(!round.prune, "explicit false round-trips");
         assert!(!round.budget(ObjectiveKind::Makespan).prune);
+    }
+
+    #[test]
+    fn spec_json_without_early_stop_defaults_to_on() {
+        // Spec files written before certified lower bounds existed must
+        // keep parsing; the missing field defaults to early stop on.
+        let spec = TournamentSpec::new("tiny", tiny_suite());
+        let mut json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"early_stop\":true"));
+        json = json.replace(",\"early_stop\":true", "").replace("\"early_stop\":true,", "");
+        assert!(!json.contains("early_stop"));
+        let parsed: TournamentSpec = serde_json::from_str(&json).unwrap();
+        assert!(parsed.early_stop, "missing field defaults to on");
+        assert!(parsed.budget(ObjectiveKind::Makespan).early_stop);
+        let off = TournamentSpec { early_stop: false, ..spec };
+        let round: TournamentSpec =
+            serde_json::from_str(&serde_json::to_string(&off).unwrap()).unwrap();
+        assert!(!round.early_stop, "explicit false round-trips");
+        assert!(!round.budget(ObjectiveKind::Makespan).early_stop);
     }
 
     #[test]

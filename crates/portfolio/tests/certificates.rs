@@ -1,0 +1,78 @@
+//! Certificate soundness across the whole portfolio: the certified
+//! instance lower bound may never exceed the makespan of any feasible
+//! schedule any algorithm produces — otherwise the "certificate" would
+//! disprove itself. Random workloads exercise the deflated float path;
+//! a targeted integer-fraction case pins the accumulation-rounding edge
+//! where a naive `work / machines` bound over-estimates.
+
+use mshc_platform::{HcInstance, HcSystem, Matrix};
+use mshc_portfolio::{build_contestant, ALGORITHMS};
+use mshc_schedule::{InstanceBound, RunBudget};
+use mshc_taskgraph::TaskGraphBuilder;
+use mshc_workloads::{Connectivity, Heterogeneity, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Runs every algorithm on `inst` and asserts its certificate never
+/// over-bounds the schedule it actually returned.
+fn assert_floor_below_every_makespan(inst: &HcInstance, seed: u64, iterations: u64) {
+    let bound = InstanceBound::compute(inst);
+    let budget = RunBudget::iterations(iterations);
+    for name in ALGORITHMS {
+        let result = build_contestant(name, seed).expect("known algorithm").run(inst, &budget);
+        result.solution.check(inst.graph()).expect("feasible schedule");
+        assert!(
+            bound.floor() <= result.makespan,
+            "{name}: certified floor {} exceeds achieved makespan {} — the bound over-estimates",
+            bound.floor(),
+            result.makespan
+        );
+        assert_eq!(result.lower_bound, Some(bound.floor()), "{name}: certificate mismatch");
+        let gap = result.gap.expect("makespan run carries a gap");
+        assert!(gap >= 1.0, "{name}: certified gap {gap} below 1");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random float workloads (the deflated-bound path): no algorithm's
+    /// schedule may ever beat the certified floor.
+    #[test]
+    fn certified_floor_never_exceeds_any_algorithms_makespan(
+        tasks in 1usize..24,
+        machines in 1usize..6,
+        ccr in 0.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let inst = WorkloadSpec {
+            tasks,
+            machines,
+            connectivity: Connectivity::Medium,
+            heterogeneity: Heterogeneity::High,
+            ccr,
+            seed,
+        }
+        .generate();
+        assert_floor_below_every_makespan(&inst, seed, 6);
+    }
+}
+
+#[test]
+fn float_accumulation_edge_does_not_over_bound() {
+    // 3 independent tasks of 0.1 on 3 machines: the perfect split has
+    // makespan exactly 0.1, but the naive aggregate bound
+    // (0.1 + 0.1 + 0.1) / 3 = 0.10000000000000002 sits one ulp above
+    // it. The deflated floor must stay at or below the achievable 0.1.
+    let g = TaskGraphBuilder::new(3).build().unwrap();
+    let exec = Matrix::filled(3, 3, 0.1);
+    let sys = HcSystem::with_anonymous_machines(3, exec, Matrix::filled(3, 0, 0.0)).unwrap();
+    let inst = HcInstance::new(g, sys).unwrap();
+    let bound = InstanceBound::compute(&inst);
+    assert!(
+        bound.floor() <= 0.1,
+        "deflation failed: floor {} exceeds the achievable makespan 0.1",
+        bound.floor()
+    );
+    assert!(bound.floor() > 0.09, "floor collapsed far below the work bound");
+    assert_floor_below_every_makespan(&inst, 7, 12);
+}

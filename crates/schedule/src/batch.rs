@@ -99,12 +99,14 @@ impl<'p, 'a> ArenaGuard<'p, 'a> {
         base: &Solution,
         stride: Option<usize>,
         prune: bool,
+        scan_floor: f64,
     ) -> ArenaGuard<'p, 'a> {
         let mut guard = ArenaGuard::checkout(pool, snap);
         let arena = guard.arena.as_mut().expect("arena present until drop");
         arena.inc.set_stride(stride);
         arena.inc.set_pruning(prune);
         arena.inc.set_splicing(prune);
+        arena.inc.set_scan_floor(scan_floor);
         arena.inc.prime(base);
         guard
     }
@@ -137,6 +139,9 @@ pub struct BatchEvaluator<'a> {
     /// Whether the bounded scans may prune/splice (`--no-prune` turns
     /// this off). Selections are bit-identical either way.
     prune: bool,
+    /// Certified instance floor forwarded to the per-thread incremental
+    /// evaluators as a scan-global cutoff (default `-inf` = inert).
+    scan_floor: f64,
     evaluations: u64,
     /// Aggregated fast-path counters across all calls (pruned/spliced
     /// parts are diagnostics: they vary with the chunk grid).
@@ -151,6 +156,7 @@ impl<'a> BatchEvaluator<'a> {
             arenas: Mutex::new(Vec::new()),
             stride: None,
             prune: true,
+            scan_floor: f64::NEG_INFINITY,
             evaluations: 0,
             scan: ScanStats::default(),
         }
@@ -168,6 +174,19 @@ impl<'a> BatchEvaluator<'a> {
     /// results, scores and evaluation counts are identical either way.
     pub fn with_pruning(mut self, prune: bool) -> BatchEvaluator<'a> {
         self.prune = prune;
+        self
+    }
+
+    /// Installs a certified instance floor as the scan-global cutoff for
+    /// the bounded argmin scans (see
+    /// [`IncrementalEvaluator::set_scan_floor`]). Callers must only pass
+    /// a floor that provably lower-bounds every candidate's exact score
+    /// under the scan's objective — [`crate::InstanceBound::floor`] under
+    /// makespan. Honored only while pruning is enabled; another pure
+    /// cost knob (argmin results, scores and evaluation counts are
+    /// identical either way).
+    pub fn with_scan_floor(mut self, floor: f64) -> BatchEvaluator<'a> {
+        self.scan_floor = floor;
         self
     }
 
@@ -245,7 +264,16 @@ impl<'a> BatchEvaluator<'a> {
             moves
                 .par_iter()
                 .map_init(
-                    || ArenaGuard::checkout_primed(pool, snap, base, stride, prune),
+                    || {
+                        ArenaGuard::checkout_primed(
+                            pool,
+                            snap,
+                            base,
+                            stride,
+                            prune,
+                            f64::NEG_INFINITY,
+                        )
+                    },
                     |guard, &(pos, m)| guard.inc().score_move(t, pos, m, obj),
                 )
                 .collect()
@@ -292,7 +320,16 @@ impl<'a> BatchEvaluator<'a> {
             moves
                 .par_iter()
                 .map_init(
-                    || ArenaGuard::checkout_primed(pool, snap, base, stride, prune),
+                    || {
+                        ArenaGuard::checkout_primed(
+                            pool,
+                            snap,
+                            base,
+                            stride,
+                            prune,
+                            f64::NEG_INFINITY,
+                        )
+                    },
                     |guard, &(t, pos, m)| guard.inc().score_move(t, pos, m, obj),
                 )
                 .collect()
@@ -401,6 +438,7 @@ impl<'a> BatchEvaluator<'a> {
         let pool = &self.arenas;
         let stride = self.stride;
         let prune = self.prune;
+        let scan_floor = self.scan_floor;
         let before = self.arena_totals();
         let chunks = self.scan_chunks(len);
         // One chunk = one item: the per-chunk running bound lives inside
@@ -409,7 +447,7 @@ impl<'a> BatchEvaluator<'a> {
         let chunk_best: Vec<Option<BestMove>> = chunks
             .par_iter()
             .map_init(
-                || ArenaGuard::checkout_primed(pool, snap, base, stride, prune),
+                || ArenaGuard::checkout_primed(pool, snap, base, stride, prune, scan_floor),
                 |guard, range| {
                     let inc = guard.inc();
                     let mut best: Option<BestMove> = None;
@@ -758,6 +796,58 @@ mod tests {
             .map(|(i, &s)| (i, s));
         let got = batch.best_move(g, &base, t, &moves, &StartSum);
         assert_eq!(got.map(|b| (b.index, b.score)), want);
+    }
+
+    #[test]
+    fn scan_floor_prunes_instantly_without_changing_the_argmin() {
+        // Balanced integer instance: 4 independent tasks on 2 machines,
+        // every execution 6.0 → certified floor 12.0 (total work 24 over
+        // aggregate capacity 2), reached by any 2+2 split.
+        let g = mshc_taskgraph::TaskGraphBuilder::new(4).build().unwrap();
+        let exec = Matrix::filled(2, 4, 6.0);
+        let transfer = Matrix::filled(1, 0, 0.0);
+        let sys = HcSystem::with_anonymous_machines(2, exec, transfer).unwrap();
+        let inst = HcInstance::new(g, sys).unwrap();
+        let bound = crate::InstanceBound::compute(&inst);
+        assert_eq!(bound.floor(), 12.0);
+
+        // Direct evaluator check: once the caller's running best equals
+        // the floor, a bounded scoring is pruned before any replay; with
+        // the default (-inf) floor the same call scores to completion.
+        let snap = EvalSnapshot::new(&inst);
+        let g = inst.graph();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let base = random_solution(&inst, &mut rng);
+        let obj = ObjectiveKind::Makespan;
+        let mut inc = IncrementalEvaluator::with_snapshot(&snap);
+        inc.prime(&base);
+        let t = TaskId::new(0);
+        let (pos, m) = (base.position_of(t), base.machine_of(t));
+        let exact = inc.score_move_bounded(t, pos, m, bound.floor(), &obj);
+        assert!(matches!(exact, MoveScore::Exact(_)), "identity move scores");
+        inc.set_scan_floor(bound.floor());
+        let cut = inc.score_move_bounded(t, pos, m, bound.floor(), &obj);
+        assert_eq!(cut, MoveScore::Pruned, "floor == bound prunes instantly");
+
+        // Batch-level identity: the argmin winner, its score bits and
+        // the evaluation count are unchanged by the floor, at any
+        // thread count.
+        let (lo, hi) = base.valid_range(g, t);
+        let moves: Vec<(usize, MachineId)> =
+            (lo..=hi).flat_map(|p| (0..2).map(move |m| (p, MachineId::new(m)))).collect();
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let (plain, floored) = pool.install(|| {
+                let mut b0 = BatchEvaluator::new(&snap);
+                let r0 = b0.best_move(g, &base, t, &moves, &obj).unwrap();
+                let mut b1 = BatchEvaluator::new(&snap).with_scan_floor(bound.floor());
+                let r1 = b1.best_move(g, &base, t, &moves, &obj).unwrap();
+                assert_eq!(b0.evaluations(), b1.evaluations());
+                (r0, r1)
+            });
+            assert_eq!(plain.index, floored.index, "{threads} threads");
+            assert_eq!(plain.score.to_bits(), floored.score.to_bits(), "{threads} threads");
+        }
     }
 
     #[test]

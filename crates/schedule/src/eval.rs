@@ -43,6 +43,16 @@ pub struct ScheduleReport {
     pub makespan: f64,
     /// Sum of all task finish times (total flowtime).
     pub total_flowtime: f64,
+    /// Certified instance lower bound on the makespan, stamped by
+    /// [`attach_certificate`](Self::attach_certificate) (`None` until
+    /// then — the evaluator scores one schedule and does not know the
+    /// instance-wide floor).
+    #[serde(default)]
+    pub lower_bound: Option<f64>,
+    /// Certified optimality gap `makespan / lower_bound` (≥ 1 by
+    /// construction), stamped alongside [`lower_bound`](Self::lower_bound).
+    #[serde(default)]
+    pub gap: Option<f64>,
 }
 
 impl ScheduleReport {
@@ -71,7 +81,26 @@ impl ScheduleReport {
         }
         let makespan = finish.iter().copied().fold(0.0, f64::max);
         let total_flowtime = finish.iter().sum();
-        ScheduleReport { start, finish, machine_busy, makespan, total_flowtime }
+        ScheduleReport {
+            start,
+            finish,
+            machine_busy,
+            makespan,
+            total_flowtime,
+            lower_bound: None,
+            gap: None,
+        }
+    }
+
+    /// Stamps the certified instance floor and this schedule's
+    /// optimality gap onto the report (see [`crate::InstanceBound`]).
+    /// The gap is `None` exactly when the floor cannot certify the
+    /// makespan (non-finite makespan — a validated instance always has
+    /// a positive floor).
+    pub fn attach_certificate(&mut self, inst: &HcInstance) {
+        let bound = crate::InstanceBound::compute(inst);
+        self.lower_bound = Some(bound.floor());
+        self.gap = bound.gap(self.makespan);
     }
 
     /// Finish time of `t` (the paper's `C_i`).
@@ -249,6 +278,8 @@ impl<'a> Evaluator<'a> {
             machine_busy: Vec::new(),
             makespan: 0.0,
             total_flowtime: 0.0,
+            lower_bound: None,
+            gap: None,
         };
         self.report_into(solution, &mut out);
         out
@@ -267,6 +298,10 @@ impl<'a> Evaluator<'a> {
         out.machine_busy.extend_from_slice(self.state.machine_busy());
         out.makespan = self.state.max_finish();
         out.total_flowtime = self.finish.iter().sum();
+        // A refreshed report describes a new schedule; any previously
+        // stamped certificate no longer applies.
+        out.lower_bound = None;
+        out.gap = None;
     }
 
     /// The single left-to-right pass computing start/finish times into the
@@ -530,6 +565,24 @@ mod tests {
         let r = ScheduleReport::from_times(start, finish, &rogue);
         assert_eq!(r.machine_busy.len(), 4);
         assert_eq!(r.machine_busy[3], 2.0);
+    }
+
+    #[test]
+    fn attach_certificate_stamps_floor_and_gap() {
+        let inst = figure1_instance();
+        let mut eval = Evaluator::new(&inst);
+        let s = figure2_solution(inst.graph());
+        let mut r = eval.report(&s);
+        assert_eq!(r.lower_bound, None, "reports start uncertified");
+        r.attach_certificate(&inst);
+        // floor = max(CP over min execs = 1250, ceil(2685 / 2) = 1343).
+        assert_eq!(r.lower_bound, Some(1343.0));
+        assert_eq!(r.gap, Some(2000.0 / 1343.0));
+        // A refreshed report describes a new schedule: the stale
+        // certificate must not survive the rewrite.
+        eval.report_into(&s, &mut r);
+        assert_eq!(r.lower_bound, None);
+        assert_eq!(r.gap, None);
     }
 
     #[test]

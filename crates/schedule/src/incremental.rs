@@ -221,6 +221,15 @@ pub struct IncrementalEvaluator<'a> {
     /// margin scaled to anything smaller could overshoot the final
     /// computed makespan and prune a candidate the exact scan keeps.
     deflate: f64,
+    /// Scan-global cutoff: a certified lower bound on the exact score of
+    /// *every* candidate this evaluator can be asked to score (the
+    /// instance's [`crate::InstanceBound`] floor, under the makespan
+    /// objective). Once a caller's running best reaches it, no candidate
+    /// can strictly improve, so every further bounded scoring
+    /// instant-prunes without replaying a single position. Default
+    /// `-inf` (no cutoff); a pure cost knob with the same ties-lose
+    /// safety argument as every other bound cut here.
+    scan_floor: f64,
     /// Lower bound (raw, undeflated — see `deflate`) on the remaining
     /// critical path below each task: once `u` finishes at `f`, no
     /// schedule — the base or any single-move mutation of it — can
@@ -329,6 +338,7 @@ impl<'a> IncrementalEvaluator<'a> {
             base_total_busy: 0.0,
             min_exec,
             deflate: 1.0 - (2 * k + 16) as f64 * f64::EPSILON,
+            scan_floor: f64::NEG_INFINITY,
             tail: vec![0.0; k],
             ckpt_pending: Vec::new(),
             in_cone: vec![false; k],
@@ -405,6 +415,22 @@ impl<'a> IncrementalEvaluator<'a> {
     /// next [`prime`](Self::prime).
     pub fn set_splicing(&mut self, on: bool) {
         self.splicing = on;
+    }
+
+    /// Sets the scan-global cutoff: a certified lower bound on the exact
+    /// score of **every** candidate this evaluator will be asked to
+    /// score — the instance's [`crate::InstanceBound`] floor under the
+    /// makespan objective (callers must not set it for other
+    /// objectives, whose scores the makespan floor does not bound).
+    /// Once a bounded scoring's `bound` (the caller's running best)
+    /// drops to the floor, the candidate is pruned before a single
+    /// position is replayed: its exact score is at least the floor,
+    /// hence at least the bound, and ties lose everywhere in the suite.
+    /// Honored only while pruning is enabled; takes effect immediately.
+    /// Another pure cost knob — solutions, objective values and
+    /// evaluation counts are bit-identical with or without it.
+    pub fn set_scan_floor(&mut self, floor: f64) {
+        self.scan_floor = floor;
     }
 
     /// Walks `base` once, storing its finish times, a checkpoint of the
@@ -687,6 +713,7 @@ impl<'a> IncrementalEvaluator<'a> {
             last_use,
             base_total_busy,
             deflate,
+            scan_floor,
             tail,
             ckpt_pending,
             in_cone,
@@ -725,6 +752,14 @@ impl<'a> IncrementalEvaluator<'a> {
         // (never subtracting the old placement) and inflate past the
         // worst-case accumulation drift of O(k + l) roundings.
         let do_prune = *pruning && *prune_ready && bound < f64::INFINITY;
+        // Scan-global cutoff: the certified instance floor lower-bounds
+        // every candidate's exact score, so once the caller's running
+        // best has reached the floor nothing can strictly improve —
+        // instant prune, zero replay (ties lose, as everywhere).
+        if do_prune && *scan_floor >= bound {
+            *pruned += 1;
+            return MoveScore::Pruned;
+        }
         let exec_new = snap.exec_time(new_m, t);
         let hints = BoundHints {
             total_tasks: k,

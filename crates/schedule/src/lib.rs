@@ -102,6 +102,7 @@ pub mod eval;
 pub mod gantt;
 pub mod incremental;
 pub mod init;
+pub mod lower_bound;
 pub mod objective;
 pub mod runner;
 pub mod sim;
@@ -115,11 +116,12 @@ pub use eval::{Evaluator, ScheduleReport};
 pub use gantt::Gantt;
 pub use incremental::{auto_stride, IncrementalEvaluator, MoveScore, ScanStats};
 pub use init::random_solution;
+pub use lower_bound::{next_up, InstanceBound};
 pub use objective::{
     objective_from_report, BoundHints, EvalView, LoadBalance, Makespan, MeanFlowtime, Objective,
     ObjectiveKind, ObjectiveState, ObjectiveValues, SuffixView, TotalFlowtime, Weighted,
 };
-pub use runner::{report_objective_value, RunBudget, RunResult, Scheduler};
+pub use runner::{certified_gap, report_objective_value, RunBudget, RunResult, Scheduler};
 pub use sim::{replay, replay_with, NetworkModel, SimError};
 pub use snapshot::EvalSnapshot;
 pub use steppable::{

@@ -51,6 +51,15 @@ pub struct RunBudget {
     /// off). Another pure cost knob: solutions, objective values and
     /// evaluation counts are bit-identical either way.
     pub prune: bool,
+    /// Whether iterative searches may terminate as soon as the incumbent
+    /// reaches the instance's certified lower bound
+    /// ([`crate::InstanceBound`]) — the incumbent is then provably
+    /// optimal, so further iterations cannot change it (default `true`;
+    /// the CLI's `--no-early-stop` escape hatch turns it off). Early
+    /// stop is observable only as *fewer* iterations/evaluations, never
+    /// a different solution or objective value; runs that never reach
+    /// the floor are bit-identical either way.
+    pub early_stop: bool,
 }
 
 impl Default for RunBudget {
@@ -63,6 +72,7 @@ impl Default for RunBudget {
             objective: ObjectiveKind::default(),
             checkpoint_stride: None,
             prune: true,
+            early_stop: true,
         }
     }
 }
@@ -107,6 +117,24 @@ impl RunBudget {
     pub fn with_prune(mut self, prune: bool) -> RunBudget {
         self.prune = prune;
         self
+    }
+
+    /// Enables/disables early termination at the certified lower bound
+    /// (default: on).
+    pub fn with_early_stop(mut self, early_stop: bool) -> RunBudget {
+        self.early_stop = early_stop;
+        self
+    }
+
+    /// Whether a search may stop now because its incumbent has reached
+    /// the instance's certified floor: requires the knob on, a floor
+    /// (searches only certify the makespan objective), and the floor
+    /// actually reached. The shared early-termination test of every
+    /// iterative scheduler in the suite.
+    #[inline]
+    pub fn floor_reached(&self, lower_bound: Option<f64>, incumbent: f64) -> bool {
+        self.early_stop
+            && lower_bound.is_some_and(|floor| incumbent.is_finite() && incumbent <= floor)
     }
 
     /// Whether any limit is set.
@@ -166,6 +194,44 @@ pub struct RunResult {
     /// pruned/spliced parts vary with the chunk grid and must not flow
     /// into deterministic artifacts.
     pub scan: ScanStats,
+    /// The instance's certified makespan floor ([`crate::InstanceBound`]),
+    /// `Some` only when the run optimized plain makespan (other
+    /// objectives have no certificate). Identical across algorithms,
+    /// budgets and thread counts — a property of the instance.
+    pub lower_bound: Option<f64>,
+    /// Optimality gap `objective_value / lower_bound` (`>= 1.0` by the
+    /// certificate contract); `None` whenever `lower_bound` is.
+    pub gap: Option<f64>,
+    /// Whether the run terminated early because the incumbent reached
+    /// the certified floor (implies the solution is provably optimal).
+    pub early_stopped: bool,
+}
+
+impl RunResult {
+    /// Attaches the certificate fields to a result: the instance floor
+    /// and gap when `objective` is plain makespan (the only certified
+    /// objective), clearing them otherwise. One-shot heuristics and
+    /// search `result()` assemblers share this so every construction
+    /// site reports certificates identically.
+    pub fn with_certificate(mut self, inst: &HcInstance, objective: ObjectiveKind) -> RunResult {
+        self.lower_bound =
+            objective.is_makespan().then(|| crate::InstanceBound::compute(inst).floor());
+        self.gap = certified_gap(self.lower_bound, self.objective_value);
+        self
+    }
+}
+
+/// Gap of an objective value against an optional certified floor:
+/// `Some(value / floor)` when a positive floor exists and the value is
+/// finite, `None` otherwise. The single gap formula every reporting
+/// site shares, so leaderboards, CSV rows and `RunResult`s agree bit
+/// for bit.
+#[inline]
+pub fn certified_gap(lower_bound: Option<f64>, value: f64) -> Option<f64> {
+    match lower_bound {
+        Some(floor) if floor > 0.0 && value.is_finite() => Some(value / floor),
+        _ => None,
+    }
 }
 
 /// Scores `solution` under `objective` for reporting, reusing the known
@@ -257,6 +323,23 @@ mod tests {
         let b = RunBudget::default().with_stall(4);
         assert!(!b.exhausted(100, 100, Duration::from_secs(100), 3));
         assert!(b.exhausted(0, 0, Duration::ZERO, 4));
+    }
+
+    #[test]
+    fn early_stop_knob_and_floor_test() {
+        let b = RunBudget::iterations(5);
+        assert!(b.early_stop, "early stop defaults on");
+        assert!(!b.with_early_stop(false).early_stop);
+        // No floor (non-makespan objectives) never stops early.
+        assert!(!b.floor_reached(None, 0.0));
+        // Floor reached stops; above the floor keeps running.
+        assert!(b.floor_reached(Some(10.0), 10.0));
+        assert!(b.floor_reached(Some(10.0), 9.5));
+        assert!(!b.floor_reached(Some(10.0), 10.5));
+        // Knob off disables the test entirely.
+        assert!(!b.with_early_stop(false).floor_reached(Some(10.0), 10.0));
+        // Non-finite incumbents never claim optimality.
+        assert!(!b.floor_reached(Some(10.0), f64::NAN));
     }
 
     #[test]

@@ -222,6 +222,9 @@ mod tests {
                 evaluations: 1,
                 elapsed: Duration::ZERO,
                 scan: Default::default(),
+                lower_bound: None,
+                gap: None,
+                early_stopped: false,
             }
         }
     }

@@ -59,7 +59,7 @@ pub mod graph;
 pub mod ids;
 pub mod topo;
 
-pub use analysis::{CriticalPath, GraphMetrics, TransitiveClosure};
+pub use analysis::{CriticalPath, GraphMetrics, SlackAnalysis, TransitiveClosure};
 pub use error::GraphError;
 pub use graph::{DataEdge, TaskGraph, TaskGraphBuilder};
 pub use ids::{DataId, TaskId};
