@@ -168,6 +168,63 @@ fn bench_bounded_moves(c: &mut Criterion) {
     group.finish();
 }
 
+/// Short bounded scans — the post-pruning production shape where
+/// executor overhead used to dominate: a 24-candidate grid driven
+/// through `best_move` on the resident pool (`pool-N`) versus the
+/// retired per-call `std::thread::scope` crew (`spawn-N`, preserved in
+/// `probes::spawn_crew_chunks` with the old re-prime-per-chunk arena
+/// checkout). Identical argmin out of both; the gap is pure submit
+/// latency — the `pool_reuse_speedup` series in `BENCH_eval.json`
+/// archives the same comparison per commit.
+fn bench_short_scan(c: &mut Criterion) {
+    let spec = WorkloadSpec { tasks: 100, machines: 20, ..WorkloadSpec::large(2001) };
+    let inst = spec.generate();
+    let g = inst.graph();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let base = random_solution(&inst, &mut rng);
+    let (t, moves) = mshc_bench::probes::short_move_grid(&inst, &base, 24);
+    let obj = ObjectiveKind::Makespan;
+    let snapshot = EvalSnapshot::new(&inst);
+
+    let mut group = c.benchmark_group("short_scan");
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        let mut batch = BatchEvaluator::new(&snapshot);
+        group.bench_function(BenchmarkId::new(format!("pool-{threads}"), moves.len()), |b| {
+            pool.install(|| b.iter(|| black_box(batch.best_move(g, &base, t, &moves, &obj))))
+        });
+    }
+    for threads in [1usize, 4] {
+        let arenas: std::sync::Mutex<Vec<IncrementalEvaluator>> = std::sync::Mutex::new(Vec::new());
+        group.bench_function(BenchmarkId::new(format!("spawn-{threads}"), moves.len()), |b| {
+            b.iter(|| {
+                let chunk_best =
+                    mshc_bench::probes::spawn_crew_chunks(threads, moves.len(), |range| {
+                        let mut inc = arenas
+                            .lock()
+                            .expect("arenas")
+                            .pop()
+                            .unwrap_or_else(|| IncrementalEvaluator::with_snapshot(&snapshot));
+                        inc.prime(&base);
+                        let mut best = f64::INFINITY;
+                        for i in range {
+                            let (pos, m) = moves[i];
+                            if let Some(s) = inc.score_move_bounded(t, pos, m, best, &obj).exact() {
+                                if s < best {
+                                    best = s;
+                                }
+                            }
+                        }
+                        arenas.lock().expect("arenas").push(inc);
+                        best
+                    });
+                black_box(chunk_best.into_iter().fold(f64::INFINITY, f64::min))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_solution_moves(c: &mut Criterion) {
     let inst = WorkloadSpec::large(12).generate();
     let mut rng = ChaCha8Rng::seed_from_u64(2);
@@ -187,6 +244,6 @@ fn bench_solution_moves(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
-    targets = bench_evaluator, bench_batch_candidates, bench_incremental_moves, bench_bounded_moves, bench_solution_moves
+    targets = bench_evaluator, bench_batch_candidates, bench_incremental_moves, bench_bounded_moves, bench_short_scan, bench_solution_moves
 }
 criterion_main!(benches);

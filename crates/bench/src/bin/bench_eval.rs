@@ -22,6 +22,13 @@
 //!    available parallelism, or `--threads N`) — thread parallelism
 //!    compounding on top of the incremental scoring inside.
 //!
+//! Two executor-level series ride along since the persistent pool
+//! landed: `thread_scaling_evals_per_sec` (batch throughput at 1/2/4/8
+//! pool sizes on the wide grid) and `pool_reuse_speedup` — the resident
+//! pool versus the old per-call `std::thread::scope` crew (preserved in
+//! [`mshc_bench::probes::spawn_crew_chunks`]) on the **short bounded
+//! scan** preset, where spawn latency used to dominate the scoring work.
+//!
 //! Writes the numbers as JSON (default `BENCH_eval.json`, `--out FILE`)
 //! so CI can archive the perf trajectory per commit; the CI smoke step
 //! asserts both the full and incremental series are present. `--quick`
@@ -81,6 +88,20 @@ struct BenchReport {
     speedup_vs_scalar: f64,
     /// batch ×N over batch ×1 — pure thread scaling.
     thread_scaling: f64,
+    /// Batch throughput at each pool size on the wide grid — the full
+    /// scaling curve (the `thread_scaling` ratio is batch ×N over the
+    /// first point).
+    thread_scaling_evals_per_sec: Vec<ThreadScalingPoint>,
+    /// Short bounded scan (24 candidates, 4-thread pool) on the
+    /// resident work-stealing pool — the post-pruning production shape.
+    short_scan_pool_evals_per_sec: f64,
+    /// The same short scan on the retired per-call scoped-crew
+    /// executor, re-priming per chunk the way the old arena checkout
+    /// did.
+    short_scan_spawn_evals_per_sec: f64,
+    /// Resident pool over per-call spawn on the short-scan preset — the
+    /// executor-rewrite headline (acceptance bar: ≥ 1.3x).
+    pool_reuse_speedup: f64,
     /// Tournament-engine throughput: completed cells per second on the
     /// tiny scenario suite (6 algorithms × 2 scenarios × 2 seeds), races
     /// fanned out over the same pool as batch ×N.
@@ -97,6 +118,13 @@ struct BenchReport {
     /// integer-exact balanced instance whose floor is reachable) that
     /// terminated early at the certified floor.
     early_stop_fraction: f64,
+}
+
+/// One point of the thread-scaling curve.
+#[derive(Debug, Serialize)]
+struct ThreadScalingPoint {
+    threads: usize,
+    evals_per_sec: f64,
 }
 
 fn main() {
@@ -217,8 +245,75 @@ fn main() {
         (evals as f64 / start.elapsed().as_secs_f64(), inc.stats())
     };
 
-    let batch1_eps = batch_eps(1);
-    let batchn_eps = batch_eps(threads);
+    // The scaling curve at the canonical pool sizes; `batch ×1` and
+    // `batch ×N` reuse curve points when the size matches.
+    let scaling: Vec<ThreadScalingPoint> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|n| ThreadScalingPoint { threads: n, evals_per_sec: batch_eps(n) })
+        .collect();
+    let curve_point = |n: usize| scaling.iter().find(|p| p.threads == n).map(|p| p.evals_per_sec);
+    let batch1_eps = curve_point(1).expect("curve has the 1-thread point");
+    let batchn_eps = curve_point(threads).unwrap_or_else(|| batch_eps(threads));
+
+    // Pool-reuse duel on the short bounded scan: the resident pool vs a
+    // per-call scoped crew (the retired executor, preserved in
+    // `probes::spawn_crew_chunks`), both running the identical bounded
+    // argmin at the same crew size. Short scans are the post-pruning
+    // common case, so this isolates submit latency: pool wake vs thread
+    // spawn/join.
+    let crew = 4usize;
+    let (t_short, short_moves) = mshc_bench::probes::short_move_grid(&inst, &base, 24);
+    let short_reps = rounds * 40;
+    let short_pool_eps = {
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(crew).build().expect("pool");
+        pool.install(|| {
+            let mut batch = BatchEvaluator::new(&snapshot);
+            // Warm-up spawns the resident workers and fills the arenas.
+            black_box(batch.best_move(g, &base, t_short, &short_moves, &obj));
+            let start = Instant::now();
+            for _ in 0..short_reps {
+                black_box(batch.best_move(g, &base, t_short, &short_moves, &obj));
+            }
+            (short_reps * short_moves.len()) as f64 / start.elapsed().as_secs_f64()
+        })
+    };
+    let short_spawn_eps = {
+        use std::sync::Mutex;
+        let arenas: Mutex<Vec<IncrementalEvaluator>> = Mutex::new(Vec::new());
+        let scan = || {
+            let chunk_best =
+                mshc_bench::probes::spawn_crew_chunks(crew, short_moves.len(), |range| {
+                    // The old arena checkout: pop from a shared mutex
+                    // pool and re-prime on every chunk.
+                    let mut inc = arenas
+                        .lock()
+                        .expect("spawn-side arenas")
+                        .pop()
+                        .unwrap_or_else(|| IncrementalEvaluator::with_snapshot(&snapshot));
+                    inc.prime(&base);
+                    let mut best = f64::INFINITY;
+                    for i in range {
+                        let (pos, m) = short_moves[i];
+                        if let MoveScore::Exact(s) =
+                            inc.score_move_bounded(t_short, pos, m, best, &obj)
+                        {
+                            if s < best {
+                                best = s;
+                            }
+                        }
+                    }
+                    arenas.lock().expect("spawn-side arenas").push(inc);
+                    best
+                });
+            chunk_best.into_iter().fold(f64::INFINITY, f64::min)
+        };
+        black_box(scan());
+        let start = Instant::now();
+        for _ in 0..short_reps {
+            black_box(scan());
+        }
+        (short_reps * short_moves.len()) as f64 / start.elapsed().as_secs_f64()
+    };
 
     // Tournament-engine probe: a fixed tiny grid raced end to end; the
     // cells/sec series tracks whole-subsystem throughput (workload
@@ -296,6 +391,10 @@ fn main() {
         batch_evals_per_sec: batchn_eps,
         speedup_vs_scalar: batchn_eps / scalar_eps,
         thread_scaling: batchn_eps / batch1_eps,
+        thread_scaling_evals_per_sec: scaling,
+        short_scan_pool_evals_per_sec: short_pool_eps,
+        short_scan_spawn_evals_per_sec: short_spawn_eps,
+        pool_reuse_speedup: short_pool_eps / short_spawn_eps,
         tournament_cells_per_sec: tournament_cps,
         lower_bound_us_per_instance: lower_bound_us,
         mean_gap,
@@ -321,6 +420,14 @@ fn main() {
         report.bounded_speedup_vs_incremental,
         100.0 * report.pruned_fraction,
         100.0 * report.spliced_fraction
+    );
+    println!(
+        "short scan ({} candidates, {} crew): pool {:.0}/s vs spawn {:.0}/s ({:.2}x pool reuse)",
+        short_moves.len(),
+        crew,
+        short_pool_eps,
+        short_spawn_eps,
+        report.pool_reuse_speedup
     );
     println!("tournament: {:.2} cells/sec (tiny suite, {} threads)", tournament_cps, threads);
     println!(

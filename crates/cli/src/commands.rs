@@ -42,8 +42,12 @@ global options:
   --objective makespan|total-flowtime|mean-flowtime|load-balance|weighted:MK,FT,LB
              objective iterative schedulers minimize (default: makespan)
   --threads N
-             evaluation worker threads (default: available parallelism,
-             or the RAYON_NUM_THREADS environment variable)
+             evaluation worker threads for this invocation, applied as a
+             scoped override on the resident work-stealing pool (N >= 1;
+             0 is rejected). Precedence: --threads beats the
+             RAYON_NUM_THREADS environment variable, which beats the
+             machine's available parallelism. Results are bit-identical
+             at every setting — the flag only changes speed.
   --checkpoint-stride N
              checkpoint stride of the incremental move evaluators used by
              se/sa/tabu (default: auto = ceil(sqrt(tasks)); results are
@@ -77,13 +81,12 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     }
     let parsed = parse(argv);
     let threads: usize = parsed.get_parse("threads", 0)?;
-    if threads > 0 {
-        rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build_global()
-            .map_err(|e| format!("--threads: {e}"))?;
+    if parsed.get("threads").is_some() && threads == 0 {
+        return Err("--threads: must be at least 1 (omit the flag to use RAYON_NUM_THREADS or \
+                    the machine's available parallelism)"
+            .to_string());
     }
-    match parsed.positional.first().map(String::as_str) {
+    let run = || match parsed.positional.first().map(String::as_str) {
         Some("help") => {
             print!("{USAGE}");
             Ok(())
@@ -95,6 +98,18 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("info") => cmd_info(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_string()),
+    };
+    if threads > 0 {
+        // A scoped size override on the resident pool — no process-wide
+        // state, no dependence on pre-main environment timing, and no
+        // leakage into embedding callers (tests, future `mshc serve`).
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .map_err(|e| format!("--threads: {e}"))?;
+        pool.install(run)
+    } else {
+        run()
     }
 }
 
@@ -701,7 +716,11 @@ mod tests {
     }
 
     #[test]
-    fn threads_flag_sizes_the_pool() {
+    fn threads_flag_installs_a_scoped_pool_without_leaking() {
+        // --threads applies via a scoped install on the resident pool:
+        // the run succeeds and the caller's effective size is untouched
+        // afterwards (the old build_global route leaked process-wide).
+        let before = rayon::current_num_threads();
         dispatch(&argv(&[
             "run",
             "--algo",
@@ -714,9 +733,14 @@ mod tests {
             "2",
         ]))
         .unwrap();
-        assert_eq!(rayon::current_num_threads(), 2);
+        assert_eq!(rayon::current_num_threads(), before, "--threads must not leak");
         let e = dispatch(&argv(&["info", "--threads", "abc"])).unwrap_err();
         assert!(e.contains("--threads"));
+        // 0 is rejected loudly, not treated as "unset".
+        let e = dispatch(&argv(&["info", "--threads", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        // Precedence and the install semantics are documented.
+        assert!(USAGE.contains("RAYON_NUM_THREADS"));
     }
 
     #[test]

@@ -6,17 +6,31 @@
 //! owns a pool of reusable per-thread arenas (a borrowed-snapshot
 //! [`Evaluator`], an [`IncrementalEvaluator`] and a scratch [`Solution`])
 //! and fans a candidate set out over the rayon executor in one call.
-//! Arenas are checked out once per worker chunk and returned afterwards,
-//! so steady-state batch scoring performs no allocations beyond the
-//! output vector.
+//! Arenas live in **per-worker slots** keyed by
+//! [`rayon::current_thread_index`] (the persistent pool keeps worker
+//! identity stable, so slot `i` always means the same OS thread), with a
+//! trailing slot for the submitting thread and an overflow list for
+//! anything else — checkout is an uncontended slot take, not a shared
+//! `Mutex<Vec>` scramble, and steady-state batch scoring performs no
+//! allocations beyond the output vector.
 //!
 //! The move-oriented entry points ([`score_moves`], [`score_task_moves`])
 //! route through the per-thread incremental evaluators whenever the
 //! objective supports accumulator finalization (every
-//! [`crate::ObjectiveKind`] does): each worker primes its evaluator on
-//! the shared base once per chunk and then scores candidates by suffix
-//! replay — no per-candidate `Solution` mutation at all. Objectives
-//! without incremental support fall back to clone-and-move full passes.
+//! [`crate::ObjectiveKind`] does): workers prime their evaluator on the
+//! shared base and score candidates by suffix replay — no per-candidate
+//! `Solution` mutation at all. Because a worker's slot survives across
+//! chunks, the prime is stamped with a per-scan epoch and **reused** by
+//! every later chunk the same worker claims within the scan (the base,
+//! stride, pruning flags and floor are scan-constant), eliminating the
+//! old re-prime-per-chunk cost. Objectives without incremental support
+//! fall back to clone-and-move full passes.
+//!
+//! Panic hygiene: a panicking objective (already `catch_unwind`-contained
+//! by tournament cells) discards the arena it was using instead of
+//! returning it, and every pool lock recovers from poisoning — one bad
+//! cell can never cascade `"arena pool poisoned"` panics into healthy
+//! scans that share the evaluator.
 //!
 //! Determinism: scores are returned **in candidate order** and every
 //! candidate's score depends only on that candidate, so results are
@@ -37,7 +51,14 @@ use mshc_platform::MachineId;
 use mshc_taskgraph::{TaskGraph, TaskId};
 use rayon::prelude::*;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a pool mutex, recovering the data on poison. Arena state is
+/// always structurally valid (a suspect arena is discarded by the guard
+/// before the poison could matter), so poisoning must not cascade.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Winner of a bounded argmin scan: the earliest-index minimum-score
 /// candidate, with its exact score.
@@ -55,28 +76,76 @@ struct Arena<'a> {
     eval: Evaluator<'a>,
     inc: IncrementalEvaluator<'a>,
     scratch: Option<Solution>,
+    /// Scan epoch `inc` was last primed for (0 = never). Within one scan
+    /// the prime inputs are constant, so a matching stamp lets a worker
+    /// reuse its prime across every chunk it claims in that scan.
+    primed_epoch: u64,
 }
 
-/// Checked-out arena that returns itself to the pool on drop, so chunk
-/// workers recycle buffers instead of reallocating.
+impl<'a> Arena<'a> {
+    fn new(snap: &'a EvalSnapshot) -> Arena<'a> {
+        Arena {
+            eval: Evaluator::with_snapshot(snap),
+            inc: IncrementalEvaluator::with_snapshot(snap),
+            scratch: None,
+            primed_epoch: 0,
+        }
+    }
+}
+
+/// Arena storage pinned to the resident rayon workers: slot `i` belongs
+/// to worker `i`, the trailing slot to the submitting (non-worker)
+/// thread, and `overflow` catches late-grown workers beyond the slot
+/// range. A slot is touched only by its own thread during a scan
+/// (`&mut self` on the evaluator keeps scans from overlapping), so
+/// checkout never contends.
+struct ArenaPool<'a> {
+    slots: Vec<Mutex<Option<Arena<'a>>>>,
+    overflow: Mutex<Vec<Arena<'a>>>,
+}
+
+impl<'a> ArenaPool<'a> {
+    fn new() -> ArenaPool<'a> {
+        let slots = (0..rayon::current_num_threads() + 1).map(|_| Mutex::new(None)).collect();
+        ArenaPool { slots, overflow: Mutex::new(Vec::new()) }
+    }
+
+    /// The slot owned by the calling thread, or `None` for a worker
+    /// index beyond the slot range (scored via the overflow list).
+    fn slot_for_current_thread(&self) -> Option<usize> {
+        match rayon::current_thread_index() {
+            None => Some(self.slots.len() - 1),
+            Some(i) if i < self.slots.len() - 1 => Some(i),
+            Some(_) => None,
+        }
+    }
+}
+
+/// Checked-out arena that returns itself to its slot on drop — unless
+/// the thread is unwinding, in which case the arena is discarded: its
+/// evaluators may be mid-replay, and returning it under a panic is
+/// exactly the poisoning path this type exists to close.
 struct ArenaGuard<'p, 'a> {
-    pool: &'p Mutex<Vec<Arena<'a>>>,
+    pool: &'p ArenaPool<'a>,
+    slot: Option<usize>,
     arena: Option<Arena<'a>>,
 }
 
 impl<'p, 'a> ArenaGuard<'p, 'a> {
-    fn checkout(pool: &'p Mutex<Vec<Arena<'a>>>, snap: &'a EvalSnapshot) -> ArenaGuard<'p, 'a> {
-        let arena = pool.lock().expect("arena pool poisoned").pop().unwrap_or_else(|| Arena {
-            eval: Evaluator::with_snapshot(snap),
-            inc: IncrementalEvaluator::with_snapshot(snap),
-            scratch: None,
-        });
-        ArenaGuard { pool, arena: Some(arena) }
+    fn checkout(pool: &'p ArenaPool<'a>, snap: &'a EvalSnapshot) -> ArenaGuard<'p, 'a> {
+        let slot = pool.slot_for_current_thread();
+        let existing = match slot {
+            Some(i) => lock_tolerant(&pool.slots[i]).take(),
+            None => None,
+        }
+        .or_else(|| lock_tolerant(&pool.overflow).pop());
+        let arena = existing.unwrap_or_else(|| Arena::new(snap));
+        ArenaGuard { pool, slot, arena: Some(arena) }
     }
 
     /// Checks out an arena with its scratch solution reset to `base`.
     fn checkout_with_base(
-        pool: &'p Mutex<Vec<Arena<'a>>>,
+        pool: &'p ArenaPool<'a>,
         snap: &'a EvalSnapshot,
         base: &Solution,
     ) -> ArenaGuard<'p, 'a> {
@@ -91,23 +160,30 @@ impl<'p, 'a> ArenaGuard<'p, 'a> {
 
     /// Checks out an arena with its incremental evaluator primed on
     /// `base` at the requested checkpoint stride and configured with the
-    /// evaluator's prune/splice flags — the move-scoring fast path. One
-    /// O(k + p) prime per chunk, amortized over the chunk's candidates.
+    /// evaluator's prune/splice flags — the move-scoring fast path. The
+    /// prime is stamped with the scan `epoch`: the first chunk a thread
+    /// claims pays the O(k + p) prime, every later chunk of the same
+    /// scan finds the stamp current and reuses it as-is (base, stride,
+    /// flags and floor are all scan-constant).
     fn checkout_primed(
-        pool: &'p Mutex<Vec<Arena<'a>>>,
+        pool: &'p ArenaPool<'a>,
         snap: &'a EvalSnapshot,
         base: &Solution,
         stride: Option<usize>,
         prune: bool,
         scan_floor: f64,
+        epoch: u64,
     ) -> ArenaGuard<'p, 'a> {
         let mut guard = ArenaGuard::checkout(pool, snap);
         let arena = guard.arena.as_mut().expect("arena present until drop");
-        arena.inc.set_stride(stride);
-        arena.inc.set_pruning(prune);
-        arena.inc.set_splicing(prune);
-        arena.inc.set_scan_floor(scan_floor);
-        arena.inc.prime(base);
+        if arena.primed_epoch != epoch {
+            arena.inc.set_stride(stride);
+            arena.inc.set_pruning(prune);
+            arena.inc.set_splicing(prune);
+            arena.inc.set_scan_floor(scan_floor);
+            arena.inc.prime(base);
+            arena.primed_epoch = epoch;
+        }
         guard
     }
 
@@ -123,8 +199,24 @@ impl<'p, 'a> ArenaGuard<'p, 'a> {
 
 impl Drop for ArenaGuard<'_, '_> {
     fn drop(&mut self) {
-        if let Some(arena) = self.arena.take() {
-            self.pool.lock().expect("arena pool poisoned").push(arena);
+        let Some(arena) = self.arena.take() else { return };
+        if std::thread::panicking() {
+            // A panicking candidate (custom objective) may have left the
+            // evaluators mid-replay; drop the arena on the floor. The
+            // next checkout on this slot simply builds a fresh one.
+            return;
+        }
+        match self.slot {
+            Some(i) => {
+                let mut slot = lock_tolerant(&self.pool.slots[i]);
+                if slot.is_none() {
+                    *slot = Some(arena);
+                    return;
+                }
+                drop(slot);
+                lock_tolerant(&self.pool.overflow).push(arena);
+            }
+            None => lock_tolerant(&self.pool.overflow).push(arena),
         }
     }
 }
@@ -132,7 +224,11 @@ impl Drop for ArenaGuard<'_, '_> {
 /// Scores whole candidate sets in one call, in parallel.
 pub struct BatchEvaluator<'a> {
     snap: &'a EvalSnapshot,
-    arenas: Mutex<Vec<Arena<'a>>>,
+    arenas: ArenaPool<'a>,
+    /// Monotone per-scan counter stamping arena primes (see
+    /// [`ArenaGuard::checkout_primed`]); bumped by every scoring entry
+    /// point so a stale prime can never leak across scans.
+    scan_epoch: u64,
     /// Checkpoint stride handed to the per-thread incremental evaluators
     /// (`None` = auto `⌈√k⌉`). Never affects scores, only resume cost.
     stride: Option<usize>,
@@ -153,7 +249,8 @@ impl<'a> BatchEvaluator<'a> {
     pub fn new(snap: &'a EvalSnapshot) -> BatchEvaluator<'a> {
         BatchEvaluator {
             snap,
-            arenas: Mutex::new(Vec::new()),
+            arenas: ArenaPool::new(),
+            scan_epoch: 0,
             stride: None,
             prune: true,
             scan_floor: f64::NEG_INFINITY,
@@ -255,6 +352,8 @@ impl<'a> BatchEvaluator<'a> {
         moves: &[(usize, MachineId)],
         obj: &dyn Objective,
     ) -> Vec<f64> {
+        self.scan_epoch += 1;
+        let epoch = self.scan_epoch;
         let snap = self.snap;
         let pool = &self.arenas;
         let stride = self.stride;
@@ -272,6 +371,7 @@ impl<'a> BatchEvaluator<'a> {
                             stride,
                             prune,
                             f64::NEG_INFINITY,
+                            epoch,
                         )
                     },
                     |guard, &(pos, m)| guard.inc().score_move(t, pos, m, obj),
@@ -311,6 +411,8 @@ impl<'a> BatchEvaluator<'a> {
         moves: &[(TaskId, usize, MachineId)],
         obj: &dyn Objective,
     ) -> Vec<f64> {
+        self.scan_epoch += 1;
+        let epoch = self.scan_epoch;
         let snap = self.snap;
         let pool = &self.arenas;
         let stride = self.stride;
@@ -328,6 +430,7 @@ impl<'a> BatchEvaluator<'a> {
                             stride,
                             prune,
                             f64::NEG_INFINITY,
+                            epoch,
                         )
                     },
                     |guard, &(t, pos, m)| guard.inc().score_move(t, pos, m, obj),
@@ -434,6 +537,8 @@ impl<'a> BatchEvaluator<'a> {
                 aspiration,
             );
         }
+        self.scan_epoch += 1;
+        let epoch = self.scan_epoch;
         let snap = self.snap;
         let pool = &self.arenas;
         let stride = self.stride;
@@ -447,7 +552,7 @@ impl<'a> BatchEvaluator<'a> {
         let chunk_best: Vec<Option<BestMove>> = chunks
             .par_iter()
             .map_init(
-                || ArenaGuard::checkout_primed(pool, snap, base, stride, prune, scan_floor),
+                || ArenaGuard::checkout_primed(pool, snap, base, stride, prune, scan_floor, epoch),
                 |guard, range| {
                     let inc = guard.inc();
                     let mut best: Option<BestMove> = None;
@@ -490,22 +595,29 @@ impl<'a> BatchEvaluator<'a> {
     /// Sums the fast-path counters over every pooled arena (all arenas
     /// are at rest between calls — `&mut self` methods cannot overlap).
     fn arena_totals(&self) -> ScanStats {
-        let pool = self.arenas.lock().expect("arena pool poisoned");
         let mut total = ScanStats::default();
-        for arena in pool.iter() {
+        for slot in &self.arenas.slots {
+            if let Some(arena) = lock_tolerant(slot).as_ref() {
+                total.merge(arena.inc.stats());
+            }
+        }
+        for arena in lock_tolerant(&self.arenas.overflow).iter() {
             total.merge(arena.inc.stats());
         }
         total
     }
 
     /// Folds the arena counters gained since `before` into the
-    /// evaluator-level totals.
+    /// evaluator-level totals. Saturating: a panicking scan discards its
+    /// arena, taking that arena's lifetime counters with it, which can
+    /// leave `after < before` on an axis (diagnostics only — the
+    /// deterministic `scored` axis undercounts rather than wrapping).
     fn absorb_arena_stats(&mut self, before: ScanStats) {
         let after = self.arena_totals();
         self.scan.merge(ScanStats {
-            scored: after.scored - before.scored,
-            pruned: after.pruned - before.pruned,
-            spliced: after.spliced - before.spliced,
+            scored: after.scored.saturating_sub(before.scored),
+            pruned: after.pruned.saturating_sub(before.pruned),
+            spliced: after.spliced.saturating_sub(before.spliced),
         });
     }
 }
@@ -847,6 +959,87 @@ mod tests {
             });
             assert_eq!(plain.index, floored.index, "{threads} threads");
             assert_eq!(plain.score.to_bits(), floored.score.to_bits(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn panicking_objective_does_not_poison_the_arena_pool() {
+        // Regression: a panicking candidate used to poison the shared
+        // arena mutex (the guard returned its arena while unwinding),
+        // and the next checkout's `.expect("arena pool poisoned")`
+        // cascaded the failure into healthy scans — exactly the
+        // tournament-cell containment hole. Checkout is now
+        // poison-tolerant and an unwinding guard discards its arena, so
+        // the same evaluator must keep working after a contained panic.
+        struct Grenade;
+        impl Objective for Grenade {
+            fn name(&self) -> &str {
+                "grenade"
+            }
+            fn value(&self, view: &EvalView<'_>) -> f64 {
+                if view.finish.len() > 3 {
+                    panic!("boom");
+                }
+                0.0
+            }
+        }
+        let inst = random_instance(16, 3, 50);
+        let g = inst.graph();
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(51);
+        let base = random_solution(&inst, &mut rng);
+        let t = TaskId::new(2);
+        let (lo, hi) = base.valid_range(g, t);
+        let moves: Vec<(usize, MachineId)> =
+            (lo..=hi).flat_map(|p| (0..3).map(move |m| (p, MachineId::new(m)))).collect();
+        let obj = ObjectiveKind::Makespan;
+        for threads in [1usize, 4] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            pool.install(|| {
+                let mut batch = BatchEvaluator::new(&snap);
+                // Warm the arena slots, then detonate a contained panic
+                // mid-scan (the portfolio's catch_unwind shape).
+                let want = batch.score_moves(g, &base, t, &moves, &obj);
+                let blast = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    batch.score_moves(g, &base, t, &moves, &Grenade)
+                }));
+                assert!(blast.is_err(), "objective must panic");
+                // The evaluator must still serve healthy scans, with the
+                // same bits as before the panic.
+                let got = batch.score_moves(g, &base, t, &moves, &obj);
+                assert_eq!(got, want, "{threads} threads");
+                assert!(batch.best_move(g, &base, t, &moves, &obj).is_some());
+            });
+        }
+    }
+
+    #[test]
+    fn prime_reuse_never_leaks_across_bases() {
+        // Per-worker arenas survive across scans and reuse their prime
+        // within one; a new scan over a *different* base must re-prime.
+        // Alternate between two bases repeatedly and check every scan
+        // against the scalar evaluator.
+        let inst = random_instance(20, 4, 60);
+        let g = inst.graph();
+        let snap = EvalSnapshot::new(&inst);
+        let mut rng = ChaCha8Rng::seed_from_u64(61);
+        let base_a = random_solution(&inst, &mut rng);
+        let base_b = random_solution(&inst, &mut rng);
+        let obj = ObjectiveKind::Makespan;
+        let mut batch = BatchEvaluator::new(&snap);
+        let mut scalar = Evaluator::new(&inst);
+        for round in 0..4 {
+            let base = if round % 2 == 0 { &base_a } else { &base_b };
+            let t = TaskId::new(round as u32 + 1);
+            let (lo, hi) = base.valid_range(g, t);
+            let moves: Vec<(usize, MachineId)> =
+                (lo..=hi).flat_map(|p| (0..4).map(move |m| (p, MachineId::new(m)))).collect();
+            let got = batch.score_moves(g, base, t, &moves, &obj);
+            for (&(pos, m), &score) in moves.iter().zip(&got) {
+                let mut cand = base.clone();
+                cand.move_task(g, t, pos, m).unwrap();
+                assert_eq!(scalar.makespan(&cand), score, "round {round}, move ({pos}, {m})");
+            }
         }
     }
 

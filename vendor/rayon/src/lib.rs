@@ -1,32 +1,76 @@
-//! Hermetic stand-in for `rayon` with **real** thread parallelism.
+//! Hermetic stand-in for `rayon` with **real** thread parallelism on a
+//! **persistent, work-stealing thread pool**.
 //!
 //! The offline build vendors the subset of rayon's API the suite uses
 //! (`par_iter`, `map`, `map_init`, `enumerate`, `min_by`, `collect`,
-//! `join`, ...) on top of a `std::thread::scope`-based chunked executor:
-//! an input of `n` indexed items is split into contiguous chunks, a small
-//! crew of scoped worker threads drains the chunk queue, and per-chunk
-//! results are merged back **in chunk order**, so every consumer is
-//! deterministic — the outcome is bit-identical at any thread count.
+//! `join`, ...). Since PR 7 the executor is resident: a crew of worker
+//! threads is spawned once at first use (honoring `RAYON_NUM_THREADS`
+//! and [`ThreadPoolBuilder::build_global`]) and every parallel operation
+//! is submitted to it — no per-call `std::thread::scope` spawn/join, so
+//! short scans (the common case once bound pruning has cut 99%+ of the
+//! candidates) no longer pay thread start-up latency.
+//!
+//! # Execution model
+//!
+//! An input of `n` indexed items is split into contiguous chunks; the
+//! chunk grid is a **pure function of `(n, min_len, effective thread
+//! count)`** — never of the scheduler. The submitting thread publishes
+//! one *ticket* per engaged worker onto the per-worker deques (workers
+//! pop their own deque LIFO, steal from others FIFO) and then works the
+//! operation itself. A ticket does not name a chunk: chunks are claimed
+//! one at a time from the operation's atomic claim counter, so whichever
+//! threads show up — woken workers, stealing workers, or just the
+//! submitter — drain the same chunk list. Per-chunk results are merged
+//! back **in chunk order** after a completion latch.
+//!
+//! # Why stealing cannot change bits
+//!
+//! Determinism needs exactly three properties, all independent of
+//! scheduling:
+//!
+//! 1. the chunk grid depends only on `(n, min_len, effective size)`;
+//! 2. each chunk's result depends only on its index range (per-chunk
+//!    `map_init` state is scratch, recreated wherever the chunk runs);
+//! 3. chunk results are merged in chunk-index order, sequentially.
+//!
+//! Which worker claims a chunk, in what order chunks finish, and whether
+//! a ticket was stolen are all unobservable — the merged output is
+//! bit-identical at any thread count, stolen or not. The
+//! steal-determinism property tests in `mshc-schedule` pin this down
+//! with induced per-chunk delays.
 //!
 //! Pool sizing, most specific wins:
 //!
-//! 1. a [`ThreadPool::install`] scope on the calling thread;
+//! 1. a [`ThreadPool::install`] scope on the calling thread (nested
+//!    operations started from inside a pool job inherit the job's
+//!    effective size, like real rayon);
 //! 2. the process-wide size set by [`ThreadPoolBuilder::build_global`];
 //! 3. the `RAYON_NUM_THREADS` environment variable;
 //! 4. [`std::thread::available_parallelism`].
 //!
 //! With an effective size of 1 everything runs inline on the calling
-//! thread with zero spawn overhead. Replacing this crate with the real
-//! rayon is a manifest-only change — call sites compile unmodified.
+//! thread with zero submission overhead. Workers are identified by a
+//! stable index ([`current_thread_index`]) so callers can pin per-worker
+//! state (e.g. `mshc-schedule`'s evaluator arenas) across operations.
+//! Replacing this crate with the real rayon is a manifest-only change —
+//! call sites compile unmodified.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::cmp::Ordering;
 use std::fmt;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks a mutex, recovering the data on poison. Every lock in this
+/// crate guards state that stays structurally valid across a panicking
+/// job (counters, queues, result vectors that are discarded on unwind),
+/// so poison never needs to cascade into healthy operations.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 // ---------------------------------------------------------------------------
 // Pool sizing
@@ -36,7 +80,9 @@ use std::sync::Mutex;
 static GLOBAL_POOL_SIZE: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
-    /// Per-thread override installed by [`ThreadPool::install`] (0 = none).
+    /// Per-thread override installed by [`ThreadPool::install`] — or, on
+    /// a worker, propagated from the operation being executed so nested
+    /// parallel calls inherit the submitter's effective size (0 = none).
     static INSTALLED_POOL_SIZE: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
@@ -58,6 +104,29 @@ pub fn current_num_threads() -> usize {
         }
     }
     std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Sets this thread's size override and returns the previous value.
+fn set_installed_size(size: usize) -> usize {
+    INSTALLED_POOL_SIZE.with(|c| c.replace(size))
+}
+
+/// Restores a previous [`set_installed_size`] value on drop, so the
+/// override cannot leak past a panic.
+struct RestoreSize(usize);
+
+impl Drop for RestoreSize {
+    fn drop(&mut self) {
+        set_installed_size(self.0);
+    }
+}
+
+/// The stable index of the resident worker running the current thread,
+/// or `None` off the pool (the main thread, test harness threads, ...).
+/// Indices are assigned at spawn and never reused, so per-worker state
+/// pinned to them survives across operations.
+pub fn current_thread_index() -> Option<usize> {
+    pool::WORKER_INDEX.with(std::cell::Cell::get)
 }
 
 /// Error building a thread pool (shape-compatible with rayon's).
@@ -92,16 +161,17 @@ impl ThreadPoolBuilder {
         self
     }
 
-    /// Builds a scoped pool handle; run closures under its size with
-    /// [`ThreadPool::install`].
+    /// Builds a pool handle; run closures under its size with
+    /// [`ThreadPool::install`]. The handle is a sized view of the one
+    /// resident crew — workers are shared, never duplicated.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
         let size = if self.num_threads > 0 { self.num_threads } else { current_num_threads() };
         Ok(ThreadPool { size })
     }
 
     /// Sets the process-wide pool size. Unlike real rayon, calling this
-    /// twice simply overwrites the size instead of erroring — the shim
-    /// has no live pool to reconfigure.
+    /// twice simply overwrites the size instead of erroring — the
+    /// resident crew grows lazily to whatever operations request.
     pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
         let size = if self.num_threads > 0 { self.num_threads } else { current_num_threads() };
         GLOBAL_POOL_SIZE.store(size, AtomicOrdering::Relaxed);
@@ -109,8 +179,9 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A sized pool handle. The shim spawns scoped threads per operation, so
-/// the handle only carries the size; `install` scopes it to a closure.
+/// A sized view of the resident pool. `install` scopes the effective
+/// parallelism to a closure; the worker crew itself is process-wide and
+/// persistent, so "building" a pool allocates nothing.
 #[derive(Debug, Clone)]
 pub struct ThreadPool {
     size: usize,
@@ -125,16 +196,293 @@ impl ThreadPool {
     /// Runs `op` with this pool's size governing every parallel
     /// operation started from the calling thread inside `op`.
     pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
-        let previous = INSTALLED_POOL_SIZE.with(|c| c.replace(self.size));
-        struct Restore(usize);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                INSTALLED_POOL_SIZE.with(|c| c.set(self.0));
-            }
-        }
-        let _restore = Restore(previous);
+        let _restore = RestoreSize(set_installed_size(self.size));
         op()
     }
+}
+
+// ---------------------------------------------------------------------------
+// The resident work-stealing pool
+// ---------------------------------------------------------------------------
+
+mod pool {
+    //! The persistent crew and the one `unsafe` corner of the crate.
+    //!
+    //! Workers are `'static` threads, but parallel operations borrow
+    //! non-`'static` state from the submitting thread's stack (the chunk
+    //! runner closure and its result sink). The bridge is a
+    //! lifetime-erased pointer inside [`Operation`]; soundness rests on
+    //! the completion latch:
+    //!
+    //! * a chunk may only be claimed while `next < num_chunks`, and the
+    //!   runner pointer is only dereferenced for a claimed chunk;
+    //! * `completed` reaches `num_chunks` only after every claimed
+    //!   chunk's runner call has returned;
+    //! * the submitter blocks in [`Operation::wait`] until then, so the
+    //!   borrowed closure outlives every dereference. After the latch
+    //!   trips, stale tickets touch only the `Arc<Operation>` itself
+    //!   (atomics), never the pointer.
+    #![allow(unsafe_code)]
+
+    use super::lock_tolerant;
+    use std::any::Any;
+    use std::collections::VecDeque;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    thread_local! {
+        /// Stable identity of the resident worker on this thread.
+        pub(super) static WORKER_INDEX: std::cell::Cell<Option<usize>> =
+            const { std::cell::Cell::new(None) };
+    }
+
+    /// One parallel operation: a borrowed chunk runner plus the claim
+    /// counter and completion latch that make handing it to `'static`
+    /// workers sound.
+    pub(super) struct Operation {
+        /// Lifetime-erased `&(dyn Fn(usize) + Sync)` living on the
+        /// submitting thread's stack; see the module docs for why every
+        /// dereference happens while that frame is pinned in `wait`.
+        runner: *const (dyn Fn(usize) + Sync),
+        /// Effective parallelism, propagated into each executing thread
+        /// so nested operations inherit the submitter's size.
+        threads: usize,
+        num_chunks: usize,
+        /// Next unclaimed chunk (claims at or past `num_chunks` are
+        /// no-ops — that is what makes stale stolen tickets harmless).
+        next: AtomicUsize,
+        done: Mutex<Done>,
+        done_cv: Condvar,
+    }
+
+    struct Done {
+        completed: usize,
+        /// First panic payload from any chunk; rethrown by the waiter.
+        panic: Option<Box<dyn Any + Send + 'static>>,
+    }
+
+    // SAFETY: the raw runner pointer is the only non-Send/Sync field; it
+    // is dereferenced only under the claim/latch protocol above, while
+    // the referent is guaranteed alive, and `dyn Fn(usize) + Sync`
+    // makes the calls themselves data-race free.
+    unsafe impl Send for Operation {}
+    unsafe impl Sync for Operation {}
+
+    impl Operation {
+        /// Wraps a borrowed runner for submission. The caller must keep
+        /// the runner alive until [`wait`](Operation::wait) returns —
+        /// `run_chunks` and `join` do so by construction (the runner is
+        /// a local they block on).
+        pub(super) fn new(
+            runner: &(dyn Fn(usize) + Sync),
+            num_chunks: usize,
+            threads: usize,
+        ) -> Arc<Operation> {
+            // SAFETY: lifetime erasure only — a raw `*const dyn Trait`
+            // spells an implicit `'static` trait-object bound, so the
+            // borrow must be transmuted in (same fat-pointer layout).
+            // The claim/latch protocol in the module docs keeps every
+            // dereference inside the referent's real lifetime.
+            let runner: *const (dyn Fn(usize) + Sync) = unsafe {
+                std::mem::transmute::<&(dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(
+                    runner,
+                )
+            };
+            Arc::new(Operation {
+                runner,
+                threads,
+                num_chunks,
+                next: AtomicUsize::new(0),
+                done: Mutex::new(Done { completed: 0, panic: None }),
+                done_cv: Condvar::new(),
+            })
+        }
+
+        /// Claims and runs chunks until none are left. Called by the
+        /// submitter (participating) and by any worker holding a ticket;
+        /// panics are contained per chunk so resident workers survive.
+        pub(super) fn work(&self) {
+            let _restore = super::RestoreSize(super::set_installed_size(self.threads));
+            loop {
+                let i = self.next.fetch_add(1, AtomicOrdering::Relaxed);
+                if i >= self.num_chunks {
+                    return;
+                }
+                // SAFETY: `i` was claimed, so the submitter is pinned in
+                // `wait` until this call returns and is counted.
+                let runner = unsafe { &*self.runner };
+                let outcome = catch_unwind(AssertUnwindSafe(|| runner(i)));
+                let mut done = lock_tolerant(&self.done);
+                if let Err(payload) = outcome {
+                    done.panic.get_or_insert(payload);
+                }
+                done.completed += 1;
+                if done.completed == self.num_chunks {
+                    self.done_cv.notify_all();
+                }
+            }
+        }
+
+        /// Blocks until every chunk completed; returns the first panic
+        /// payload, if any.
+        pub(super) fn wait_quiet(&self) -> Option<Box<dyn Any + Send + 'static>> {
+            let mut done = lock_tolerant(&self.done);
+            while done.completed < self.num_chunks {
+                done = self.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+            }
+            done.panic.take()
+        }
+
+        /// Blocks until every chunk completed, rethrowing the first
+        /// chunk panic on the submitting thread.
+        pub(super) fn wait(&self) {
+            if let Some(payload) = self.wait_quiet() {
+                resume_unwind(payload);
+            }
+        }
+    }
+
+    /// One resident worker's shared state: its ticket deque.
+    struct WorkerState {
+        /// Tickets, newest at the back: the owner pops the back (LIFO —
+        /// freshest submission first, best cache locality), thieves pop
+        /// the front (FIFO — oldest submission first, fairest).
+        deque: Mutex<VecDeque<Arc<Operation>>>,
+    }
+
+    /// The process-wide registry: the grow-only worker list and the
+    /// sleep/wake channel.
+    struct Registry {
+        /// Snapshot-swapped so hot paths clone one `Arc`, not the list.
+        workers: Mutex<Arc<Vec<Arc<WorkerState>>>>,
+        /// Wake epoch: bumped on every submission. A worker that saw
+        /// epoch `e` and found no work sleeps until the epoch moves —
+        /// the re-check-after-read protocol makes lost wakeups
+        /// impossible.
+        signal: Mutex<u64>,
+        signal_cv: Condvar,
+    }
+
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+    fn registry() -> &'static Registry {
+        REGISTRY.get_or_init(|| Registry {
+            workers: Mutex::new(Arc::new(Vec::new())),
+            signal: Mutex::new(0),
+            signal_cv: Condvar::new(),
+        })
+    }
+
+    fn worker_snapshot(reg: &Registry) -> Arc<Vec<Arc<WorkerState>>> {
+        lock_tolerant(&reg.workers).clone()
+    }
+
+    /// Grows the resident crew to at least `n` workers. Workers are
+    /// spawned once and never exit; indices are assigned in spawn order
+    /// and stay stable for the process lifetime.
+    fn ensure_workers(reg: &'static Registry, n: usize) {
+        if worker_snapshot(reg).len() >= n {
+            return;
+        }
+        let mut workers = lock_tolerant(&reg.workers);
+        if workers.len() >= n {
+            return;
+        }
+        let mut grown: Vec<Arc<WorkerState>> = workers.as_ref().clone();
+        while grown.len() < n {
+            let index = grown.len();
+            let state = Arc::new(WorkerState { deque: Mutex::new(VecDeque::new()) });
+            grown.push(state.clone());
+            std::thread::Builder::new()
+                .name(format!("mshc-rayon-{index}"))
+                .spawn(move || worker_loop(registry(), state, index))
+                .expect("spawn resident rayon worker");
+        }
+        *workers = Arc::new(grown);
+    }
+
+    /// The resident worker body: pop own deque (LIFO), steal (FIFO),
+    /// else sleep until the wake epoch moves.
+    fn worker_loop(reg: &'static Registry, me: Arc<WorkerState>, index: usize) {
+        WORKER_INDEX.with(|c| c.set(Some(index)));
+        loop {
+            let epoch = *lock_tolerant(&reg.signal);
+            match find_work(reg, &me, index) {
+                Some(op) => op.work(),
+                None => {
+                    let mut signal = lock_tolerant(&reg.signal);
+                    while *signal == epoch {
+                        signal = reg.signal_cv.wait(signal).unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Own deque first (back = newest), then steal round-robin starting
+    /// just past our own index (front = oldest).
+    fn find_work(reg: &Registry, me: &WorkerState, index: usize) -> Option<Arc<Operation>> {
+        if let Some(op) = lock_tolerant(&me.deque).pop_back() {
+            return Some(op);
+        }
+        let workers = worker_snapshot(reg);
+        let n = workers.len();
+        for k in 1..n {
+            let victim = &workers[(index + k) % n];
+            if let Some(op) = lock_tolerant(&victim.deque).pop_front() {
+                return Some(op);
+            }
+        }
+        None
+    }
+
+    /// Publishes `engage` tickets for `op` onto distinct worker deques
+    /// (skipping the submitter if it is itself a worker) and wakes the
+    /// crew. Tickets are hints, not work assignments: chunks are claimed
+    /// from the operation's counter, so scheduling never shapes results.
+    pub(super) fn submit(op: &Arc<Operation>, engage: usize) {
+        if engage == 0 {
+            return;
+        }
+        let reg = registry();
+        let me = WORKER_INDEX.with(std::cell::Cell::get);
+        // First-fit engagement keeps the same low worker indices busy
+        // across operations, so per-worker state pinned by callers
+        // (evaluator arenas) stays warm.
+        let needed = match me {
+            Some(i) if i < engage + 1 => engage + 1,
+            _ => engage,
+        };
+        ensure_workers(reg, needed);
+        let workers = worker_snapshot(reg);
+        let mut published = 0usize;
+        for (index, worker) in workers.iter().enumerate() {
+            if published == engage {
+                break;
+            }
+            if Some(index) == me {
+                continue;
+            }
+            lock_tolerant(&worker.deque).push_back(op.clone());
+            published += 1;
+        }
+        let mut signal = lock_tolerant(&reg.signal);
+        *signal += 1;
+        reg.signal_cv.notify_all();
+    }
+
+    /// The number of resident workers currently spawned (diagnostics).
+    pub(super) fn spawned_workers() -> usize {
+        REGISTRY.get().map_or(0, |reg| worker_snapshot(reg).len())
+    }
+}
+
+/// The number of resident workers currently spawned. Zero until the
+/// first parallel operation; grows lazily, never shrinks. Diagnostic
+/// only — sizing decisions should use [`current_num_threads`].
+pub fn spawned_workers() -> usize {
+    pool::spawned_workers()
 }
 
 // ---------------------------------------------------------------------------
@@ -142,7 +490,9 @@ impl ThreadPool {
 // ---------------------------------------------------------------------------
 
 /// Runs both closures, potentially in parallel, and returns both results
-/// (`a`'s computed on the calling thread).
+/// (`a` runs on the calling thread; `b` is offered to the pool and
+/// reclaimed by the caller if no worker picked it up first). If both
+/// closures panic, `a`'s panic wins — like real rayon.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -150,29 +500,50 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
+    let threads = current_num_threads();
+    if threads <= 1 {
         let ra = a();
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|scope| {
-        let handle = scope.spawn(b);
-        let ra = a();
-        let rb = handle.join().unwrap_or_else(|payload| std::panic::resume_unwind(payload));
-        (ra, rb)
-    })
+    let b_cell = Mutex::new(Some(b));
+    let rb_cell: Mutex<Option<RB>> = Mutex::new(None);
+    let runner = |_chunk: usize| {
+        let f = lock_tolerant(&b_cell).take().expect("single chunk is claimed exactly once");
+        let rb = f();
+        *lock_tolerant(&rb_cell) = Some(rb);
+    };
+    let op = pool::Operation::new(&runner, 1, threads);
+    pool::submit(&op, 1);
+    // `a` must not unwind past the operation while a worker may still be
+    // touching the borrowed runner; contain it, settle `b`, then rethrow.
+    let ra = std::panic::catch_unwind(std::panic::AssertUnwindSafe(a));
+    op.work();
+    let b_panic = op.wait_quiet();
+    match ra {
+        Err(payload) => std::panic::resume_unwind(payload),
+        Ok(ra) => {
+            if let Some(payload) = b_panic {
+                std::panic::resume_unwind(payload);
+            }
+            let rb = lock_tolerant(&rb_cell).take().expect("b completed without panicking");
+            (ra, rb)
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
 // The chunked executor
 // ---------------------------------------------------------------------------
 
-/// Splits `0..len` into chunks and folds each with `fold_chunk` on a crew
-/// of scoped threads; returns the chunk results **in chunk order**. The
-/// chunk grid depends only on `len`, `min_len` and the thread count — and
-/// every consumer below merges chunk results associatively with the same
-/// semantics the sequential fold has — so results do not depend on
-/// scheduling.
+/// Splits `0..len` into chunks, folds each with `fold_chunk` on the
+/// resident pool (submitter participating), and returns the chunk
+/// results **in chunk order**. The chunk grid depends only on `len`,
+/// `min_len` and the effective thread count — and every consumer below
+/// merges chunk results associatively with the same semantics the
+/// sequential fold has — so results do not depend on scheduling: not on
+/// which worker claims a chunk, not on steal order, not on how many
+/// threads actually show up.
 fn run_chunks<Out, F>(len: usize, min_len: usize, fold_chunk: F) -> Vec<Out>
 where
     Out: Send,
@@ -192,25 +563,18 @@ where
     if num_chunks <= 1 {
         return vec![fold_chunk(0..len)];
     }
-    let next_chunk = AtomicUsize::new(0);
     let results: Mutex<Vec<(usize, Out)>> = Mutex::new(Vec::with_capacity(num_chunks));
-    let worker = || loop {
-        let i = next_chunk.fetch_add(1, AtomicOrdering::Relaxed);
-        if i >= num_chunks {
-            break;
-        }
+    let runner = |i: usize| {
         let lo = i * chunk_size;
         let hi = (lo + chunk_size).min(len);
         let out = fold_chunk(lo..hi);
-        results.lock().expect("executor poisoned").push((i, out));
+        lock_tolerant(&results).push((i, out));
     };
-    std::thread::scope(|scope| {
-        for _ in 1..threads.min(num_chunks) {
-            scope.spawn(worker);
-        }
-        worker();
-    });
-    let mut chunks = results.into_inner().expect("executor poisoned");
+    let op = pool::Operation::new(&runner, num_chunks, threads);
+    pool::submit(&op, (threads - 1).min(num_chunks - 1));
+    op.work();
+    op.wait();
+    let mut chunks = results.into_inner().unwrap_or_else(PoisonError::into_inner);
     chunks.sort_unstable_by_key(|&(i, _)| i);
     chunks.into_iter().map(|(_, out)| out).collect()
 }
@@ -641,6 +1005,8 @@ pub mod prelude {
 mod tests {
     use super::prelude::*;
     use super::*;
+    use std::collections::HashMap;
+    use std::thread::ThreadId;
 
     fn pool(n: usize) -> ThreadPool {
         ThreadPoolBuilder::new().num_threads(n).build().expect("build never fails")
@@ -758,11 +1124,122 @@ mod tests {
     }
 
     #[test]
+    fn join_propagates_b_panic_and_pool_survives() {
+        let caught = std::panic::catch_unwind(|| {
+            pool(4).install(|| join(|| 1 + 1, || -> u32 { panic!("b exploded") }))
+        });
+        assert!(caught.is_err(), "b's panic must reach the caller");
+        // The resident crew must shrug it off.
+        let xs: Vec<u32> = (0..64).collect();
+        let out: Vec<u32> = pool(4).install(|| xs.par_iter().map(|&x| x + 1).collect());
+        assert_eq!(out[63], 64);
+    }
+
+    #[test]
     fn install_scopes_the_pool_size() {
         let outer = current_num_threads();
         let inner = pool(3).install(current_num_threads);
         assert_eq!(inner, 3);
         assert_eq!(current_num_threads(), outer, "install must restore on exit");
+    }
+
+    #[test]
+    fn nested_operations_inherit_the_installed_size() {
+        // A worker executing a chunk must see the operation's effective
+        // size, so nested parallel calls split the same way they would
+        // on the submitting thread — like real rayon's pool inheritance.
+        let sizes: Vec<usize> = pool(3)
+            .install(|| (0..16usize).into_par_iter().map(|_| current_num_threads()).collect());
+        assert!(sizes.iter().all(|&s| s == 3), "saw sizes {sizes:?}");
+    }
+
+    #[test]
+    fn nested_parallelism_completes() {
+        // A worker submitting a nested operation must be able to drain
+        // it itself even when every other worker is busy — deadlock
+        // freedom by self-claiming.
+        let out: Vec<u64> = pool(4).install(|| {
+            (0..8usize)
+                .into_par_iter()
+                .map(|i| {
+                    let inner: Vec<u64> =
+                        (0..64usize).into_par_iter().map(|j| (i * 64 + j) as u64).collect();
+                    inner.iter().sum()
+                })
+                .collect()
+        });
+        let expected: Vec<u64> = (0..8u64).map(|i| (0..64u64).map(|j| i * 64 + j).sum()).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn panic_in_chunk_propagates_and_workers_survive() {
+        let xs: Vec<u32> = (0..256).collect();
+        let caught = std::panic::catch_unwind(|| {
+            pool(4).install(|| {
+                xs.par_iter()
+                    .map(|&x| if x == 97 { panic!("poisoned candidate") } else { x })
+                    .collect::<Vec<u32>>()
+            })
+        });
+        assert!(caught.is_err(), "chunk panic must reach the submitter");
+        // Resident workers contained the panic; later operations on the
+        // same crew still produce complete, ordered results.
+        for _ in 0..3 {
+            let out: Vec<u32> = pool(4).install(|| xs.par_iter().map(|&x| x * 2).collect());
+            assert_eq!(out, xs.iter().map(|&x| x * 2).collect::<Vec<u32>>());
+        }
+    }
+
+    #[test]
+    fn worker_identity_is_stable_across_operations() {
+        // current_thread_index() is the arena-pinning contract: the same
+        // index must always mean the same OS thread, across operations.
+        let observe = || -> HashMap<usize, ThreadId> {
+            let pairs: Vec<Option<(usize, ThreadId)>> = pool(4).install(|| {
+                (0..64usize)
+                    .into_par_iter()
+                    .map(|_| {
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        current_thread_index().map(|i| (i, std::thread::current().id()))
+                    })
+                    .collect()
+            });
+            pairs.into_iter().flatten().collect()
+        };
+        let first = observe();
+        let second = observe();
+        for (index, id) in &second {
+            if let Some(prev) = first.get(index) {
+                assert_eq!(prev, id, "worker {index} changed identity between operations");
+            }
+        }
+        // The submitting thread is never a worker.
+        assert_eq!(current_thread_index(), None);
+        assert!(spawned_workers() >= 1, "operations above must have spawned the crew");
+    }
+
+    #[test]
+    fn induced_delays_do_not_change_merged_results() {
+        // Steal-order jitter must be unobservable: per-chunk delays that
+        // scramble completion order cannot change the merged output.
+        let xs: Vec<u64> = (0..300).collect();
+        let expected: Vec<u64> = xs.iter().map(|&x| x * 7 + 3).collect();
+        for threads in [2, 4, 8] {
+            for round in 0..3u64 {
+                let out: Vec<u64> = pool(threads).install(|| {
+                    xs.par_iter()
+                        .map(|&x| {
+                            // Deterministic pseudo-random stagger per item.
+                            let jitter = (x * 2654435761 + round) % 37;
+                            std::thread::sleep(std::time::Duration::from_micros(jitter));
+                            x * 7 + 3
+                        })
+                        .collect()
+                });
+                assert_eq!(out, expected, "{threads} threads, round {round}");
+            }
+        }
     }
 
     #[test]
