@@ -29,6 +29,15 @@
 //! [`mshc_bench::probes::spawn_crew_chunks`]) on the **short bounded
 //! scan** preset, where spawn latency used to dominate the scoring work.
 //!
+//! Since the GA moved onto tier 3, a **GA generation probe** races the
+//! whole scheduler on the same preset with offspring fitness via
+//! parent-primed prefix splicing (the default) against the
+//! `--ga-full-eval` tier-1 escape hatch — same seed, identical bits
+//! out, so `ga_prefix_speedup_vs_full` is pure evaluation-cost savings.
+//! The `spliced_fraction` series is measured on its own
+//! reconvergence-friendly grid ([`mshc_bench::probes::splice_move_grid`]);
+//! the widest single-task grid prunes too early to ever reconverge.
+//!
 //! Writes the numbers as JSON (default `BENCH_eval.json`, `--out FILE`)
 //! so CI can archive the perf trajectory per commit; the CI smoke step
 //! asserts both the full and incremental series are present. `--quick`
@@ -38,15 +47,16 @@
 //! cargo run --release -p mshc-bench --bin bench_eval -- --threads 8
 //! ```
 
+use mshc_ga::GaScheduler;
 use mshc_platform::{HcInstance, HcSystem, Matrix};
 use mshc_portfolio::{TournamentSpec, ALGORITHMS};
 use mshc_schedule::{
     BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, InstanceBound, MoveScore,
-    ObjectiveKind, RunBudget, Solution,
+    ObjectiveKind, RunBudget, Scheduler, Solution,
 };
 use mshc_taskgraph::TaskGraphBuilder;
 use mshc_workloads::{tiny_suite, WorkloadSpec};
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::hint::black_box;
@@ -60,6 +70,9 @@ struct BenchReport {
     candidates: usize,
     rounds: usize,
     threads: usize,
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// context for comparing throughput series across machines.
+    available_parallelism: usize,
     /// Full re-evaluation series: move + full pass per candidate, one
     /// thread.
     scalar_evals_per_sec: f64,
@@ -78,8 +91,12 @@ struct BenchReport {
     bounded_speedup_vs_incremental: f64,
     /// Fraction of bounded-scan candidates abandoned by the bound cut.
     pruned_fraction: f64,
-    /// Fraction of bounded-scan candidates finished by a reconvergence
-    /// splice.
+    /// Fraction of reconvergence-splice-probe candidates finished by a
+    /// tail splice. Measured on `probes::splice_move_grid` (the
+    /// schedule-neutral transposition grid): the widest single-task
+    /// grid the bounded scan runs prunes 99%+ of its candidates before
+    /// any tail could reconverge, so this series read 0.0 until it got
+    /// its own probe.
     spliced_fraction: f64,
     batch_1thread_evals_per_sec: f64,
     batch_evals_per_sec: f64,
@@ -118,6 +135,30 @@ struct BenchReport {
     /// integer-exact balanced instance whose floor is reachable) that
     /// terminated early at the certified floor.
     early_stop_fraction: f64,
+    /// GA offspring-fitness throughput with parent-primed prefix
+    /// splicing on (the production configuration): evaluations per
+    /// second across whole generations on the paper-scale preset.
+    ga_generation_evals_per_sec: f64,
+    /// Fraction of offspring string positions the GA's population pass
+    /// never replayed — clone shortcuts contribute whole strings,
+    /// primed checkpoints contribute shared prefixes.
+    ga_prefix_reuse_fraction: f64,
+    /// The prefix-splicing mechanism on its canonical shape (like
+    /// `incremental_speedup_vs_full` and
+    /// `bounded_speedup_vs_incremental` above): a converged-regime
+    /// offspring cohort (`probes::ga_offspring_cohort` — crossover of
+    /// near-identical parents degenerates to clones, mutations to
+    /// single-task moves) scored by `score_population` vs per-child
+    /// full passes, bit-identical either way (≥ 2x expected on the
+    /// 100-task preset).
+    ga_prefix_speedup_vs_full: f64,
+    /// Whole-run GA wall-clock ratio, `--ga-full-eval` over default,
+    /// same seed, from a *random* start — early generations are
+    /// dominated by deep-divergence crossover offspring (the matching
+    /// crossover redistributes machine genes by task id, which can
+    /// surface at any string position), so this realizes far less than
+    /// the cohort number above.
+    ga_run_speedup_vs_full: f64,
 }
 
 /// One point of the thread-scaling curve.
@@ -151,11 +192,8 @@ fn main() {
             other => panic!("unknown argument {other:?} (try --out, --threads, --quick)"),
         }
     }
-    let threads = if threads > 0 {
-        threads
-    } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-    };
+    let available_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let threads = if threads > 0 { threads } else { available_parallelism };
 
     // Paper-comparison scale: 100 tasks, 20 machines; the candidate grid
     // is the widest single-task (position × machine) fan-out on the
@@ -243,6 +281,26 @@ fn main() {
             black_box(best);
         }
         (evals as f64 / start.elapsed().as_secs_f64(), inc.stats())
+    };
+
+    // Reconvergence-splice scan: the schedule-neutral transposition
+    // grid with the fast path on and pruning off, so every candidate
+    // replays to a checkpoint boundary where the splice can fire. The
+    // bounded scan above cannot exercise this path — its grid prunes
+    // 99%+ of the candidates before any tail reconverges — so the
+    // spliced_fraction series is measured here.
+    let splice_stats = {
+        let splice_moves = mshc_bench::probes::splice_move_grid(&inst, &base);
+        assert!(!splice_moves.is_empty(), "paper-scale base has cross-machine adjacencies");
+        let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
+        inc.set_pruning(false);
+        inc.prime(&base);
+        for _ in 0..rounds {
+            for &(st, pos, m) in &splice_moves {
+                black_box(inc.score_move(st, pos, m, &obj));
+            }
+        }
+        inc.stats()
     };
 
     // The scaling curve at the canonical pool sizes; `batch ×1` and
@@ -374,19 +432,107 @@ fn main() {
         stops as f64 / ALGORITHMS.len() as f64
     };
 
+    // GA generation probe: the whole scheduler raced end to end on the
+    // paper-scale preset, same seed, offspring fitness via
+    // parent-primed prefix splicing (the default tier-3 path) vs the
+    // --ga-full-eval tier-1 escape hatch. The runs are bit-identical —
+    // asserted below — so the ratio is pure evaluation-cost savings.
+    let (ga_eps, ga_reuse, ga_run_speedup, ga_best) = {
+        let gens = if rounds <= 6 { 15 } else { 60 };
+        let reps = (rounds / 3).max(2);
+        let budget = RunBudget::iterations(gens);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        pool.install(|| {
+            let timed = |b: &RunBudget| {
+                // Warm-up run spawns the pool workers and fills arenas.
+                let mut result = GaScheduler::with_seed(2001).run(&inst, b, None);
+                let start = Instant::now();
+                for _ in 0..reps {
+                    result = GaScheduler::with_seed(2001).run(&inst, b, None);
+                }
+                (start.elapsed().as_secs_f64() / reps as f64, result)
+            };
+            let (t_full, full) = timed(&budget.with_ga_full_eval(true));
+            let (t_spliced, spliced) = timed(&budget);
+            assert_eq!(spliced.solution, full.solution, "splicing must not change the GA's bits");
+            assert_eq!(spliced.objective_value, full.objective_value);
+            assert_eq!(spliced.evaluations, full.evaluations);
+            (
+                spliced.evaluations as f64 / t_spliced,
+                spliced.scan.prefix_reuse_fraction(),
+                t_full / t_spliced,
+                spliced.solution,
+            )
+        })
+    };
+
+    // GA cohort probe: the prefix-splicing mechanism on its canonical
+    // shape, mirroring how the incremental and bounded series isolate
+    // theirs on the widest-grid scan. Parents are a tight cluster
+    // around the GA's own incumbent (a converged population); offspring
+    // carry the default operator mix at the selection fixpoint, where
+    // crossover degenerates to clones. Scores are asserted bit-equal
+    // between the two paths, so the ratio is pure evaluation cost.
+    let ga_speedup = {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut parents = vec![ga_best];
+        for _ in 0..3 {
+            let mut p = parents[0].clone();
+            let t = mshc_taskgraph::TaskId::from_usize(rng.gen_range(0..inst.task_count()));
+            let (lo, hi) = p.valid_range(g, t);
+            p.move_task(g, t, rng.gen_range(lo..=hi), p.machine_of(t)).expect("in-range");
+            parents.push(p);
+        }
+        // Two generations' worth of offspring against one parent
+        // cluster — converged populations move slowly, so consecutive
+        // generations share their parent set and the per-parent prime
+        // amortizes the way it does in a real converged run.
+        let (children, descents) =
+            mshc_bench::probes::ga_offspring_cohort(&inst, &parents, 200, &mut rng);
+        let mut eval = Evaluator::with_snapshot(&snapshot);
+        let parent_costs: Vec<f64> =
+            parents.iter().map(|p| eval.objective_value(p, &obj)).collect();
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().expect("pool");
+        pool.install(|| {
+            let mut batch = BatchEvaluator::new(&snapshot);
+            let spliced =
+                batch.score_population(&parents, &parent_costs, &children, &descents, &obj);
+            let start = Instant::now();
+            for _ in 0..rounds {
+                black_box(batch.score_population(
+                    &parents,
+                    &parent_costs,
+                    &children,
+                    &descents,
+                    &obj,
+                ));
+            }
+            let t_spliced = start.elapsed().as_secs_f64();
+            let full = batch.scores(&children, &obj);
+            let start = Instant::now();
+            for _ in 0..rounds {
+                black_box(batch.scores(&children, &obj));
+            }
+            let t_full = start.elapsed().as_secs_f64();
+            assert_eq!(spliced, full, "cohort scores must be bit-identical on both paths");
+            t_full / t_spliced
+        })
+    };
+
     let report = BenchReport {
         tasks: inst.task_count(),
         machines: inst.machine_count(),
         candidates: moves.len(),
         rounds,
         threads,
+        available_parallelism,
         scalar_evals_per_sec: scalar_eps,
         incremental_evals_per_sec: incremental_eps,
         incremental_speedup_vs_full: incremental_eps / scalar_eps,
         bounded_scan_evals_per_sec: bounded_eps,
         bounded_speedup_vs_incremental: bounded_eps / incremental_eps,
         pruned_fraction: bounded_stats.pruned_fraction(),
-        spliced_fraction: bounded_stats.spliced_fraction(),
+        spliced_fraction: splice_stats.spliced_fraction(),
         batch_1thread_evals_per_sec: batch1_eps,
         batch_evals_per_sec: batchn_eps,
         speedup_vs_scalar: batchn_eps / scalar_eps,
@@ -399,6 +545,10 @@ fn main() {
         lower_bound_us_per_instance: lower_bound_us,
         mean_gap,
         early_stop_fraction,
+        ga_generation_evals_per_sec: ga_eps,
+        ga_prefix_reuse_fraction: ga_reuse,
+        ga_prefix_speedup_vs_full: ga_speedup,
+        ga_run_speedup_vs_full: ga_run_speedup,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_eval.json");
@@ -415,11 +565,20 @@ fn main() {
         report.speedup_vs_scalar
     );
     println!(
-        "bounded scan {:.0}/s ({:.2}x vs incremental) | {:.1}% pruned | {:.1}% spliced",
+        "bounded scan {:.0}/s ({:.2}x vs incremental) | {:.1}% pruned | splice probe {:.1}% \
+         spliced",
         bounded_eps,
         report.bounded_speedup_vs_incremental,
         100.0 * report.pruned_fraction,
         100.0 * report.spliced_fraction
+    );
+    println!(
+        "ga: cohort splice {:.2}x vs full | run {:.0} evals/s, {:.1}% prefix reused, {:.2}x \
+         whole-run",
+        ga_speedup,
+        ga_eps,
+        100.0 * ga_reuse,
+        ga_run_speedup
     );
     println!(
         "short scan ({} candidates, {} crew): pool {:.0}/s vs spawn {:.0}/s ({:.2}x pool reuse)",

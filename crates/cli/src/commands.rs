@@ -62,6 +62,13 @@ global options:
              opportunities; with --no-prune the stride reverts to a pure
              resume-cost knob. --report prints the realized pruned and
              spliced fractions.
+  --ga-full-eval
+             disable parent-primed prefix splicing in the GA's population
+             fitness pass, forcing full per-chromosome evaluation (the
+             ablation escape hatch; splicing is the default). Solutions,
+             fitness values and evaluation counts are bit-identical
+             either way — only speed changes. --report prints the
+             realized prefix-reuse fraction.
   --no-early-stop
              disable early termination at the certified instance lower
              bound (default is on). When the incumbent's makespan reaches
@@ -178,6 +185,7 @@ fn budget(p: &Parsed) -> Result<RunBudget, String> {
     }
     b.prune = !p.flag("no-prune");
     b.early_stop = !p.flag("no-early-stop");
+    b.ga_full_eval = p.flag("ga-full-eval");
     debug_assert!(b.validate().is_ok());
     Ok(b)
 }
@@ -279,7 +287,16 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
             "throughput: {:.0} evals/sec ({} evals, {:.3}s)",
             evals_per_sec, result.evaluations, secs
         );
-        if result.scan.scored > 0 {
+        if result.scan.suffix_total > 0 {
+            // Population (GA) scoring: all counters are deterministic —
+            // this line is byte-identical at any thread count.
+            println!(
+                "population: {:.1}% prefix reused | {} suffix scorings | {:.1}% spliced",
+                100.0 * result.scan.prefix_reuse_fraction(),
+                result.scan.scored,
+                100.0 * result.scan.spliced_fraction()
+            );
+        } else if result.scan.scored > 0 {
             println!(
                 "move scan: {} bounded scorings | {:.1}% pruned | {:.1}% spliced",
                 result.scan.scored,
@@ -408,6 +425,11 @@ fn tournament_spec(p: &Parsed) -> Result<TournamentSpec, String> {
     // composes with --spec: it cannot change any leaderboard bit.
     if p.flag("no-prune") {
         spec.prune = false;
+    }
+    // Like --no-prune, a pure execution-mode override: full GA
+    // evaluation cannot change any leaderboard bit.
+    if p.flag("ga-full-eval") {
+        spec.ga_full_eval = true;
     }
     // Early stopping can change iteration/evaluation counts (never
     // solutions), so it composes with --spec the same way.
@@ -645,6 +667,43 @@ mod tests {
         assert!(b.early_stop, "early stop on by default");
         let b = budget(&parse(&argv(&["--iters", "7", "--no-early-stop"]))).unwrap();
         assert!(!b.early_stop);
+        assert!(!b.ga_full_eval, "GA prefix splicing on by default");
+        let b = budget(&parse(&argv(&["--iters", "7", "--ga-full-eval"]))).unwrap();
+        assert!(b.ga_full_eval);
+    }
+
+    #[test]
+    fn ga_full_eval_flag_runs_everywhere() {
+        // run + tournament accept the escape hatch; tournament composes
+        // it with --spec like the other execution-mode overrides.
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "ga",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "10",
+            "--ga-full-eval",
+            "--report",
+        ]))
+        .unwrap();
+        dispatch(&argv(&[
+            "tournament",
+            "--suite",
+            "tiny",
+            "--algos",
+            "ga,mct",
+            "--seeds",
+            "1",
+            "--iters",
+            "4",
+            "--ga-full-eval",
+        ]))
+        .unwrap();
+        assert!(USAGE.contains("--ga-full-eval"));
     }
 
     #[test]

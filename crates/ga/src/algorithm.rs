@@ -5,9 +5,9 @@ use crate::chromosome::{order_valid_range, Chromosome};
 use crate::config::GaConfig;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
-    certified_gap, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator, Incumbent, InstanceBound,
-    ObjectiveKind, RunBudget, RunResult, Scheduler, SearchStep, Solution, StepVerdict,
-    SteppableSearch,
+    certified_gap, run_stepped, BatchEvaluator, Descent, EvalSnapshot, Evaluator, Incumbent,
+    InstanceBound, ObjectiveKind, RunBudget, RunResult, ScanStats, Scheduler, SearchStep, Solution,
+    StepVerdict, SteppableSearch,
 };
 use mshc_taskgraph::TaskId;
 use mshc_trace::{Trace, TraceRecord};
@@ -58,6 +58,69 @@ fn roulette<R: Rng + ?Sized>(costs: &[f64], rng: &mut R) -> usize {
     costs.len() - 1
 }
 
+/// First string position where `a` and `b` differ (`a.len()` if equal).
+/// Segment-level comparison is the only sound way to find a child's
+/// divergence from its parent: the matching crossover is task-id-indexed,
+/// so a machine difference can surface at *any* string position
+/// regardless of the cut points.
+fn first_divergence(a: &Solution, b: &Solution) -> usize {
+    a.segments().iter().zip(b.segments()).position(|(x, y)| x != y).unwrap_or(a.len())
+}
+
+/// How one offspring was constructed, recorded during breeding so the
+/// fitness pass can classify its [`Descent`] from a parent without
+/// reverse-engineering the operators.
+struct Lineage {
+    /// Index of parent A (the prefix donor) in the previous generation.
+    parent: usize,
+    /// Whether crossover ran (divergence must then be measured, not
+    /// derived from cut points — see [`first_divergence`]).
+    crossed: bool,
+    /// Scheduling mutation that actually changed the order: the task and
+    /// its new position.
+    sched: Option<(TaskId, usize)>,
+    /// Matching mutation that actually changed a machine: the task.
+    matched: Option<TaskId>,
+}
+
+impl Lineage {
+    /// Classifies the child against its parent's solution string.
+    fn descent(&self, parent: &Solution, child: &Solution) -> Descent {
+        if !self.crossed {
+            match (self.sched, self.matched) {
+                (None, None) => return Descent::Clone { parent: self.parent },
+                // A single disturbed task — including the
+                // order-and-machine hit on the same task — is exactly
+                // the incremental evaluator's native move shape.
+                (Some((t, _)), m) if m.is_none() || m == Some(t) => {
+                    return Descent::Move {
+                        parent: self.parent,
+                        task: t,
+                        pos: child.position_of(t),
+                        machine: child.machine_of(t),
+                    };
+                }
+                (None, Some(t)) => {
+                    return Descent::Move {
+                        parent: self.parent,
+                        task: t,
+                        pos: child.position_of(t),
+                        machine: child.machine_of(t),
+                    };
+                }
+                // Two different tasks disturbed: fall through to the
+                // measured-divergence route.
+                _ => {}
+            }
+        }
+        match first_divergence(parent, child) {
+            d if d == child.len() => Descent::Clone { parent: self.parent },
+            0 => Descent::Fresh,
+            d => Descent::Suffix { parent: self.parent, diverge: d },
+        }
+    }
+}
+
 impl Scheduler for GaScheduler {
     fn name(&self) -> &str {
         "ga"
@@ -83,13 +146,16 @@ impl SteppableSearch for GaScheduler {
         let objective = budget.objective;
         let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
         // Whole-population fitness goes through the batch evaluator: one
-        // call per generation, fanned out over worker threads. GA stays
-        // on full (tier-1) per-candidate evaluation — crossover splices
-        // whole strings, so no prefix of a child is shared with a primed
-        // base and suffix replay has nothing to resume from — but it
-        // shares the same snapshot/arena plumbing as the move-based
-        // searches (the stride only matters if a custom scheduler mixes
-        // in move scoring).
+        // call per generation, fanned out over worker threads. From
+        // generation 1 on, offspring carry lineage metadata and ride the
+        // parent-primed prefix-splicing path (`score_population`): a
+        // crossover child shares a literal prefix with parent A up to
+        // its first divergence, mutation-only children are native
+        // single-task moves, and exact clones reuse the parent's score
+        // outright — all bit-identical to a full pass, so roulette
+        // pressure and evaluation counts are unchanged (the
+        // `--ga-full-eval` escape hatch routes back through full
+        // passes). Generation 0 has no parents and full-evaluates.
         let snapshot = EvalSnapshot::new(inst);
         let mut sols: Vec<Solution> = Vec::with_capacity(cfg.population);
 
@@ -133,6 +199,7 @@ impl SteppableSearch for GaScheduler {
             generations: 0,
             stall: 0,
             evaluations,
+            scan: ScanStats::default(),
             lower_bound,
             early_stopped: false,
             start,
@@ -160,6 +227,9 @@ struct GaState<'a> {
     generations: u64,
     stall: u64,
     evaluations: u64,
+    /// Population-scoring counters accumulated across steps (suffixed /
+    /// prefix-reused / splice diagnostics; all deterministic).
+    scan: ScanStats,
     /// The certified instance floor (`Some` iff makespan objective).
     lower_bound: Option<f64>,
     /// Set when the incumbent reached the floor and the run stopped
@@ -196,16 +266,25 @@ impl SearchStep for GaState<'_> {
         {
             // ---- next generation ----
             let mut next = Vec::with_capacity(self.cfg.population);
+            let mut lineage = Vec::with_capacity(self.cfg.population);
             // Elitism: carry the best chromosomes over unchanged.
             let mut ranked: Vec<usize> = (0..self.pop.len()).collect();
             ranked.sort_by(|&a, &b| self.costs[a].total_cmp(&self.costs[b]).then(a.cmp(&b)));
             for &i in ranked.iter().take(self.cfg.elites) {
                 next.push(self.pop[i].clone());
+                lineage.push(Lineage { parent: i, crossed: false, sched: None, matched: None });
             }
             while next.len() < self.cfg.population {
-                let pa = &self.pop[roulette(&self.costs, &mut self.rng)];
-                let pb = &self.pop[roulette(&self.costs, &mut self.rng)];
-                let mut child = if self.rng.gen::<f64>() < self.cfg.crossover_prob {
+                // RNG consumption order is the fitness-bit contract:
+                // roulette(pa), roulette(pb), crossover draw (+cuts),
+                // sched-mutation draw (+task,pos), match-mutation draw
+                // (+task,machine). Lineage recording must not add draws.
+                let ia = roulette(&self.costs, &mut self.rng);
+                let ib = roulette(&self.costs, &mut self.rng);
+                let pa = &self.pop[ia];
+                let pb = &self.pop[ib];
+                let crossed = self.rng.gen::<f64>() < self.cfg.crossover_prob;
+                let mut child = if crossed {
                     let cut_s = self.rng.gen_range(0..=k);
                     let cut_m = self.rng.gen_range(0..=k);
                     Chromosome {
@@ -215,24 +294,54 @@ impl SearchStep for GaState<'_> {
                 } else {
                     pa.clone()
                 };
+                let mut sched = None;
                 if self.rng.gen::<f64>() < self.cfg.sched_mutation_prob {
                     let t = TaskId::from_usize(self.rng.gen_range(0..k));
                     let (lo, hi) = order_valid_range(g, &child.order, t);
                     let pos = self.rng.gen_range(lo..=hi);
+                    let old = child.order.iter().position(|&x| x == t).expect("task present");
                     let moved = child.mutate_order(g, t, pos);
                     debug_assert!(moved);
+                    if pos != old {
+                        sched = Some((t, pos));
+                    }
                 }
+                let mut matched = None;
                 if self.rng.gen::<f64>() < self.cfg.match_mutation_prob {
                     let t = TaskId::from_usize(self.rng.gen_range(0..k));
-                    child.mutate_matching(t, MachineId::from_usize(self.rng.gen_range(0..l)));
+                    let m = MachineId::from_usize(self.rng.gen_range(0..l));
+                    if child.matching[t.index()] != m {
+                        matched = Some(t);
+                    }
+                    child.mutate_matching(t, m);
                 }
                 next.push(child);
+                lineage.push(Lineage { parent: ia, crossed, sched, matched });
             }
+            // The outgoing generation becomes the parent pool: its
+            // solutions are the primable bases, its costs serve clones.
+            let parent_sols = std::mem::take(&mut self.sols);
+            let parent_costs = std::mem::take(&mut self.costs);
             self.pop = next;
-            self.sols.clear();
             let inst = self.inst;
             self.sols.extend(self.pop.iter().map(|c| c.to_solution(inst)));
-            self.costs = batch.scores(&self.sols, &self.objective);
+            self.costs = if self.budget.ga_full_eval {
+                batch.scores(&self.sols, &self.objective)
+            } else {
+                let descents: Vec<Descent> = self
+                    .sols
+                    .iter()
+                    .zip(&lineage)
+                    .map(|(child, li)| li.descent(&parent_sols[li.parent], child))
+                    .collect();
+                batch.score_population(
+                    &parent_sols,
+                    &parent_costs,
+                    &self.sols,
+                    &descents,
+                    &self.objective,
+                )
+            };
 
             let best_idx = argmin(&self.costs);
             if self.costs[best_idx] < self.best_cost {
@@ -263,6 +372,7 @@ impl SearchStep for GaState<'_> {
         }
 
         self.evaluations += batch.evaluations();
+        self.scan.merge(batch.scan_stats());
         if self.early_stopped
             || self.budget.exhausted(
                 self.generations,
@@ -296,6 +406,10 @@ impl SearchStep for GaState<'_> {
         if cost < self.costs[worst] {
             self.pop[worst] = Chromosome::from_solution(migrant);
             self.costs[worst] = cost;
+            // Keep the cached solution in sync: next generation's
+            // lineage classification uses `sols` as the primable bases
+            // (`from_solution` → `to_solution` round-trips exactly).
+            self.sols[worst] = migrant.clone();
             if cost < self.best_cost {
                 self.best = self.pop[worst].clone();
                 self.best_solution = self.best.to_solution(self.inst);
@@ -320,7 +434,7 @@ impl SearchStep for GaState<'_> {
             iterations: self.generations,
             evaluations: self.evaluations,
             elapsed: self.start.elapsed(),
-            scan: Default::default(),
+            scan: self.scan,
             lower_bound: self.lower_bound,
             gap: certified_gap(self.lower_bound, self.best_cost),
             early_stopped: self.early_stopped,
@@ -431,6 +545,76 @@ mod tests {
             assert_eq!(r.solution, baseline.solution, "{threads} threads");
             assert_eq!(r.makespan, baseline.makespan, "{threads} threads");
             assert_eq!(r.evaluations, baseline.evaluations, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn spliced_fitness_is_bit_identical_to_full_eval() {
+        // The tentpole contract: parent-primed prefix splicing must not
+        // move a single fitness bit — same solutions, same objective
+        // values, same evaluation counts, same per-generation trace —
+        // across seeds, objectives and checkpoint strides.
+        let inst = random_instance(24, 4, 61);
+        let k = inst.task_count();
+        let weighted = ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.3, balance: 0.7 };
+        for seed in [3u64, 19] {
+            for kind in [ObjectiveKind::Makespan, ObjectiveKind::TotalFlowtime, weighted] {
+                for stride in [None, Some(1), Some(k + 3)] {
+                    let budget = RunBudget::iterations(12)
+                        .with_objective(kind)
+                        .with_checkpoint_stride(stride);
+                    let mut full_trace = Trace::new();
+                    let full = GaScheduler::with_seed(seed).run(
+                        &inst,
+                        &budget.with_ga_full_eval(true),
+                        Some(&mut full_trace),
+                    );
+                    let mut spliced_trace = Trace::new();
+                    let spliced =
+                        GaScheduler::with_seed(seed).run(&inst, &budget, Some(&mut spliced_trace));
+                    let tag = format!("seed {seed}, {}, stride {stride:?}", kind.label());
+                    assert_eq!(spliced.solution, full.solution, "{tag}");
+                    assert_eq!(spliced.objective_value, full.objective_value, "{tag}");
+                    assert_eq!(spliced.evaluations, full.evaluations, "{tag}");
+                    assert_eq!(spliced.iterations, full.iterations, "{tag}");
+                    // Traces match record-for-record on every
+                    // deterministic field (elapsed wall time obviously
+                    // differs between the two runs).
+                    assert_eq!(spliced_trace.records().len(), full_trace.records().len(), "{tag}");
+                    for (s, f) in spliced_trace.records().iter().zip(full_trace.records()) {
+                        assert_eq!(s.iteration, f.iteration, "{tag}");
+                        assert_eq!(s.evaluations, f.evaluations, "{tag}");
+                        assert_eq!(s.current_cost, f.current_cost, "{tag}");
+                        assert_eq!(s.best_cost, f.best_cost, "{tag}");
+                        assert_eq!(s.population_mean, f.population_mean, "{tag}");
+                    }
+                    // The spliced run actually rode the fast path...
+                    assert!(spliced.scan.suffixed > 0, "{tag}");
+                    assert!(spliced.scan.prefix_reused > 0, "{tag}");
+                    // ...and the escape hatch really is full evaluation.
+                    assert_eq!(full.scan.suffix_total, 0, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ga_scan_stats_are_thread_invariant() {
+        // The population counters are a pure function of the
+        // chromosomes (no bound, no pruning), so `run --report` output
+        // is byte-identical at any worker-thread count.
+        let inst = random_instance(22, 3, 62);
+        let budget = RunBudget::iterations(10);
+        let baseline = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap()
+            .install(|| GaScheduler::with_seed(6).run(&inst, &budget, None));
+        assert!(baseline.scan.suffix_total > 0);
+        for threads in [2usize, 8] {
+            let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+            let r = pool.install(|| GaScheduler::with_seed(6).run(&inst, &budget, None));
+            assert_eq!(r.scan, baseline.scan, "{threads} threads");
         }
     }
 

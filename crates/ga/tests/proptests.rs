@@ -1,0 +1,101 @@
+//! Property tests for the GA's parent-primed prefix-splicing fitness
+//! pass: whole runs must be bit-identical to full tier-1 population
+//! evaluation — solutions, fitness values, per-generation traces and
+//! evaluation counts — across instances, seeds, checkpoint strides and
+//! worker-thread counts.
+
+use mshc_ga::GaScheduler;
+use mshc_platform::{HcInstance, HcSystem, Matrix};
+use mshc_schedule::{ObjectiveKind, RunBudget, Scheduler};
+use mshc_taskgraph::gen::{erdos_dag, layered, LayeredConfig};
+use mshc_trace::Trace;
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn instance_strategy() -> impl Strategy<Value = HcInstance> {
+    (1usize..22, 1usize..5, 0.0f64..0.9, any::<u64>(), prop::bool::ANY).prop_map(
+        |(k, l, p, seed, use_layered)| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let graph = if use_layered {
+                layered(
+                    &LayeredConfig {
+                        tasks: k,
+                        mean_width: (k / 3).max(1),
+                        edge_prob: p,
+                        skip_prob: 0.0,
+                    },
+                    &mut rng,
+                )
+                .unwrap()
+            } else {
+                erdos_dag(k, p, &mut rng).unwrap()
+            };
+            let exec = Matrix::from_fn(l, k, |_, _| rng.gen_range(1.0..50.0));
+            let pairs = l * (l - 1) / 2;
+            let transfer =
+                Matrix::from_fn(pairs, graph.data_count(), |_, _| rng.gen_range(0.0..20.0));
+            let sys = HcSystem::with_anonymous_machines(l, exec, transfer).unwrap();
+            HcInstance::new(graph, sys).unwrap()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Full GA runs agree bit for bit with and without prefix splicing,
+    /// for every objective family, at every stride and thread count.
+    #[test]
+    fn ga_runs_bit_identical_full_vs_spliced(
+        inst in instance_strategy(),
+        seed in any::<u64>(),
+        stride_sel in 0usize..4,
+        threads_sel in 0usize..3,
+        objective_sel in 0usize..3,
+    ) {
+        let k = inst.task_count();
+        let stride = match stride_sel {
+            0 => Some(1),
+            1 => Some((k / 2).max(1)),
+            2 => Some(k + 5), // beyond k: replay-from-zero checkpoints
+            _ => None,        // auto ⌈√k⌉
+        };
+        let threads = [1usize, 2, 8][threads_sel];
+        let objective = match objective_sel {
+            0 => ObjectiveKind::Makespan,
+            1 => ObjectiveKind::TotalFlowtime,
+            _ => ObjectiveKind::Weighted { makespan: 1.0, flowtime: 0.4, balance: 0.6 },
+        };
+        let budget = RunBudget::iterations(6)
+            .with_objective(objective)
+            .with_checkpoint_stride(stride);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+        let (full, full_trace, spliced, spliced_trace) = pool.install(|| {
+            let mut full_trace = Trace::new();
+            let full = GaScheduler::with_seed(seed)
+                .run(&inst, &budget.with_ga_full_eval(true), Some(&mut full_trace));
+            let mut spliced_trace = Trace::new();
+            let spliced =
+                GaScheduler::with_seed(seed).run(&inst, &budget, Some(&mut spliced_trace));
+            (full, full_trace, spliced, spliced_trace)
+        });
+        prop_assert_eq!(&spliced.solution, &full.solution);
+        prop_assert_eq!(spliced.objective_value, full.objective_value);
+        prop_assert_eq!(spliced.makespan, full.makespan);
+        prop_assert_eq!(spliced.evaluations, full.evaluations);
+        prop_assert_eq!(spliced.iterations, full.iterations);
+        // Per-generation selection pressure is identical: every best,
+        // current and population-mean fitness matches bitwise.
+        prop_assert_eq!(spliced_trace.records().len(), full_trace.records().len());
+        for (s, f) in spliced_trace.records().iter().zip(full_trace.records()) {
+            prop_assert_eq!(s.iteration, f.iteration);
+            prop_assert_eq!(s.evaluations, f.evaluations);
+            prop_assert_eq!(s.current_cost, f.current_cost);
+            prop_assert_eq!(s.best_cost, f.best_cost);
+            prop_assert_eq!(s.population_mean, f.population_mean);
+        }
+        // The escape hatch reports no population-path activity.
+        prop_assert_eq!(full.scan.suffix_total, 0);
+    }
+}

@@ -26,17 +26,38 @@
 //! 2. **batch** — [`BatchEvaluator`]: scores whole candidate sets in one
 //!    call, fanned out over worker threads with reusable per-thread
 //!    arenas; results come back in candidate order, bit-identical at any
-//!    thread count. Right for independent candidate sets — GA population
-//!    fitness, any set of *whole* solutions (crossover invalidates
-//!    prefixes, so GA stays on this tier).
+//!    thread count. Right for independent candidate sets — arbitrary
+//!    whole solutions with no shared lineage.
 //! 3. **incremental** — [`IncrementalEvaluator`]: primes a base solution
 //!    once, checkpoints frontier state every `⌈√k⌉` positions, and scores
-//!    *single-task moves* by replaying only the disturbed suffix — exact
-//!    (bit-identical to a full pass), asymptotically cheaper than tier 1
-//!    per candidate. Right for move scans against a fixed base: SE's
-//!    allocation ripple, tabu's sampled neighborhood, SA's proposal
-//!    loop. The batch move-scoring entry points route through per-thread
-//!    incremental evaluators automatically, so tiers 2 and 3 compose.
+//!    candidates sharing a prefix with the base by replaying only the
+//!    disturbed suffix — exact (bit-identical to a full pass),
+//!    asymptotically cheaper than tier 1 per candidate. Two entry
+//!    shapes: *single-task moves*
+//!    ([`score_move`](IncrementalEvaluator::score_move)) for move scans
+//!    against a fixed base — SE's allocation ripple, tabu's sampled
+//!    neighborhood, SA's proposal loop — and *arbitrary
+//!    prefix-sharing candidates*
+//!    ([`score_suffix`](IncrementalEvaluator::score_suffix)) for GA
+//!    crossover offspring, which share a literal prefix with a parent
+//!    up to their first divergence. The batch move-scoring and
+//!    population-scoring ([`score_population`](BatchEvaluator::score_population))
+//!    entry points route through per-thread incremental evaluators
+//!    automatically, so tiers 2 and 3 compose: GA rides tier 3 like
+//!    every other algorithm in the portfolio.
+//!
+//! *Why suffix replay cannot change fitness bits*: the replay starts
+//! from checkpointed frontier state reached by walking exactly the
+//! shared prefix (identical segments ⇒ identical floating-point state,
+//! since the walk is deterministic and order-preserving), then replays
+//! the child's own segments one by one with the same fold a full pass
+//! would apply. No value is approximated, reordered, or recomputed
+//! along a different association order, so every intermediate — and
+//! hence the final objective value — is the same IEEE-754 bit pattern
+//! the scalar evaluator produces. Selection pressure in roulette-style
+//! algorithms depends on exact fitness values, which is why the
+//! population path never engages bound pruning: every child gets its
+//! exact score.
 //!
 //! Tier 3's **fast path** cuts the replay itself two ways, both exact:
 //!
@@ -109,7 +130,7 @@ pub mod sim;
 pub mod snapshot;
 pub mod steppable;
 
-pub use batch::{BatchEvaluator, BestMove};
+pub use batch::{BatchEvaluator, BestMove, Descent};
 pub use encoding::{Segment, Solution};
 pub use error::ScheduleError;
 pub use eval::{Evaluator, ScheduleReport};

@@ -60,6 +60,13 @@ pub struct RunBudget {
     /// a different solution or objective value; runs that never reach
     /// the floor are bit-identical either way.
     pub early_stop: bool,
+    /// Forces the GA back onto full tier-1 population evaluation instead
+    /// of parent-primed prefix splicing (default `false`; the CLI's
+    /// `--ga-full-eval` escape hatch turns it on). Another pure cost
+    /// knob: splicing replays the exact fold a full pass would, so
+    /// solutions, fitness values and evaluation counts are bit-identical
+    /// either way.
+    pub ga_full_eval: bool,
 }
 
 impl Default for RunBudget {
@@ -73,6 +80,7 @@ impl Default for RunBudget {
             checkpoint_stride: None,
             prune: true,
             early_stop: true,
+            ga_full_eval: false,
         }
     }
 }
@@ -123,6 +131,13 @@ impl RunBudget {
     /// (default: on).
     pub fn with_early_stop(mut self, early_stop: bool) -> RunBudget {
         self.early_stop = early_stop;
+        self
+    }
+
+    /// Forces full tier-1 GA population evaluation (default: off, i.e.
+    /// parent-primed prefix splicing on).
+    pub fn with_ga_full_eval(mut self, ga_full_eval: bool) -> RunBudget {
+        self.ga_full_eval = ga_full_eval;
         self
     }
 
@@ -289,6 +304,8 @@ mod tests {
         let b = RunBudget::iterations(5).with_checkpoint_stride(Some(7));
         assert_eq!(b.checkpoint_stride, Some(7));
         assert_eq!(RunBudget::default().checkpoint_stride, None);
+        assert!(!RunBudget::default().ga_full_eval, "splicing is the default");
+        assert!(RunBudget::iterations(5).with_ga_full_eval(true).ga_full_eval);
     }
 
     #[test]
