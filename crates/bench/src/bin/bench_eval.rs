@@ -65,6 +65,9 @@ use std::time::Instant;
 /// The JSON payload CI archives.
 #[derive(Debug, Serialize)]
 struct BenchReport {
+    /// Report schema version — bumped with `mshc_obs::SCHEMA_VERSION`
+    /// whenever series are added, so downstream tooling can gate on it.
+    schema_version: u32,
     tasks: usize,
     machines: usize,
     candidates: usize,
@@ -159,6 +162,12 @@ struct BenchReport {
     /// surface at any string position), so this realizes far less than
     /// the cohort number above.
     ga_run_speedup_vs_full: f64,
+    /// Work-stealing pool: chunks claimed from a foreign worker's queue
+    /// over the GA probe window (timing plane of the obs registry —
+    /// varies run to run, archived as an executor-health series).
+    steal_count: u64,
+    /// Injector-queue high-water mark over the same window.
+    queue_depth_hwm: u64,
 }
 
 /// One point of the thread-scaling curve.
@@ -194,6 +203,15 @@ fn main() {
     }
     let available_parallelism = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     let threads = if threads > 0 { threads } else { available_parallelism };
+
+    // The scan-efficiency series come from the obs registry — the same
+    // counters `mshc --metrics` exports — reset before each probe and
+    // snapshotted after, with the per-evaluator `ScanStats` kept as a
+    // cross-check. Recording is write-only, so leaving it enabled for
+    // the whole run cannot change any measured bits (it does add a few
+    // nanoseconds per counter bump, identically across compared series).
+    mshc_obs::reset();
+    mshc_obs::enable(true);
 
     // Paper-comparison scale: 100 tasks, 20 machines; the candidate grid
     // is the widest single-task (position × machine) fan-out on the
@@ -263,6 +281,7 @@ fn main() {
     // rides along as a pruning bound (and replays may splice on
     // reconvergence) — the shape SE's allocation scan and tabu's
     // neighborhood resolution actually run in production.
+    mshc_obs::reset();
     let (bounded_eps, bounded_stats) = {
         let mut inc = IncrementalEvaluator::with_snapshot(&snapshot);
         inc.prime(&base);
@@ -282,6 +301,14 @@ fn main() {
         }
         (evals as f64 / start.elapsed().as_secs_f64(), inc.stats())
     };
+    // The registry saw exactly this probe since the reset, so the two
+    // views must agree bit for bit (same integer counters, same ratio).
+    let bounded_det = mshc_obs::snapshot().deterministic;
+    assert_eq!(
+        bounded_det.pruned_fraction(),
+        bounded_stats.pruned_fraction(),
+        "registry-sourced pruned fraction must match the evaluator's own stats"
+    );
 
     // Reconvergence-splice scan: the schedule-neutral transposition
     // grid with the fast path on and pruning off, so every candidate
@@ -289,6 +316,7 @@ fn main() {
     // bounded scan above cannot exercise this path — its grid prunes
     // 99%+ of the candidates before any tail reconverges — so the
     // spliced_fraction series is measured here.
+    mshc_obs::reset();
     let splice_stats = {
         let splice_moves = mshc_bench::probes::splice_move_grid(&inst, &base);
         assert!(!splice_moves.is_empty(), "paper-scale base has cross-machine adjacencies");
@@ -302,6 +330,12 @@ fn main() {
         }
         inc.stats()
     };
+    let splice_det = mshc_obs::snapshot().deterministic;
+    assert_eq!(
+        splice_det.spliced_fraction(),
+        splice_stats.spliced_fraction(),
+        "registry-sourced spliced fraction must match the evaluator's own stats"
+    );
 
     // The scaling curve at the canonical pool sizes; `batch ×1` and
     // `batch ×N` reuse curve points when the size matches.
@@ -453,16 +487,23 @@ fn main() {
                 (start.elapsed().as_secs_f64() / reps as f64, result)
             };
             let (t_full, full) = timed(&budget.with_ga_full_eval(true));
+            // Reset so the registry window covers only the spliced-path
+            // repetitions: its prefix-reuse fraction is then the same
+            // ratio as a single run's (identical runs sum to identical
+            // ratios, up to one f64 rounding in the division).
+            mshc_obs::reset();
             let (t_spliced, spliced) = timed(&budget);
             assert_eq!(spliced.solution, full.solution, "splicing must not change the GA's bits");
             assert_eq!(spliced.objective_value, full.objective_value);
             assert_eq!(spliced.evaluations, full.evaluations);
-            (
-                spliced.evaluations as f64 / t_spliced,
-                spliced.scan.prefix_reuse_fraction(),
-                t_full / t_spliced,
-                spliced.solution,
-            )
+            let ga_det = mshc_obs::snapshot().deterministic;
+            let reuse = ga_det.prefix_reuse_fraction();
+            assert!(
+                (reuse - spliced.scan.prefix_reuse_fraction()).abs() < 1e-9,
+                "registry-sourced prefix reuse ({reuse}) must match the run's own stats ({})",
+                spliced.scan.prefix_reuse_fraction()
+            );
+            (spliced.evaluations as f64 / t_spliced, reuse, t_full / t_spliced, spliced.solution)
         })
     };
 
@@ -519,7 +560,14 @@ fn main() {
         })
     };
 
+    // Executor-health series: the timing plane accumulated since the GA
+    // probe's reset (GA generations + the cohort probe — the heaviest
+    // pool traffic in the run). Bridged from the pool's own counters at
+    // snapshot time.
+    let obs_timing = mshc_obs::snapshot().timing;
+
     let report = BenchReport {
+        schema_version: mshc_obs::SCHEMA_VERSION,
         tasks: inst.task_count(),
         machines: inst.machine_count(),
         candidates: moves.len(),
@@ -531,8 +579,8 @@ fn main() {
         incremental_speedup_vs_full: incremental_eps / scalar_eps,
         bounded_scan_evals_per_sec: bounded_eps,
         bounded_speedup_vs_incremental: bounded_eps / incremental_eps,
-        pruned_fraction: bounded_stats.pruned_fraction(),
-        spliced_fraction: splice_stats.spliced_fraction(),
+        pruned_fraction: bounded_det.pruned_fraction(),
+        spliced_fraction: splice_det.spliced_fraction(),
         batch_1thread_evals_per_sec: batch1_eps,
         batch_evals_per_sec: batchn_eps,
         speedup_vs_scalar: batchn_eps / scalar_eps,
@@ -549,6 +597,8 @@ fn main() {
         ga_prefix_reuse_fraction: ga_reuse,
         ga_prefix_speedup_vs_full: ga_speedup,
         ga_run_speedup_vs_full: ga_run_speedup,
+        steal_count: obs_timing.steal_count,
+        queue_depth_hwm: obs_timing.queue_depth_hwm,
     };
     let json = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out_path, &json).expect("write BENCH_eval.json");
@@ -589,6 +639,10 @@ fn main() {
         report.pool_reuse_speedup
     );
     println!("tournament: {:.2} cells/sec (tiny suite, {} threads)", tournament_cps, threads);
+    println!(
+        "executor: {} steals, queue depth hwm {} (GA probe window)",
+        report.steal_count, report.queue_depth_hwm
+    );
     println!(
         "certificates: lower bound {:.1}us/instance | mean gap {:.3}x | {:.0}% of the probe \
          portfolio early-stopped",

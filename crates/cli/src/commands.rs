@@ -78,6 +78,19 @@ global options:
              and evaluation counts can shrink. The certificate itself
              (lower bound and gap, printed by --report and carried in
              tournament artifacts) is unaffected by this flag.
+  --metrics FILE
+             write an observability snapshot (JSON) after the command
+             finishes. Turns metric recording on for this invocation;
+             recording is write-only and cannot change any result bit —
+             run/compare/tournament artifacts are byte-identical with or
+             without this flag, and the snapshot's deterministic plane
+             is itself bit-stable at a fixed thread count (the timing
+             plane — durations, steal counts, queue depths — is not).
+  --obs-events FILE
+             stream observability events to FILE as JSON lines (cell
+             lifecycle, span durations). Same no-perturbation guarantee
+             as --metrics; event payloads carry wall-clock content and
+             vary run to run.
 ";
 
 /// Entry point: dispatches `argv` to a subcommand.
@@ -93,6 +106,22 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
                     the machine's available parallelism)"
             .to_string());
     }
+    // Observability is armed only when something will consume it: an
+    // export flag or --report (which renders the registry snapshot).
+    // Leaving it off otherwise is what lets CI byte-compare artifacts
+    // produced with and without recording — the gate that pins "metrics
+    // cannot perturb any result bit".
+    let observing = parsed.get("metrics").is_some()
+        || parsed.get("obs-events").is_some()
+        || parsed.flag("report");
+    if observing {
+        mshc_obs::reset();
+        mshc_obs::enable(true);
+    }
+    if let Some(path) = parsed.get("obs-events") {
+        mshc_obs::install_events_file(std::path::Path::new(path))
+            .map_err(|e| format!("--obs-events {path}: {e}"))?;
+    }
     let run = || match parsed.positional.first().map(String::as_str) {
         Some("help") => {
             print!("{USAGE}");
@@ -106,7 +135,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_string()),
     };
-    if threads > 0 {
+    let outcome = if threads > 0 {
         // A scoped size override on the resident pool — no process-wide
         // state, no dependence on pre-main environment timing, and no
         // leakage into embedding callers (tests, future `mshc serve`).
@@ -117,7 +146,20 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         pool.install(run)
     } else {
         run()
+    };
+    if outcome.is_ok() {
+        if let Some(path) = parsed.get("metrics") {
+            std::fs::write(path, mshc_obs::snapshot().to_json())
+                .map_err(|e| format!("--metrics {path}: {e}"))?;
+            println!("metrics written to {path}");
+        }
     }
+    // Only tear down the sink this invocation installed — embedding
+    // callers (tests) may dispatch concurrently.
+    if parsed.get("obs-events").is_some() {
+        mshc_obs::shutdown_events();
+    }
+    outcome
 }
 
 fn workload_spec(p: &Parsed) -> Result<WorkloadSpec, String> {
@@ -245,7 +287,12 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
     let budget = budget(p)?;
     let mut scheduler = make_scheduler(p, &algo)?;
     let mut trace = Trace::new();
-    let result = scheduler.run(&inst, &budget, Some(&mut trace));
+    let result = {
+        // Span around the whole scheduler run: records into the timing
+        // plane and (with --obs-events) emits one span event on drop.
+        let _span = mshc_obs::span("run");
+        scheduler.run(&inst, &budget, Some(&mut trace))
+    };
     result
         .solution
         .check(inst.graph())
@@ -287,21 +334,34 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
             "throughput: {:.0} evals/sec ({} evals, {:.3}s)",
             evals_per_sec, result.evaluations, secs
         );
-        if result.scan.suffix_total > 0 {
-            // Population (GA) scoring: all counters are deterministic —
-            // this line is byte-identical at any thread count.
+        // The rest of the report renders the obs registry snapshot —
+        // the same counters --metrics exports, so the human-facing and
+        // machine-facing views cannot drift apart. Every line below
+        // draws on the deterministic plane only and is byte-identical
+        // at any thread count.
+        let det = mshc_obs::snapshot().deterministic;
+        if det.scan_suffix_total > 0 {
             println!(
                 "population: {:.1}% prefix reused | {} suffix scorings | {:.1}% spliced",
-                100.0 * result.scan.prefix_reuse_fraction(),
-                result.scan.scored,
-                100.0 * result.scan.spliced_fraction()
+                100.0 * det.prefix_reuse_fraction(),
+                det.scan_scored,
+                100.0 * det.spliced_fraction()
             );
-        } else if result.scan.scored > 0 {
+        } else if det.scan_scored > 0 {
             println!(
                 "move scan: {} bounded scorings | {:.1}% pruned | {:.1}% spliced",
-                result.scan.scored,
-                100.0 * result.scan.pruned_fraction(),
-                100.0 * result.scan.spliced_fraction()
+                det.scan_scored,
+                100.0 * det.pruned_fraction(),
+                100.0 * det.spliced_fraction()
+            );
+        }
+        // Incumbent-vs-iteration sparkline from the run trace (the
+        // deterministic x axis; running minimum of the current cost).
+        if trace.len() >= 2 {
+            let incumbent = trace.current_cost_series().running_min().renamed("incumbent");
+            print!(
+                "{}",
+                mshc_trace::AsciiPlot::new("incumbent vs iteration", 64, 10).render(&[incumbent])
             );
         }
     }
@@ -347,7 +407,10 @@ fn cmd_compare(p: &Parsed) -> Result<(), String> {
     let mut floor: Option<f64> = None;
     for name in names {
         let mut s = make_scheduler(p, name)?;
-        let r = s.run(&inst, &budget, None);
+        let r = {
+            let _span = mshc_obs::span("compare-cell");
+            s.run(&inst, &budget, None)
+        };
         // The bound is instance-level, so every row certifies against
         // the same floor; remember it for the summary line.
         floor = floor.or(r.lower_bound);
@@ -442,7 +505,10 @@ fn tournament_spec(p: &Parsed) -> Result<TournamentSpec, String> {
 
 fn cmd_tournament(p: &Parsed) -> Result<(), String> {
     let spec = tournament_spec(p)?;
-    let run = mshc_portfolio::run_tournament(&spec)?;
+    let run = {
+        let _span = mshc_obs::span("tournament");
+        mshc_portfolio::run_tournament(&spec)?
+    };
     let (board, timing) = aggregate(&run);
     if p.flag("report") {
         // The full report opens with the same header line; don't print
@@ -477,7 +543,7 @@ fn cmd_tournament(p: &Parsed) -> Result<(), String> {
         println!("leaderboard written to {path} ({} cells)", board.cells);
     }
     if let Some(path) = p.get("csv") {
-        cells_csv(&board).write_file(path).map_err(|e| format!("{path}: {e}"))?;
+        cells_csv(&board, &run.timing).write_file(path).map_err(|e| format!("{path}: {e}"))?;
         println!("cells CSV written to {path}");
     }
     Ok(())
@@ -836,6 +902,61 @@ mod tests {
         dispatch(&argv(&args)).unwrap();
         assert_eq!(std::fs::read_to_string(&out).unwrap(), first);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn metrics_flag_writes_a_parsable_snapshot() {
+        // Structural assertions only: the registry is process-global
+        // and other tests' dispatches may reset it concurrently, so
+        // exact counter values belong to the (single-process) CI gate.
+        let dir = std::env::temp_dir().join("mshc_cli_metrics");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "sa",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "10",
+            "--metrics",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let snap = mshc_obs::Snapshot::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(snap.schema_version, mshc_obs::SCHEMA_VERSION);
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(USAGE.contains("--metrics"));
+    }
+
+    #[test]
+    fn obs_events_flag_writes_json_lines() {
+        let dir = std::env::temp_dir().join("mshc_cli_obs_events");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "heft",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--obs-events",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "the run span must emit at least one event");
+        for line in text.lines() {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get_field("event").is_some(), "{line}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(USAGE.contains("--obs-events"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::config::{AllocationStrategy, SeConfig};
 use crate::goodness::{goodness, optimal_costs};
+use mshc_obs as obs;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
     certified_gap, next_up, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator,
@@ -261,6 +262,7 @@ impl SearchStep for SeState<'_> {
                 self.stall += 1;
             }
             self.iterations += 1;
+            obs::add(obs::Counter::Iterations, 1);
             stepped += 1;
 
             if let Some(tr) = trace.as_deref_mut() {

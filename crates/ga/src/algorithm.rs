@@ -3,6 +3,7 @@
 
 use crate::chromosome::{order_valid_range, Chromosome};
 use crate::config::GaConfig;
+use mshc_obs as obs;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
     certified_gap, run_stepped, BatchEvaluator, Descent, EvalSnapshot, Evaluator, Incumbent,
@@ -356,6 +357,7 @@ impl SearchStep for GaState<'_> {
                 self.stall += 1;
             }
             self.generations += 1;
+            obs::add(obs::Counter::Iterations, 1);
             stepped += 1;
 
             if let Some(tr) = trace.as_deref_mut() {

@@ -193,6 +193,7 @@ impl Scheduler for HeftScheduler {
         let (solution, makespan, evaluations) =
             if self.insertion { self.run_insertion(inst) } else { self.run_append(inst) };
         let objective_value = report_objective_value(inst, &solution, makespan, budget.objective);
+        mshc_obs::add(mshc_obs::Counter::Iterations, 1); // one constructive pass
         RunResult {
             solution,
             makespan,
@@ -283,6 +284,7 @@ impl Scheduler for CpopScheduler {
         let makespan = builder.makespan();
         let solution = builder.into_solution();
         let objective_value = report_objective_value(inst, &solution, makespan, budget.objective);
+        mshc_obs::add(mshc_obs::Counter::Iterations, 1); // one constructive pass
         RunResult {
             solution,
             makespan,

@@ -140,6 +140,7 @@ impl Scheduler for ListScheduler {
         let solution = b.into_solution();
         let objective_value =
             mshc_schedule::report_objective_value(inst, &solution, makespan, budget.objective);
+        mshc_obs::add(mshc_obs::Counter::Iterations, 1); // one constructive pass
         RunResult {
             solution,
             makespan,

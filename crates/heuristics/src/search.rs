@@ -9,6 +9,7 @@
 //! parallel [`BatchEvaluator`] in one call (which routes through
 //! per-thread incremental evaluators itself).
 
+use mshc_obs as obs;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_schedule::{
     certified_gap, random_solution, run_stepped, BatchEvaluator, EvalSnapshot, Evaluator,
@@ -109,6 +110,9 @@ impl SteppableSearch for RandomSearch {
             evaluations += eval.evaluations();
             cost
         };
+        // The initial solution counts as iteration 1 (mirrored into the
+        // registry so its view matches `RunResult::iterations`).
+        obs::add(obs::Counter::Iterations, 1);
         Box::new(RandomState {
             lower_bound: certified_floor(inst, objective),
             inst,
@@ -181,6 +185,7 @@ impl SearchStep for RandomState<'_> {
                 self.stall += 1;
             }
             self.iterations += 1;
+            obs::add(obs::Counter::Iterations, 1);
             stepped += 1;
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {
@@ -420,6 +425,7 @@ impl SearchStep for SaState<'_> {
             }
             self.temp *= self.cfg.cooling;
             self.iterations += 1;
+            obs::add(obs::Counter::Iterations, 1);
             stepped += 1;
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {
@@ -678,6 +684,7 @@ impl SearchStep for TabuState<'_> {
                 self.stall += 1;
             }
             self.iterations += 1;
+            obs::add(obs::Counter::Iterations, 1);
             stepped += 1;
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(TraceRecord {

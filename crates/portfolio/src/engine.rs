@@ -16,7 +16,8 @@
 //! cells of the race — and all other races — still complete.
 
 use crate::spec::{build_contestant, Race, TournamentSpec};
-use mshc_schedule::{RunResult, SearchStep, Solution};
+use mshc_obs as obs;
+use mshc_schedule::{RunResult, ScanStats, SearchStep, Solution};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -65,12 +66,27 @@ pub struct CellOutcome {
     pub error: String,
 }
 
-/// Wall-clock cost of one cell, kept out of the serialized outcome.
+/// Per-cell diagnostics sidecar, kept out of the serialized outcome:
+/// wall-clock cost plus the run's scan-efficiency counters. The scan
+/// axes ride here rather than in [`CellOutcome`] because pruned/spliced
+/// counts legitimately vary with the chunk grid (thread count), and the
+/// serialized outcome must stay bit-identical across thread counts.
 #[derive(Debug, Clone, Copy)]
 pub struct CellTiming {
     /// Seconds spent executing the cell (in portfolio mode: this
     /// contestant's share of the race, excluding barrier bookkeeping).
     pub secs: f64,
+    /// The cell's [`ScanStats`] (zeroed for failed cells and one-shot
+    /// heuristics) — source of the per-cell efficiency columns in
+    /// `tournament --csv`.
+    pub scan: ScanStats,
+}
+
+/// Builds a cell's timing sidecar, recording the cell's wall time into
+/// the registry's [`obs::Hist::CellUs`] histogram on the way.
+fn cell_timing(secs: f64, scan: ScanStats) -> CellTiming {
+    obs::observe(obs::Hist::CellUs, (secs * 1e6) as u64);
+    CellTiming { secs, scan }
 }
 
 /// A finished tournament: per-cell outcomes in deterministic expansion
@@ -118,6 +134,17 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn failed_cell(race: &Race, algorithm: &str, error: String) -> CellOutcome {
+    obs::add(obs::Counter::CellsPanicked, 1);
+    obs::emit_event(
+        "cell_panicked",
+        &[
+            ("algorithm", obs::EventValue::Str(algorithm)),
+            ("scenario", obs::EventValue::Str(&race.scenario.tag())),
+            ("seed", obs::EventValue::U64(race.seed)),
+            ("objective", obs::EventValue::Str(&race.objective_label)),
+            ("error", obs::EventValue::Str(&error)),
+        ],
+    );
     CellOutcome {
         algorithm: algorithm.to_string(),
         scenario: race.scenario.tag(),
@@ -136,6 +163,21 @@ fn failed_cell(race: &Race, algorithm: &str, error: String) -> CellOutcome {
 }
 
 fn finished_cell(race: &Race, algorithm: &str, result: &RunResult) -> CellOutcome {
+    obs::add(obs::Counter::CellsCompleted, 1);
+    obs::emit_event(
+        "cell_finished",
+        &[
+            ("algorithm", obs::EventValue::Str(algorithm)),
+            ("scenario", obs::EventValue::Str(&race.scenario.tag())),
+            ("seed", obs::EventValue::U64(race.seed)),
+            ("objective", obs::EventValue::Str(&race.objective_label)),
+            ("objective_value", obs::EventValue::F64(result.objective_value)),
+            ("makespan", obs::EventValue::F64(result.makespan)),
+            ("iterations", obs::EventValue::U64(result.iterations)),
+            ("evaluations", obs::EventValue::U64(result.evaluations)),
+            ("early_stopped", obs::EventValue::Bool(result.early_stopped)),
+        ],
+    );
     CellOutcome {
         algorithm: algorithm.to_string(),
         scenario: race.scenario.tag(),
@@ -156,6 +198,21 @@ fn finished_cell(race: &Race, algorithm: &str, result: &RunResult) -> CellOutcom
 /// Runs one race: generates the instance once, then contests it with
 /// every algorithm — independently, or cooperatively in portfolio mode.
 fn run_race(spec: &TournamentSpec, race: &Race) -> Vec<(CellOutcome, CellTiming)> {
+    let cells = run_race_inner(spec, race);
+    obs::emit_event(
+        "race_done",
+        &[
+            ("scenario", obs::EventValue::Str(&race.scenario.tag())),
+            ("seed", obs::EventValue::U64(race.seed)),
+            ("objective", obs::EventValue::Str(&race.objective_label)),
+            ("cells", obs::EventValue::U64(cells.len() as u64)),
+            ("failures", obs::EventValue::U64(cells.iter().filter(|(c, _)| !c.ok).count() as u64)),
+        ],
+    );
+    cells
+}
+
+fn run_race_inner(spec: &TournamentSpec, race: &Race) -> Vec<(CellOutcome, CellTiming)> {
     let inst = match catch_unwind(AssertUnwindSafe(|| race.scenario.generate(race.seed))) {
         Ok(inst) => inst,
         Err(payload) => {
@@ -165,7 +222,9 @@ fn run_race(spec: &TournamentSpec, race: &Race) -> Vec<(CellOutcome, CellTiming)
             return spec
                 .algorithms
                 .iter()
-                .map(|a| (failed_cell(race, a, msg.clone()), CellTiming { secs: 0.0 }))
+                .map(|a| {
+                    (failed_cell(race, a, msg.clone()), cell_timing(0.0, ScanStats::default()))
+                })
                 .collect();
         }
     };
@@ -192,11 +251,13 @@ fn run_race_independent(
                     build_contestant(algorithm, race.seed).expect("spec validated");
                 contestant.run(inst, budget)
             }));
-            let cell = match outcome {
-                Ok(result) => finished_cell(race, algorithm, &result),
-                Err(payload) => failed_cell(race, algorithm, panic_message(payload)),
+            let (cell, scan) = match outcome {
+                Ok(result) => (finished_cell(race, algorithm, &result), result.scan),
+                Err(payload) => {
+                    (failed_cell(race, algorithm, panic_message(payload)), ScanStats::default())
+                }
             };
-            (cell, CellTiming { secs: t0.elapsed().as_secs_f64() })
+            (cell, cell_timing(t0.elapsed().as_secs_f64(), scan))
         })
         .collect()
 }
@@ -303,15 +364,17 @@ fn run_race_portfolio<'a>(
         .map(|(lane, algorithm)| match lane {
             Lane::Alive { mut state, mut secs, .. } => {
                 let t0 = Instant::now();
-                let cell = match catch_unwind(AssertUnwindSafe(|| state.result())) {
-                    Ok(result) => finished_cell(race, algorithm, &result),
-                    Err(payload) => failed_cell(race, algorithm, panic_message(payload)),
+                let (cell, scan) = match catch_unwind(AssertUnwindSafe(|| state.result())) {
+                    Ok(result) => (finished_cell(race, algorithm, &result), result.scan),
+                    Err(payload) => {
+                        (failed_cell(race, algorithm, panic_message(payload)), ScanStats::default())
+                    }
                 };
                 secs += t0.elapsed().as_secs_f64();
-                (cell, CellTiming { secs })
+                (cell, cell_timing(secs, scan))
             }
             Lane::Dead { error, secs } => {
-                (failed_cell(race, algorithm, error), CellTiming { secs })
+                (failed_cell(race, algorithm, error), cell_timing(secs, ScanStats::default()))
             }
         })
         .collect()

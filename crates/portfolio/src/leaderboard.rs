@@ -8,7 +8,7 @@
 //! [`Timing`] and is printed by `--report`, never written into the
 //! leaderboard JSON, so the file is bit-identical at any thread count.
 
-use crate::engine::{CellOutcome, TournamentRun};
+use crate::engine::{CellOutcome, CellTiming, TournamentRun};
 use mshc_stats::Summary;
 use mshc_trace::CsvTable;
 use serde::{Deserialize, Serialize};
@@ -192,7 +192,14 @@ pub fn aggregate(run: &TournamentRun) -> (Leaderboard, Timing) {
 /// deterministic order. Free-form fields (the objective spelling —
 /// `weighted:1,0.5,0.5` carries commas — and panic messages) are
 /// sanitized of CSV metacharacters, which the minimal writer rejects.
-pub fn cells_csv(board: &Leaderboard) -> CsvTable {
+///
+/// `timing` is the run's per-cell diagnostics sidecar
+/// ([`TournamentRun::timing`], same order as `board.results`): it feeds
+/// the scan-efficiency fraction columns. Pass `&[]` when re-exporting a
+/// deserialized leaderboard with no live run — the fractions render as
+/// zeros. The CSV carries diagnostic (thread-count-dependent) columns by
+/// design and is never byte-compared by CI, unlike the leaderboard JSON.
+pub fn cells_csv(board: &Leaderboard, timing: &[CellTiming]) -> CsvTable {
     let sanitize = |s: &str| s.replace([',', '"', '\n'], ";");
     let mut table = CsvTable::new([
         "algorithm",
@@ -208,12 +215,16 @@ pub fn cells_csv(board: &Leaderboard) -> CsvTable {
         "lower_bound",
         "gap",
         "early_stopped",
+        "pruned_fraction",
+        "spliced_fraction",
+        "prefix_reuse_fraction",
     ]);
-    // New certificate columns append after the historic ones, so column
-    // indices of pre-existing consumers stay valid; `None` serializes
-    // as the empty cell.
+    // New columns (certificates, then scan-efficiency fractions) append
+    // after the historic ones, so column indices of pre-existing
+    // consumers stay valid; `None` serializes as the empty cell.
     let opt = |v: Option<f64>| v.map_or_else(String::new, |x| format!("{x}"));
-    for c in &board.results {
+    for (i, c) in board.results.iter().enumerate() {
+        let scan = timing.get(i).map(|t| t.scan).unwrap_or_default();
         table.push_row([
             c.algorithm.clone(),
             c.scenario.clone(),
@@ -228,6 +239,9 @@ pub fn cells_csv(board: &Leaderboard) -> CsvTable {
             opt(c.lower_bound),
             opt(c.gap),
             c.early_stopped.to_string(),
+            format!("{:.6}", scan.pruned_fraction()),
+            format!("{:.6}", scan.spliced_fraction()),
+            format!("{:.6}", scan.prefix_reuse_fraction()),
         ]);
     }
     table

@@ -221,9 +221,27 @@ fn aggregation_wins_and_ranks_are_consistent() {
     assert!(timing.total_evaluations > 0);
     assert!(timing.evals_per_sec > 0.0);
     // CSV export covers every cell with the declared header arity.
-    let csv = cells_csv(&board).to_string_csv();
+    let csv = cells_csv(&board, &run.timing).to_string_csv();
     assert_eq!(csv.lines().count(), 1 + board.cells);
     assert!(csv.starts_with("algorithm,scenario,seed,objective,ok,"));
+    // The scan-efficiency fraction columns append after the historic
+    // ones and parse as in-range fractions on every row.
+    let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+    let pruned_col = header.iter().position(|&h| h == "pruned_fraction").unwrap();
+    assert_eq!(header[pruned_col + 1], "spliced_fraction");
+    assert_eq!(header[pruned_col + 2], "prefix_reuse_fraction");
+    for line in csv.lines().skip(1) {
+        let cols: Vec<&str> = line.split(',').collect();
+        assert_eq!(cols.len(), header.len());
+        for &c in &cols[pruned_col..pruned_col + 3] {
+            let f: f64 = c.parse().expect("fraction parses");
+            assert!((0.0..=1.0).contains(&f), "{line}");
+        }
+    }
+    // An empty sidecar (re-exported leaderboard) renders zero fractions
+    // with identical shape.
+    let bare = cells_csv(&board, &[]).to_string_csv();
+    assert_eq!(bare.lines().count(), csv.lines().count());
 }
 
 #[test]

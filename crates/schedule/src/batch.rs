@@ -47,6 +47,7 @@ use crate::eval::Evaluator;
 use crate::incremental::{IncrementalEvaluator, MoveScore, ScanStats};
 use crate::objective::Objective;
 use crate::snapshot::EvalSnapshot;
+use mshc_obs as obs;
 use mshc_platform::MachineId;
 use mshc_taskgraph::{TaskGraph, TaskId};
 use rayon::prelude::*;
@@ -474,6 +475,7 @@ impl<'a> BatchEvaluator<'a> {
         if children.is_empty() {
             return Vec::new();
         }
+        let _scan_timer = obs::timer(obs::Hist::ScanLatencyUs);
         let k = self.snap.task_count();
         let incremental = obj.supports_incremental();
 
@@ -593,12 +595,16 @@ impl<'a> BatchEvaluator<'a> {
         // clones reuse their whole string, lineage children their shared
         // prefix; demoted and fresh children only widen the denominator.
         let lineage_children: u64 = groups.iter().map(|(_, kids)| kids.len() as u64).sum();
-        self.scan.merge(ScanStats {
+        let axes = ScanStats {
             suffixed: lineage_children + clones.len() as u64,
             prefix_reused: reused_positions + (clones.len() * k) as u64,
             suffix_total: (children.len() * k) as u64,
             ..ScanStats::default()
-        });
+        };
+        obs::add(obs::Counter::ScanSuffixed, axes.suffixed);
+        obs::add(obs::Counter::ScanPrefixReused, axes.prefix_reused);
+        obs::add(obs::Counter::ScanSuffixTotal, axes.suffix_total);
+        self.scan.merge(axes);
         out
     }
 
@@ -615,6 +621,7 @@ impl<'a> BatchEvaluator<'a> {
         moves: &[(usize, MachineId)],
         obj: &dyn Objective,
     ) -> Vec<f64> {
+        let _scan_timer = obs::timer(obs::Hist::ScanLatencyUs);
         self.scan_epoch += 1;
         let epoch = self.scan_epoch;
         let snap = self.snap;
@@ -674,6 +681,7 @@ impl<'a> BatchEvaluator<'a> {
         moves: &[(TaskId, usize, MachineId)],
         obj: &dyn Objective,
     ) -> Vec<f64> {
+        let _scan_timer = obs::timer(obs::Hist::ScanLatencyUs);
         self.scan_epoch += 1;
         let epoch = self.scan_epoch;
         let snap = self.snap;
@@ -800,6 +808,7 @@ impl<'a> BatchEvaluator<'a> {
                 aspiration,
             );
         }
+        let _scan_timer = obs::timer(obs::Hist::ScanLatencyUs);
         self.scan_epoch += 1;
         let epoch = self.scan_epoch;
         let snap = self.snap;

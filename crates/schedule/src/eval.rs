@@ -318,6 +318,7 @@ impl<'a> Evaluator<'a> {
         self.machine_avail.fill(0.0);
         self.state.reset(self.machine_avail.len());
         self.evaluations += 1;
+        mshc_obs::add(mshc_obs::Counter::Evaluations, 1);
         for seg in solution.segments() {
             let t = seg.task;
             let m = seg.machine;

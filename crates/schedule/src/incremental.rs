@@ -49,6 +49,7 @@
 use crate::encoding::{Segment, Solution};
 use crate::objective::{BoundHints, Objective, ObjectiveState, SuffixView};
 use crate::snapshot::EvalSnapshot;
+use mshc_obs as obs;
 use mshc_platform::{HcInstance, MachineId};
 use mshc_taskgraph::TaskId;
 use std::borrow::Cow;
@@ -98,6 +99,13 @@ impl MoveScore {
 /// evaluation-count contract); pruned/spliced counts are diagnostics
 /// that legitimately vary with chunking and bounds, so they must never
 /// flow into deterministic artifacts (leaderboards, traces).
+///
+/// The exact bump sites that feed these per-run counters also mirror
+/// into the process-wide [`mshc_obs`] registry (`ScanScored`,
+/// `ScanPruned`, `ScanSpliced` and the population axes), so the
+/// registry's view can never drift from `ScanStats` — same sites, same
+/// semantics, and the same fraction accessors on
+/// [`mshc_obs::DeterministicPlane`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScanStats {
     /// Move scorings performed (pruned candidates included).
@@ -778,6 +786,7 @@ impl<'a> IncrementalEvaluator<'a> {
         // No segment index at or beyond this differs from the base.
         let ceiling = old_pos.max(new_pos);
         *evaluations += 1;
+        obs::add(obs::Counter::ScanScored, 1);
         // Resume from the nearest checkpoint at or before `first`.
         // Bound context. The total-busy hint must upper-bound the busy
         // sum `finalize` will compute for *this candidate*, rounding
@@ -791,6 +800,7 @@ impl<'a> IncrementalEvaluator<'a> {
         // instant prune, zero replay (ties lose, as everywhere).
         if do_prune && *scan_floor >= bound {
             *pruned += 1;
+            obs::add(obs::Counter::ScanPruned, 1);
             return MoveScore::Pruned;
         }
         let exec_new = snap.exec_time(new_m, t);
@@ -859,6 +869,7 @@ impl<'a> IncrementalEvaluator<'a> {
             if obj.lower_bound(state, &hints) >= bound {
                 // Nothing was dirtied yet.
                 *pruned += 1;
+                obs::add(obs::Counter::ScanPruned, 1);
                 return MoveScore::Pruned;
             }
         }
@@ -916,6 +927,7 @@ impl<'a> IncrementalEvaluator<'a> {
                     });
                     if let Some(score) = score {
                         *spliced += 1;
+                        obs::add(obs::Counter::ScanSpliced, 1);
                         for &u in dirty.iter() {
                             finish[u as usize] = base_finish[u as usize];
                         }
@@ -953,6 +965,7 @@ impl<'a> IncrementalEvaluator<'a> {
                 state.note_pending((f + rem) * *deflate);
                 if obj.lower_bound(state, &hints) >= bound {
                     *pruned += 1;
+                    obs::add(obs::Counter::ScanPruned, 1);
                     for &u in dirty.iter() {
                         finish[u as usize] = base_finish[u as usize];
                     }
@@ -1033,6 +1046,7 @@ impl<'a> IncrementalEvaluator<'a> {
             "score_suffix contract: segments before the divergence index must match the base"
         );
         *evaluations += 1;
+        obs::add(obs::Counter::ScanScored, 1);
 
         // Last position where the child differs from the base: beyond it
         // the tail is the base's, so checkpoint boundaries there are
@@ -1090,6 +1104,7 @@ impl<'a> IncrementalEvaluator<'a> {
                     });
                     if let Some(score) = score {
                         *spliced += 1;
+                        obs::add(obs::Counter::ScanSpliced, 1);
                         for &u in dirty.iter() {
                             finish[u as usize] = base_finish[u as usize];
                         }

@@ -148,8 +148,15 @@ impl RunBudget {
     /// iterative scheduler in the suite.
     #[inline]
     pub fn floor_reached(&self, lower_bound: Option<f64>, incumbent: f64) -> bool {
-        self.early_stop
-            && lower_bound.is_some_and(|floor| incumbent.is_finite() && incumbent <= floor)
+        let hit = self.early_stop
+            && lower_bound.is_some_and(|floor| incumbent.is_finite() && incumbent <= floor);
+        if hit {
+            // Every scheduler latches `early_stopped` on the first hit
+            // and short-circuits later checks, so this registry bump
+            // fires at most once per run.
+            mshc_obs::add(mshc_obs::Counter::EarlyStops, 1);
+        }
+        hit
     }
 
     /// Whether any limit is set.

@@ -15,6 +15,17 @@ pub struct AsciiPlot {
 /// Glyphs assigned to series in order.
 const GLYPHS: &[u8] = b"*o+x#@%&";
 
+/// Widens a degenerate (zero-range) axis interval symmetrically so the
+/// plot scale stays finite and well-conditioned: ±5% of the magnitude
+/// for a nonzero constant, ±0.5 around zero.
+fn pad_degenerate(lo: f64, hi: f64) -> (f64, f64) {
+    if hi - lo > 0.0 {
+        return (lo, hi);
+    }
+    let pad = if lo.abs() > 0.0 { lo.abs() * 0.05 } else { 0.5 };
+    (lo - pad, hi + pad)
+}
+
 impl AsciiPlot {
     /// Creates a plot canvas; `width`/`height` are character cells.
     pub fn new(title: impl Into<String>, width: usize, height: usize) -> AsciiPlot {
@@ -35,8 +46,16 @@ impl AsciiPlot {
             return out;
         }
         let (x0, x1, y0, y1) = bounds;
-        let xr = (x1 - x0).max(f64::MIN_POSITIVE);
-        let yr = (y1 - y0).max(f64::MIN_POSITIVE);
+        // A zero-range axis (a constant-valued series, or a single
+        // point) must not collapse the scale to f64::MIN_POSITIVE: the
+        // flat line would pin to the bottom row under identical axis
+        // labels, and any sub-ulp residue in `y - y0` would explode past
+        // the grid. Pad the degenerate axis so the line renders mid-plot
+        // between two honest labels.
+        let (x0, x1) = pad_degenerate(x0, x1);
+        let (y0, y1) = pad_degenerate(y0, y1);
+        let xr = x1 - x0;
+        let yr = y1 - y0;
         let mut grid = vec![b' '; self.width * self.height];
         for (si, s) in series.iter().enumerate() {
             let glyph = GLYPHS[si % GLYPHS.len()];
@@ -106,9 +125,33 @@ mod tests {
     }
 
     #[test]
-    fn constant_series_does_not_divide_by_zero() {
-        let s = Series::from_points("flat", vec![(0.0, 3.0), (1.0, 3.0)]);
+    fn constant_series_renders_mid_plot_with_distinct_labels() {
+        let s = Series::from_points("flat", vec![(0.0, 3.0), (1.0, 3.0), (2.0, 3.0)]);
         let art = AsciiPlot::new("flat", 20, 5).render(&[s]);
-        assert!(art.contains('*'));
+        // The padded scale places the flat line on the middle row, not
+        // pinned to the bottom one.
+        let rows: Vec<&str> = art.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(rows.len(), 5);
+        assert!(rows[2].contains('*'), "flat line on the middle row:\n{art}");
+        assert!(!rows[4].contains('*'), "not pinned to the bottom row:\n{art}");
+        // And the y-axis labels bracket the constant instead of
+        // repeating it on every row.
+        assert!(art.contains("3.15"), "padded top label:\n{art}");
+        assert!(art.contains("2.85"), "padded bottom label:\n{art}");
+    }
+
+    #[test]
+    fn single_point_series_renders_inside_the_grid() {
+        let s = Series::from_points("dot", vec![(4.0, -7.0)]);
+        let art = AsciiPlot::new("dot", 20, 5).render(&[s]);
+        assert!(art.contains('*'), "{art}");
+    }
+
+    #[test]
+    fn constant_zero_series_pads_to_a_unit_band() {
+        let s = Series::from_points("zero", vec![(0.0, 0.0), (1.0, 0.0)]);
+        let art = AsciiPlot::new("zero", 20, 5).render(&[s]);
+        assert!(art.contains("0.50"), "{art}");
+        assert!(art.contains("-0.50"), "{art}");
     }
 }

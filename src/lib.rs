@@ -15,6 +15,7 @@
 //! | [`portfolio`] | deterministic parallel tournament engine: race every scheduler across scenario grids |
 //! | [`trace`] | per-iteration traces, CSV, ASCII plots |
 //! | [`stats`] | summaries, online accumulators, trend fits |
+//! | [`obs`] | determinism-safe observability: metrics registry, planes, spans, JSONL events |
 //!
 //! ## Thirty-second tour
 //!
@@ -49,6 +50,7 @@
 pub use mshc_core as core;
 pub use mshc_ga as ga;
 pub use mshc_heuristics as heuristics;
+pub use mshc_obs as obs;
 pub use mshc_platform as platform;
 pub use mshc_portfolio as portfolio;
 pub use mshc_schedule as schedule;

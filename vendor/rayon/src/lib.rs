@@ -237,6 +237,87 @@ mod pool {
             const { std::cell::Cell::new(None) };
     }
 
+    /// Pool telemetry: monotonic relaxed counters bumped at scheduling
+    /// events. Purely observational — a counter increment can neither
+    /// reorder chunk claims nor change which worker runs a chunk, and
+    /// every consumer above merges chunk results in chunk-index order,
+    /// so telemetry can never influence results. All counts are
+    /// scheduling diagnostics (steal totals and queue depths vary run
+    /// to run even at a fixed thread count); exposed through
+    /// [`super::pool_stats`].
+    pub(super) mod stats {
+        use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+        /// Parallel operations submitted to the crew.
+        pub(super) static OPS_SUBMITTED: AtomicU64 = AtomicU64::new(0);
+        /// Chunks successfully claimed (one per executed chunk).
+        pub(super) static CHUNK_CLAIMS: AtomicU64 = AtomicU64::new(0);
+        /// Tickets taken from *another* worker's deque front.
+        pub(super) static STEALS: AtomicU64 = AtomicU64::new(0);
+        /// Wake-epoch bumps (one per submission that published tickets).
+        pub(super) static WAKE_EPOCHS: AtomicU64 = AtomicU64::new(0);
+        /// Deepest ticket deque observed right after a publish.
+        pub(super) static QUEUE_DEPTH_HWM: AtomicU64 = AtomicU64::new(0);
+        /// Chunks executed per worker index (slot `TRACKED` aggregates
+        /// non-worker threads — submitters claiming their own chunks —
+        /// and any worker past the tracked window).
+        pub(super) const TRACKED: usize = 64;
+        pub(super) static PER_WORKER_CHUNKS: [AtomicU64; TRACKED + 1] =
+            [const { AtomicU64::new(0) }; TRACKED + 1];
+
+        /// Records one successful chunk claim by the current thread.
+        #[inline]
+        pub(super) fn note_chunk_claim() {
+            CHUNK_CLAIMS.fetch_add(1, Relaxed);
+            let slot = super::WORKER_INDEX
+                .with(std::cell::Cell::get)
+                .filter(|&i| i < TRACKED)
+                .unwrap_or(TRACKED);
+            PER_WORKER_CHUNKS[slot].fetch_add(1, Relaxed);
+        }
+
+        /// Folds an observed deque depth into the high-water mark.
+        #[inline]
+        pub(super) fn note_queue_depth(depth: usize) {
+            QUEUE_DEPTH_HWM.fetch_max(depth as u64, Relaxed);
+        }
+
+        /// Zeroes every counter (bench/CLI probes reset between phases).
+        pub(super) fn reset() {
+            OPS_SUBMITTED.store(0, Relaxed);
+            CHUNK_CLAIMS.store(0, Relaxed);
+            STEALS.store(0, Relaxed);
+            WAKE_EPOCHS.store(0, Relaxed);
+            QUEUE_DEPTH_HWM.store(0, Relaxed);
+            for slot in &PER_WORKER_CHUNKS {
+                slot.store(0, Relaxed);
+            }
+        }
+    }
+
+    /// Zeroes the telemetry counters for [`super::reset_pool_stats`].
+    pub(super) fn reset_stats() {
+        stats::reset()
+    }
+
+    /// Snapshot of the telemetry counters for [`super::pool_stats`].
+    pub(super) fn stats_snapshot() -> super::PoolStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        let workers = spawned_workers().min(stats::TRACKED);
+        super::PoolStats {
+            ops_submitted: stats::OPS_SUBMITTED.load(Relaxed),
+            chunk_claims: stats::CHUNK_CLAIMS.load(Relaxed),
+            steals: stats::STEALS.load(Relaxed),
+            wake_epochs: stats::WAKE_EPOCHS.load(Relaxed),
+            queue_depth_hwm: stats::QUEUE_DEPTH_HWM.load(Relaxed),
+            per_worker_chunks: stats::PER_WORKER_CHUNKS[..workers]
+                .iter()
+                .map(|c| c.load(Relaxed))
+                .collect(),
+            foreign_chunks: stats::PER_WORKER_CHUNKS[stats::TRACKED].load(Relaxed),
+        }
+    }
+
     /// One parallel operation: a borrowed chunk runner plus the claim
     /// counter and completion latch that make handing it to `'static`
     /// workers sound.
@@ -309,6 +390,7 @@ mod pool {
                 if i >= self.num_chunks {
                     return;
                 }
+                stats::note_chunk_claim();
                 // SAFETY: `i` was claimed, so the submitter is pinned in
                 // `wait` until this call returns and is counted.
                 let runner = unsafe { &*self.runner };
@@ -431,6 +513,7 @@ mod pool {
         for k in 1..n {
             let victim = &workers[(index + k) % n];
             if let Some(op) = lock_tolerant(&victim.deque).pop_front() {
+                stats::STEALS.fetch_add(1, AtomicOrdering::Relaxed);
                 return Some(op);
             }
         }
@@ -446,6 +529,7 @@ mod pool {
             return;
         }
         let reg = registry();
+        stats::OPS_SUBMITTED.fetch_add(1, AtomicOrdering::Relaxed);
         let me = WORKER_INDEX.with(std::cell::Cell::get);
         // First-fit engagement keeps the same low worker indices busy
         // across operations, so per-worker state pinned by callers
@@ -464,9 +548,13 @@ mod pool {
             if Some(index) == me {
                 continue;
             }
-            lock_tolerant(&worker.deque).push_back(op.clone());
+            let mut deque = lock_tolerant(&worker.deque);
+            deque.push_back(op.clone());
+            stats::note_queue_depth(deque.len());
+            drop(deque);
             published += 1;
         }
+        stats::WAKE_EPOCHS.fetch_add(1, AtomicOrdering::Relaxed);
         let mut signal = lock_tolerant(&reg.signal);
         *signal += 1;
         reg.signal_cv.notify_all();
@@ -483,6 +571,53 @@ mod pool {
 /// only — sizing decisions should use [`current_num_threads`].
 pub fn spawned_workers() -> usize {
     pool::spawned_workers()
+}
+
+/// Scheduling telemetry of the resident pool (see [`pool_stats`]).
+///
+/// Every field is a *diagnostic*: steal totals, queue depths and the
+/// per-worker chunk split depend on OS scheduling and vary run to run
+/// even at a fixed thread count, so none of them may ever flow into a
+/// deterministic artifact. (`ops_submitted` and `chunk_claims` *are*
+/// reproducible at a fixed thread count — the chunk grid is a pure
+/// function of lengths and the effective thread count — but they still
+/// change with `RAYON_NUM_THREADS`.)
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallel operations submitted to the crew.
+    pub ops_submitted: u64,
+    /// Chunks claimed and executed across all operations.
+    pub chunk_claims: u64,
+    /// Tickets taken from another worker's deque (work stealing).
+    pub steals: u64,
+    /// Wake-epoch bumps (one per ticket-publishing submission).
+    pub wake_epochs: u64,
+    /// Deepest ticket deque observed at publish time.
+    pub queue_depth_hwm: u64,
+    /// Chunks executed by each resident worker, in spawn order (first
+    /// 64 workers tracked).
+    pub per_worker_chunks: Vec<u64>,
+    /// Chunks executed off the resident crew: submitters claiming their
+    /// own operation's chunks, plus any worker past the tracked window.
+    pub foreign_chunks: u64,
+}
+
+/// Snapshot of the pool's telemetry counters.
+///
+/// **Shim-specific.** Real `rayon` has no such API: the lone consumer
+/// is `mshc-obs`, which treats pool telemetry as optional and would
+/// drop this bridge if the vendored shim were ever swapped for the real
+/// crate (the swap stays a manifest change for every other caller).
+pub fn pool_stats() -> PoolStats {
+    pool::stats_snapshot()
+}
+
+/// Zeroes the pool telemetry counters (`mshc-obs` registry resets and
+/// bench probes isolate phases with this). Counters are process-wide,
+/// so concurrent parallel work bleeds into whatever is measured next —
+/// callers reset between phases, not mid-operation.
+pub fn reset_pool_stats() {
+    pool::reset_stats()
 }
 
 // ---------------------------------------------------------------------------

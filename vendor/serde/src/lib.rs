@@ -134,6 +134,21 @@ pub trait Deserialize: Sized {
     fn deserialize(v: &Value) -> Result<Self, Error>;
 }
 
+// `Value` round-trips through itself, so callers can parse arbitrary
+// JSON into the self-describing tree (schema validation, event lines)
+// without declaring a struct for it.
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---- primitive impls -------------------------------------------------------
 
 macro_rules! impl_serde_uint {
