@@ -52,10 +52,10 @@ use mshc_platform::{HcInstance, HcSystem, Matrix};
 use mshc_portfolio::{TournamentSpec, ALGORITHMS};
 use mshc_schedule::{
     BatchEvaluator, EvalSnapshot, Evaluator, IncrementalEvaluator, InstanceBound, MoveScore,
-    ObjectiveKind, RunBudget, Scheduler, Solution,
+    ObjectiveKind, Replanner, RunBudget, Scheduler, Solution,
 };
 use mshc_taskgraph::TaskGraphBuilder;
-use mshc_workloads::{tiny_suite, WorkloadSpec};
+use mshc_workloads::{tiny_suite, DisturbanceTrace, DisturbanceTraceSpec, WorkloadSpec};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
@@ -138,6 +138,18 @@ struct BenchReport {
     /// integer-exact balanced instance whose floor is reachable) that
     /// terminated early at the certified floor.
     early_stop_fraction: f64,
+    /// Mean microseconds per disturbance for the full replan flow on a
+    /// small preset: freeze the committed prefix, rebuild the residual
+    /// instance, re-prime the incremental evaluator from the disturbed
+    /// frontier, and re-run the search on the residue. Tracks the
+    /// latency a dropout costs the serve path.
+    replan_us_per_disturbance: f64,
+    /// Fraction of tournament cells that completed only after bounded
+    /// same-seed retries when a seeded fault plan panics a subset of
+    /// cells — the chaos-harness health series (expected: exactly the
+    /// injected fraction; more means real panics, fewer means faults
+    /// stopped firing).
+    degraded_cell_fraction: f64,
     /// GA offspring-fitness throughput with parent-primed prefix
     /// splicing on (the production configuration): evaluations per
     /// second across whole generations on the paper-scale preset.
@@ -466,6 +478,70 @@ fn main() {
         stops as f64 / ALGORITHMS.len() as f64
     };
 
+    // Replan probe: a fixed disturbance trace applied to a baseline SA
+    // schedule on a small preset, timed end to end (prefix freeze +
+    // residual instance build + evaluator re-prime + residual search).
+    let replan_us = {
+        let small =
+            WorkloadSpec { tasks: 40, machines: 4, seed: 2001, ..WorkloadSpec::small(2001) }
+                .generate();
+        let budget = RunBudget::iterations(if rounds <= 6 { 10 } else { 30 });
+        let mut search = mshc_heuristics::SimulatedAnnealing::new(mshc_heuristics::SaConfig {
+            seed: 2001,
+            ..mshc_heuristics::SaConfig::default()
+        });
+        let baseline = search.run(&small, &budget, None);
+        let trace = DisturbanceTrace::generate(
+            &DisturbanceTraceSpec::balanced(4, baseline.makespan, 4),
+            2001,
+        );
+        let reps = (rounds / 2).max(3);
+        let start = Instant::now();
+        let mut applied = 0u64;
+        for _ in 0..reps {
+            let mut replanner = Replanner::new(&small, baseline.solution.clone());
+            for d in &trace.events {
+                black_box(replanner.apply(d, &mut search, &budget).expect("trace is applicable"));
+                applied += 1;
+            }
+        }
+        start.elapsed().as_secs_f64() * 1e6 / applied as f64
+    };
+
+    // Chaos probe: the tiny tournament under a seeded fault plan that
+    // panics two named cells. Both must come back degraded (retried,
+    // not dropped), nothing else may be touched.
+    let degraded_cell_fraction = {
+        let spec = TournamentSpec {
+            algorithms: ["se", "sa", "heft"].iter().map(|s| s.to_string()).collect(),
+            seeds: vec![2001],
+            iterations: 6,
+            ..TournamentSpec::new("chaos", tiny_suite())
+        };
+        let tags: Vec<String> = tiny_suite().iter().map(|sc| sc.tag()).collect();
+        mshc_schedule::faults::arm(&mshc_schedule::FaultPlan {
+            cell_panics: vec![
+                mshc_schedule::CellFault {
+                    algorithm: "se".into(),
+                    scenario: tags[0].clone(),
+                    seed: 2001,
+                },
+                mshc_schedule::CellFault {
+                    algorithm: "sa".into(),
+                    scenario: tags[1].clone(),
+                    seed: 2001,
+                },
+            ],
+            ..mshc_schedule::FaultPlan::default()
+        });
+        let run = mshc_portfolio::run_tournament(&spec).expect("chaos tournament runs");
+        mshc_schedule::faults::disarm();
+        let (board, _) = mshc_portfolio::aggregate(&run);
+        assert_eq!(board.failures, 0, "retries must absorb both injected panics");
+        assert_eq!(board.degraded, 2, "both injected cells must be flagged");
+        board.degraded as f64 / board.cells as f64
+    };
+
     // GA generation probe: the whole scheduler raced end to end on the
     // paper-scale preset, same seed, offspring fitness via
     // parent-primed prefix splicing (the default tier-3 path) vs the
@@ -486,7 +562,7 @@ fn main() {
                 }
                 (start.elapsed().as_secs_f64() / reps as f64, result)
             };
-            let (t_full, full) = timed(&budget.with_ga_full_eval(true));
+            let (t_full, full) = timed(&budget.clone().with_ga_full_eval(true));
             // Reset so the registry window covers only the spliced-path
             // repetitions: its prefix-reuse fraction is then the same
             // ratio as a single run's (identical runs sum to identical
@@ -593,6 +669,8 @@ fn main() {
         lower_bound_us_per_instance: lower_bound_us,
         mean_gap,
         early_stop_fraction,
+        replan_us_per_disturbance: replan_us,
+        degraded_cell_fraction,
         ga_generation_evals_per_sec: ga_eps,
         ga_prefix_reuse_fraction: ga_reuse,
         ga_prefix_speedup_vs_full: ga_speedup,

@@ -9,9 +9,13 @@ use mshc_heuristics::{
 };
 use mshc_platform::{HcInstance, InstanceMetrics};
 use mshc_portfolio::{aggregate, cells_csv, render_report, replicate_seeds, TournamentSpec};
-use mshc_schedule::{Evaluator, Gantt, ObjectiveKind, RunBudget, Scheduler};
+use mshc_schedule::{
+    Disturbance, Evaluator, Gantt, ObjectiveKind, Replanner, RunBudget, Scheduler, SteppableSearch,
+};
 use mshc_trace::Trace;
-use mshc_workloads::{named_suite, Connectivity, Heterogeneity, WorkloadSpec};
+use mshc_workloads::{
+    named_suite, Connectivity, DisturbanceTrace, DisturbanceTraceSpec, Heterogeneity, WorkloadSpec,
+};
 use std::time::Duration;
 
 /// Top-level usage text.
@@ -35,6 +39,19 @@ commands:
              [--report]
              the leaderboard JSON (--out) is bit-identical at any
              --threads / RAYON_NUM_THREADS setting, portfolio on or off
+  replan     disturb a running schedule and re-search the residue:
+             machine dropout, machine slowdown, task-duration inflation
+             --algo se|ga|random|sa|tabu (iterative searches only; the
+             one-shot heuristics cannot resume from a frozen prefix)
+             [--instance FILE | workload options] [--iters N]
+             [--disturb FILE | --events N [--disturb-seed S] [--dropout]]
+             [--out FILE] [--report]
+             each disturbance freezes the committed prefix (tasks
+             finished by the event time), drops/degrades the affected
+             machine, and re-runs the search on the residual problem
+             seeded with the surviving frontier. The report JSON
+             (--out) carries virtual time only: it is bit-identical at
+             any --threads / RAYON_NUM_THREADS setting
   info       print instance metrics
              --instance FILE | workload options
 
@@ -78,6 +95,33 @@ global options:
              and evaluation counts can shrink. The certificate itself
              (lower bound and gap, printed by --report and carried in
              tournament artifacts) is unaffected by this flag.
+  --deadline-evals N
+             deterministic deadline: stop an iterative run at the first
+             iteration boundary at or past N schedule evaluations and
+             return the best incumbent found, marked with termination
+             \"deadline\". Unlike --iters this bounds work, not rounds;
+             evaluation counts are exact, so deadline'd results are
+             bit-identical at any thread count. N must be at least 1 —
+             a zero deadline would fire before the first incumbent
+             exists (omit the flag for no deadline).
+  --deadline-ms X
+             wall-clock deadline in milliseconds (anytime mode): stop
+             at the first iteration boundary past X ms and return the
+             best incumbent, marked \"deadline\". Inherently
+             non-deterministic — do not combine with byte-compared
+             artifacts; use --deadline-evals for a reproducible
+             deadline. X must be positive and finite.
+  --faults FILE
+             arm a declarative fault-injection plan (JSON) for this
+             invocation: {\"panic_at_evaluations\": N} poisons the Nth
+             schedule evaluation, \"cell_panics\" panics named
+             tournament cells (each entry {algorithm, scenario, seed}
+             fires once and is consumed), \"dropouts\" carries
+             disturbance events for replan. Injected cell panics are
+             caught by the tournament harness: cells retry up to the
+             spec's cell_retries budget (same seed, deterministic),
+             then surface as failed cells; retried cells are flagged
+             degraded on the leaderboard instead of being dropped.
   --metrics FILE
              write an observability snapshot (JSON) after the command
              finishes. Turns metric recording on for this invocation;
@@ -122,6 +166,20 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         mshc_obs::install_events_file(std::path::Path::new(path))
             .map_err(|e| format!("--obs-events {path}: {e}"))?;
     }
+    // A fault plan is armed process-globally for exactly this dispatch
+    // and disarmed on every exit path below; arming without a plan
+    // that could fire is harmless (the hooks check a relaxed flag).
+    let fault_plan = match parsed.get("faults") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("--faults {path}: {e}"))?;
+            let plan = mshc_schedule::FaultPlan::from_json(&text)
+                .map_err(|e| format!("--faults {path}: invalid fault plan: {e}"))?;
+            mshc_schedule::faults::arm(&plan);
+            Some(plan)
+        }
+        None => None,
+    };
     let run = || match parsed.positional.first().map(String::as_str) {
         Some("help") => {
             print!("{USAGE}");
@@ -131,6 +189,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         Some("run") => cmd_run(&parsed),
         Some("compare") => cmd_compare(&parsed),
         Some("tournament") => cmd_tournament(&parsed),
+        Some("replan") => cmd_replan(&parsed),
         Some("info") => cmd_info(&parsed),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("missing command".to_string()),
@@ -147,6 +206,9 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     } else {
         run()
     };
+    if fault_plan.is_some() {
+        mshc_schedule::faults::disarm();
+    }
     if outcome.is_ok() {
         if let Some(path) = parsed.get("metrics") {
             std::fs::write(path, mshc_obs::snapshot().to_json())
@@ -204,6 +266,27 @@ fn budget(p: &Parsed) -> Result<RunBudget, String> {
     let wall: f64 = p.get_parse("wall", 0.0)?;
     if wall > 0.0 {
         b.max_wall = Some(Duration::from_secs_f64(wall));
+    }
+    if p.get("deadline-evals").is_some() {
+        let n: u64 = p.get_parse("deadline-evals", 0)?;
+        if n == 0 {
+            return Err("--deadline-evals: must be at least 1 (a zero deadline would \
+                 fire before the first incumbent exists and could never return a \
+                 schedule; omit the flag for no deadline)"
+                .to_string());
+        }
+        b.deadline_evals = Some(n);
+    }
+    if let Some(raw) = p.get("deadline-ms") {
+        let ms: f64 = raw.parse().map_err(|_| format!("--deadline-ms: not a number: {raw:?}"))?;
+        if !ms.is_finite() || ms <= 0.0 {
+            return Err(format!(
+                "--deadline-ms: must be positive and finite, got {raw:?} (this is the \
+                 wall-clock anytime deadline; use --deadline-evals for a deterministic, \
+                 reproducible one)"
+            ));
+        }
+        b.deadline_wall = Some(Duration::from_secs_f64(ms / 1000.0));
     }
     if b.validate().is_err() {
         // An all-`None` budget would make the iterative schedulers run
@@ -304,6 +387,7 @@ fn cmd_run(p: &Parsed) -> Result<(), String> {
         result.evaluations,
         result.elapsed.as_secs_f64()
     );
+    println!("termination: {}", result.termination.as_str());
     if !budget.objective.is_makespan() {
         println!("objective {}: {:.2}", budget.objective.label(), result.objective_value);
     }
@@ -545,6 +629,126 @@ fn cmd_tournament(p: &Parsed) -> Result<(), String> {
     if let Some(path) = p.get("csv") {
         cells_csv(&board, &run.timing).write_file(path).map_err(|e| format!("{path}: {e}"))?;
         println!("cells CSV written to {path}");
+    }
+    Ok(())
+}
+
+/// Builds a steppable (iterative) search for `replan`, mirroring
+/// [`make_scheduler`]'s configuration for the five iterative
+/// algorithms and rejecting the one-shots with an explanation.
+fn make_steppable(p: &Parsed, name: &str) -> Result<Box<dyn SteppableSearch>, String> {
+    let seed: u64 = p.get_parse("seed", 2001)?;
+    Ok(match name {
+        "se" => {
+            let mut cfg = SeConfig { seed, ..SeConfig::default() };
+            cfg.selection_bias = p.get_parse("bias", f64::NAN)?;
+            let y: usize = p.get_parse("y", 0)?;
+            if y > 0 {
+                cfg.y_limit = Some(y);
+            }
+            Box::new(SePendingBias::new(cfg))
+        }
+        "ga" => Box::new(GaScheduler::new(GaConfig { seed, ..GaConfig::default() })),
+        "random" => Box::new(RandomSearch::new(seed)),
+        "sa" => Box::new(SimulatedAnnealing::new(SaConfig { seed, ..SaConfig::default() })),
+        "tabu" => Box::new(TabuSearch::new(TabuConfig { seed, ..TabuConfig::default() })),
+        "heft" | "heft-ins" | "cpop" | "met" | "mct" | "olb" | "min-min" | "max-min" => {
+            return Err(format!(
+                "replan: --algo {name} is a one-shot constructive heuristic; replanning                  re-searches the residual problem from a frozen frontier, which needs an                  iterative search: se, ga, random, sa, tabu"
+            ))
+        }
+        other => return Err(format!("--algo: unknown algorithm {other:?}")),
+    })
+}
+
+/// Resolves the disturbance sequence for `replan`: an explicit trace
+/// file beats the armed fault plan's dropouts, which beat seeded
+/// generation from the event flags.
+fn disturbances(
+    p: &Parsed,
+    baseline_makespan: f64,
+    machines: u32,
+) -> Result<Vec<Disturbance>, String> {
+    if let Some(path) = p.get("disturb") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        // Accept either a full trace ({seed, events: [...]}) or a bare
+        // event array.
+        return serde_json::from_str::<DisturbanceTrace>(&text)
+            .map(|t| t.events)
+            .or_else(|_| serde_json::from_str::<Vec<Disturbance>>(&text))
+            .map_err(|e| format!("{path}: invalid disturbance trace: {e}"));
+    }
+    if p.get("faults").is_some() && mshc_schedule::faults::armed() {
+        let text = std::fs::read_to_string(p.get("faults").expect("checked"))
+            .map_err(|e| e.to_string())?;
+        let plan = mshc_schedule::FaultPlan::from_json(&text).map_err(|e| e.to_string())?;
+        if !plan.dropouts.is_empty() {
+            return Ok(plan.dropouts);
+        }
+    }
+    let events: usize = p.get_parse("events", 3usize)?;
+    if events == 0 {
+        return Err("--events: must be at least 1 (a replan run without disturbances is just                     `mshc run`)"
+            .to_string());
+    }
+    let seed: u64 = p.get_parse("disturb-seed", 2001u64)?;
+    let spec = if p.flag("dropout") {
+        DisturbanceTraceSpec::dropout(events, baseline_makespan, machines)
+    } else {
+        DisturbanceTraceSpec::balanced(events, baseline_makespan, machines)
+    };
+    Ok(DisturbanceTrace::generate(&spec, seed).events)
+}
+
+fn cmd_replan(p: &Parsed) -> Result<(), String> {
+    let algo = p.get("algo").unwrap_or("se").to_string();
+    let inst = load_instance(p)?;
+    let budget = budget(p)?;
+    let mut search = make_steppable(p, &algo)?;
+    let baseline = {
+        let _span = mshc_obs::span("replan-baseline");
+        search.run(&inst, &budget, None)
+    };
+    let events = disturbances(p, baseline.makespan, inst.machine_count() as u32)?;
+    let mut replanner = Replanner::new(&inst, baseline.solution);
+    println!("{algo}: baseline makespan {:.2} | {} disturbances", baseline.makespan, events.len());
+    for d in &events {
+        let record = {
+            let _span = mshc_obs::span("replan-event");
+            replanner.apply(d, search.as_mut(), &budget).map_err(|e| format!("replan: {e}"))?
+        };
+        let target = match d.kind {
+            mshc_schedule::DisturbanceKind::TaskInflation => "all tasks".to_string(),
+            _ => format!("m{}", d.machine),
+        };
+        println!(
+            "  {} at t={:.2} ({}): {} committed, {} residual on {} machines -> makespan {:.2}              ({})",
+            record.kind,
+            record.time,
+            target,
+            record.committed,
+            record.residual,
+            record.survivors,
+            record.makespan,
+            record.termination
+        );
+    }
+    let report = replanner.report();
+    println!(
+        "final: makespan {:.2} ({:+.2} vs baseline) | {} replans | {} evaluations",
+        report.final_makespan,
+        report.final_makespan - report.baseline_makespan,
+        report.replans,
+        report.evaluations
+    );
+    if p.flag("report") {
+        if let (Some(lb), Some(gap)) = (report.lower_bound, report.gap) {
+            println!("certificate: residual lower bound {lb:.2} | gap {gap:.4}x");
+        }
+    }
+    if let Some(path) = p.get("out") {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        println!("replan report written to {path} ({} records)", report.records.len());
     }
     Ok(())
 }
@@ -1042,6 +1246,178 @@ mod tests {
         std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
         dispatch(&argv(&["tournament", "--spec", path.to_str().unwrap(), "--report"])).unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deadline_flags_parse_and_stop_runs() {
+        // The deterministic deadline reaches the budget and the run
+        // reports the deadline termination.
+        let p = parse(&argv(&["--iters", "500", "--deadline-evals", "9"]));
+        let b = budget(&p).unwrap();
+        assert_eq!(b.deadline_evals, Some(9));
+        assert!(b.validate().is_ok());
+        let p = parse(&argv(&["--iters", "5", "--deadline-ms", "250"]));
+        let b = budget(&p).unwrap();
+        assert_eq!(b.deadline_wall, Some(Duration::from_millis(250)));
+        // A deadline alone bounds the budget: no loud --iters default.
+        let b = budget(&parse(&argv(&["--deadline-evals", "50"]))).unwrap();
+        assert_eq!(b.max_iterations, None);
+        assert!(b.validate().is_ok());
+        // Rejections explain themselves.
+        let e = dispatch(&argv(&["run", "--algo", "se", "--deadline-evals", "0"])).unwrap_err();
+        assert!(e.contains("at least 1"), "{e}");
+        let e = dispatch(&argv(&["run", "--algo", "se", "--deadline-ms", "NaN"])).unwrap_err();
+        assert!(e.contains("positive and finite"), "{e}");
+        let e = dispatch(&argv(&["run", "--algo", "se", "--deadline-ms", "-3"])).unwrap_err();
+        assert!(e.contains("positive and finite"), "{e}");
+        let e = dispatch(&argv(&["run", "--algo", "se", "--deadline-ms", "abc"])).unwrap_err();
+        assert!(e.contains("not a number"), "{e}");
+        // End to end: a tight deterministic deadline still yields a
+        // schedule.
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "sa",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "500",
+            "--deadline-evals",
+            "20",
+        ]))
+        .unwrap();
+        assert!(USAGE.contains("--deadline-evals"));
+        assert!(USAGE.contains("--deadline-ms"));
+    }
+
+    #[test]
+    fn faults_flag_arms_and_disarms_a_plan() {
+        let dir = std::env::temp_dir().join("mshc_cli_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let plan = dir.join("plan.json");
+        // No injections that can fire in this run — the flag must
+        // round-trip the plan and leave the process disarmed after.
+        std::fs::write(&plan, "{\"seed\": 1}").unwrap();
+        dispatch(&argv(&[
+            "run",
+            "--algo",
+            "heft",
+            "--tasks",
+            "10",
+            "--machines",
+            "3",
+            "--faults",
+            plan.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(!mshc_schedule::faults::armed(), "--faults must disarm on exit");
+        // Unreadable and malformed plans explain themselves.
+        let e = dispatch(&argv(&["run", "--algo", "heft", "--faults", "nope.json"])).unwrap_err();
+        assert!(e.contains("--faults"), "{e}");
+        std::fs::write(&plan, "not json").unwrap();
+        let e = dispatch(&argv(&["run", "--algo", "heft", "--faults", plan.to_str().unwrap()]))
+            .unwrap_err();
+        assert!(e.contains("invalid fault plan"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(USAGE.contains("--faults"));
+    }
+
+    #[test]
+    fn replan_smoke_writes_deterministic_report() {
+        let dir = std::env::temp_dir().join("mshc_cli_replan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("replan.json");
+        let args = [
+            "replan",
+            "--algo",
+            "sa",
+            "--tasks",
+            "14",
+            "--machines",
+            "4",
+            "--iters",
+            "30",
+            "--events",
+            "3",
+            "--disturb-seed",
+            "5",
+            "--out",
+            out.to_str().unwrap(),
+        ];
+        dispatch(&argv(&args)).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        let report = mshc_schedule::ReplanReport::from_json(&first).unwrap();
+        assert_eq!(report.records.len(), 3);
+        assert!(report.final_makespan > 0.0);
+        // Re-running reproduces the artifact byte for byte.
+        dispatch(&argv(&args)).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), first);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replan_rejects_oneshots_and_reads_traces() {
+        let e = dispatch(&argv(&["replan", "--algo", "heft", "--tasks", "10", "--machines", "3"]))
+            .unwrap_err();
+        assert!(e.contains("iterative"), "{e}");
+        let e = dispatch(&argv(&[
+            "replan",
+            "--algo",
+            "sa",
+            "--tasks",
+            "10",
+            "--machines",
+            "3",
+            "--iters",
+            "5",
+            "--events",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--events"), "{e}");
+        // An explicit trace file (bare event array form) drives the run.
+        let dir = std::env::temp_dir().join("mshc_cli_replan_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        std::fs::write(
+            &trace,
+            "[{\"kind\": \"MachineFailure\", \"time\": 10.0, \"machine\": 1, \"factor\": 1.0}]",
+        )
+        .unwrap();
+        dispatch(&argv(&[
+            "replan",
+            "--algo",
+            "random",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "10",
+            "--disturb",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&trace, "nonsense").unwrap();
+        let e = dispatch(&argv(&[
+            "replan",
+            "--algo",
+            "random",
+            "--tasks",
+            "12",
+            "--machines",
+            "3",
+            "--iters",
+            "10",
+            "--disturb",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("invalid disturbance trace"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(USAGE.contains("replan"));
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl SteppableSearch for SeScheduler {
         Box::new(SeState {
             inst,
             cfg,
-            budget: *budget,
+            budget: budget.clone(),
             objective,
             rng,
             optimal,
@@ -132,6 +132,7 @@ impl SteppableSearch for SeScheduler {
             bias: cfg.selection_bias,
             bound,
             early_stopped: false,
+            cancelled: false,
             start,
         })
     }
@@ -170,6 +171,10 @@ struct SeState<'a> {
     /// stopped early (observable only as fewer evaluations — never a
     /// different solution, since nothing below the floor exists).
     early_stopped: bool,
+    /// Latched cooperative-cancellation flag: set the first time the
+    /// budget's [`mshc_schedule::CancelToken`] is observed fired at an
+    /// iteration boundary (never mid-evaluation, so counts stay exact).
+    cancelled: bool,
     start: Instant,
 }
 
@@ -202,7 +207,8 @@ impl SearchStep for SeState<'_> {
 
         while !self.early_stopped
             && stepped < max_iterations
-            && !self.budget.exhausted(
+            && !self.budget.observe_cancel(&mut self.cancelled)
+            && !self.budget.halted(
                 self.iterations,
                 self.evaluations + eval.evaluations(),
                 self.start.elapsed(),
@@ -282,7 +288,8 @@ impl SearchStep for SeState<'_> {
         self.scan.merge(inc.stats());
         self.scan.merge(batch.scan_stats());
         if self.early_stopped
-            || self.budget.exhausted(
+            || self.cancelled
+            || self.budget.halted(
                 self.iterations,
                 self.evaluations,
                 self.start.elapsed(),
@@ -336,6 +343,14 @@ impl SearchStep for SeState<'_> {
             lower_bound,
             gap: certified_gap(lower_bound, self.best_score),
             early_stopped: self.early_stopped,
+            termination: self.budget.termination(
+                self.iterations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+                self.early_stopped,
+                self.cancelled,
+            ),
         }
     }
 }

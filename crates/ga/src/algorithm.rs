@@ -187,7 +187,7 @@ impl SteppableSearch for GaScheduler {
         Box::new(GaState {
             inst,
             cfg,
-            budget: *budget,
+            budget: budget.clone(),
             objective,
             rng,
             snapshot,
@@ -203,6 +203,7 @@ impl SteppableSearch for GaScheduler {
             scan: ScanStats::default(),
             lower_bound,
             early_stopped: false,
+            cancelled: false,
             start,
         })
     }
@@ -236,6 +237,9 @@ struct GaState<'a> {
     /// Set when the incumbent reached the floor and the run stopped
     /// early (the incumbent is then provably optimal).
     early_stopped: bool,
+    /// Latched cooperative-cancellation flag (checked at generation
+    /// boundaries only, so evaluation counts stay exact).
+    cancelled: bool,
     start: Instant,
 }
 
@@ -258,7 +262,8 @@ impl SearchStep for GaState<'_> {
             self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
         while !self.early_stopped
             && stepped < max_iterations
-            && !self.budget.exhausted(
+            && !self.budget.observe_cancel(&mut self.cancelled)
+            && !self.budget.halted(
                 self.generations,
                 self.evaluations + batch.evaluations(),
                 self.start.elapsed(),
@@ -376,7 +381,8 @@ impl SearchStep for GaState<'_> {
         self.evaluations += batch.evaluations();
         self.scan.merge(batch.scan_stats());
         if self.early_stopped
-            || self.budget.exhausted(
+            || self.cancelled
+            || self.budget.halted(
                 self.generations,
                 self.evaluations,
                 self.start.elapsed(),
@@ -440,6 +446,14 @@ impl SearchStep for GaState<'_> {
             lower_bound: self.lower_bound,
             gap: certified_gap(self.lower_bound, self.best_cost),
             early_stopped: self.early_stopped,
+            termination: self.budget.termination(
+                self.generations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+                self.early_stopped,
+                self.cancelled,
+            ),
         }
     }
 }
@@ -568,7 +582,7 @@ mod tests {
                     let mut full_trace = Trace::new();
                     let full = GaScheduler::with_seed(seed).run(
                         &inst,
-                        &budget.with_ga_full_eval(true),
+                        &budget.clone().with_ga_full_eval(true),
                         Some(&mut full_trace),
                     );
                     let mut spliced_trace = Trace::new();

@@ -74,7 +74,7 @@ proptest! {
         let (full, full_trace, spliced, spliced_trace) = pool.install(|| {
             let mut full_trace = Trace::new();
             let full = GaScheduler::with_seed(seed)
-                .run(&inst, &budget.with_ga_full_eval(true), Some(&mut full_trace));
+                .run(&inst, &budget.clone().with_ga_full_eval(true), Some(&mut full_trace));
             let mut spliced_trace = Trace::new();
             let spliced =
                 GaScheduler::with_seed(seed).run(&inst, &budget, Some(&mut spliced_trace));

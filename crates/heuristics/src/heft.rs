@@ -2,7 +2,7 @@
 
 use crate::builder::ListScheduleBuilder;
 use mshc_platform::{HcInstance, MachineId};
-use mshc_schedule::{report_objective_value, RunBudget, RunResult, Scheduler};
+use mshc_schedule::{report_objective_value, RunBudget, RunResult, Scheduler, Termination};
 use mshc_taskgraph::{TaskId, TopoOrder};
 use mshc_trace::Trace;
 use std::time::Instant;
@@ -205,6 +205,7 @@ impl Scheduler for HeftScheduler {
             lower_bound: None,
             gap: None,
             early_stopped: false,
+            termination: Termination::Completed,
         }
         .with_certificate(inst, budget.objective)
     }
@@ -296,6 +297,7 @@ impl Scheduler for CpopScheduler {
             lower_bound: None,
             gap: None,
             early_stopped: false,
+            termination: Termination::Completed,
         }
         .with_certificate(inst, budget.objective)
     }

@@ -4,7 +4,7 @@
 
 use crate::builder::ListScheduleBuilder;
 use mshc_platform::HcInstance;
-use mshc_schedule::{RunBudget, RunResult, Scheduler};
+use mshc_schedule::{RunBudget, RunResult, Scheduler, Termination};
 use mshc_trace::Trace;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -152,6 +152,7 @@ impl Scheduler for ListScheduler {
             lower_bound: None,
             gap: None,
             early_stopped: false,
+            termination: Termination::Completed,
         }
         .with_certificate(inst, budget.objective)
     }

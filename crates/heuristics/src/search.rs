@@ -116,7 +116,7 @@ impl SteppableSearch for RandomSearch {
         Box::new(RandomState {
             lower_bound: certified_floor(inst, objective),
             inst,
-            budget: *budget,
+            budget: budget.clone(),
             objective,
             rng,
             snapshot,
@@ -126,6 +126,7 @@ impl SteppableSearch for RandomSearch {
             stall: 0,
             evaluations,
             early_stopped: false,
+            cancelled: false,
             start,
         })
     }
@@ -148,6 +149,9 @@ struct RandomState<'a> {
     /// Set when the incumbent reached the floor and the run stopped
     /// early (the incumbent is then provably optimal).
     early_stopped: bool,
+    /// Latched cooperative-cancellation flag (checked at iteration
+    /// boundaries only, so evaluation counts stay exact).
+    cancelled: bool,
     start: Instant,
 }
 
@@ -165,7 +169,8 @@ impl SearchStep for RandomState<'_> {
             self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
         while !self.early_stopped
             && stepped < max_iterations
-            && !self.budget.exhausted(
+            && !self.budget.observe_cancel(&mut self.cancelled)
+            && !self.budget.halted(
                 self.iterations,
                 self.evaluations + eval.evaluations(),
                 self.start.elapsed(),
@@ -201,7 +206,8 @@ impl SearchStep for RandomState<'_> {
         }
         self.evaluations += eval.evaluations();
         if self.early_stopped
-            || self.budget.exhausted(
+            || self.cancelled
+            || self.budget.halted(
                 self.iterations,
                 self.evaluations,
                 self.start.elapsed(),
@@ -241,6 +247,14 @@ impl SearchStep for RandomState<'_> {
             lower_bound: self.lower_bound,
             gap: certified_gap(self.lower_bound, self.best_cost),
             early_stopped: self.early_stopped,
+            termination: self.budget.termination(
+                self.iterations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+                self.early_stopped,
+                self.cancelled,
+            ),
         }
     }
 }
@@ -322,7 +336,7 @@ impl SteppableSearch for SimulatedAnnealing {
             lower_bound: certified_floor(inst, objective),
             inst,
             cfg,
-            budget: *budget,
+            budget: budget.clone(),
             objective,
             rng,
             snapshot,
@@ -336,6 +350,7 @@ impl SteppableSearch for SimulatedAnnealing {
             proposals: 0,
             scan: ScanStats::default(),
             early_stopped: false,
+            cancelled: false,
             start,
         })
     }
@@ -372,6 +387,9 @@ struct SaState<'a> {
     /// Set when the incumbent reached the floor and the run stopped
     /// early (the incumbent is then provably optimal).
     early_stopped: bool,
+    /// Latched cooperative-cancellation flag (checked at iteration
+    /// boundaries only, so evaluation counts stay exact).
+    cancelled: bool,
     start: Instant,
 }
 
@@ -394,7 +412,8 @@ impl SearchStep for SaState<'_> {
             self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
         while !self.early_stopped
             && stepped < max_iterations
-            && !self.budget.exhausted(
+            && !self.budget.observe_cancel(&mut self.cancelled)
+            && !self.budget.halted(
                 self.iterations,
                 1 + self.proposals + inc.evaluations(),
                 self.start.elapsed(),
@@ -442,7 +461,8 @@ impl SearchStep for SaState<'_> {
         self.proposals += inc.evaluations();
         self.scan.merge(inc.stats());
         if self.early_stopped
-            || self.budget.exhausted(
+            || self.cancelled
+            || self.budget.halted(
                 self.iterations,
                 1 + self.proposals,
                 self.start.elapsed(),
@@ -487,6 +507,14 @@ impl SearchStep for SaState<'_> {
             lower_bound: self.lower_bound,
             gap: certified_gap(self.lower_bound, self.best_cost),
             early_stopped: self.early_stopped,
+            termination: self.budget.termination(
+                self.iterations,
+                1 + self.proposals,
+                self.start.elapsed(),
+                self.stall,
+                self.early_stopped,
+                self.cancelled,
+            ),
         }
     }
 }
@@ -564,7 +592,7 @@ impl SteppableSearch for TabuSearch {
             lower_bound: certified_floor(inst, objective),
             inst,
             cfg,
-            budget: *budget,
+            budget: budget.clone(),
             objective,
             rng,
             snapshot,
@@ -580,6 +608,7 @@ impl SteppableSearch for TabuSearch {
             evaluations,
             scan: ScanStats::default(),
             early_stopped: false,
+            cancelled: false,
             start,
         })
     }
@@ -612,6 +641,9 @@ struct TabuState<'a> {
     /// Set when the incumbent reached the floor and the run stopped
     /// early (the incumbent is then provably optimal).
     early_stopped: bool,
+    /// Latched cooperative-cancellation flag (checked at iteration
+    /// boundaries only, so evaluation counts stay exact).
+    cancelled: bool,
     start: Instant,
 }
 
@@ -633,7 +665,8 @@ impl SearchStep for TabuState<'_> {
             self.early_stopped || self.budget.floor_reached(self.lower_bound, self.best_cost);
         while !self.early_stopped
             && stepped < max_iterations
-            && !self.budget.exhausted(
+            && !self.budget.observe_cancel(&mut self.cancelled)
+            && !self.budget.halted(
                 self.iterations,
                 self.evaluations + batch.evaluations(),
                 self.start.elapsed(),
@@ -701,7 +734,8 @@ impl SearchStep for TabuState<'_> {
         self.evaluations += batch.evaluations();
         self.scan.merge(batch.scan_stats());
         if self.early_stopped
-            || self.budget.exhausted(
+            || self.cancelled
+            || self.budget.halted(
                 self.iterations,
                 self.evaluations,
                 self.start.elapsed(),
@@ -745,6 +779,14 @@ impl SearchStep for TabuState<'_> {
             lower_bound: self.lower_bound,
             gap: certified_gap(self.lower_bound, self.best_cost),
             early_stopped: self.early_stopped,
+            termination: self.budget.termination(
+                self.iterations,
+                self.evaluations,
+                self.start.elapsed(),
+                self.stall,
+                self.early_stopped,
+                self.cancelled,
+            ),
         }
     }
 }

@@ -63,7 +63,7 @@
 //! assert_eq!(snap.deterministic.evaluations, 1);
 //! obs::enable(false);
 //! let json = snap.to_json(); // the `--metrics` wire format
-//! assert!(json.contains("\"schema_version\":1"));
+//! assert!(json.contains("\"schema_version\":2"));
 //! ```
 
 mod events;

@@ -75,10 +75,21 @@ pub enum Counter {
     CellsCompleted,
     /// Tournament cells that panicked.
     CellsPanicked,
+    /// Cell retry attempts after a panic (one per retry, not per cell).
+    CellsRetried,
+    /// Cells that completed only after at least one retry.
+    CellsDegraded,
+    /// Runs interrupted by a fired [`CancelToken`]; latched once per
+    /// run, like `EarlyStops`.
+    ///
+    /// [`CancelToken`]: ../../mshc_schedule/struct.CancelToken.html
+    Cancellations,
+    /// Replanning passes executed after a disturbance.
+    Replans,
 }
 
 /// Number of [`Counter`] variants (storage array length).
-const COUNTERS: usize = Counter::CellsPanicked as usize + 1;
+const COUNTERS: usize = Counter::Replans as usize + 1;
 
 impl Counter {
     /// Every counter, in storage order.
@@ -94,6 +105,10 @@ impl Counter {
         Counter::EarlyStops,
         Counter::CellsCompleted,
         Counter::CellsPanicked,
+        Counter::CellsRetried,
+        Counter::CellsDegraded,
+        Counter::Cancellations,
+        Counter::Replans,
     ];
 
     /// Stable wire name (the snapshot JSON field).
@@ -110,6 +125,10 @@ impl Counter {
             Counter::EarlyStops => "early_stops",
             Counter::CellsCompleted => "cells_completed",
             Counter::CellsPanicked => "cells_panicked",
+            Counter::CellsRetried => "cells_retried",
+            Counter::CellsDegraded => "cells_degraded",
+            Counter::Cancellations => "cancellations",
+            Counter::Replans => "replans",
         }
     }
 
@@ -149,10 +168,12 @@ pub enum Hist {
     CellUs,
     /// Generic named-span duration ([`crate::span`]).
     SpanUs,
+    /// Replanning latency per disturbance (freeze + residual search).
+    ReplanUs,
 }
 
 /// Number of [`Hist`] variants (storage array length).
-const HISTS: usize = Hist::SpanUs as usize + 1;
+const HISTS: usize = Hist::ReplanUs as usize + 1;
 
 impl Hist {
     /// Histograms sample wall clocks: timing plane.
@@ -295,6 +316,7 @@ pub fn snapshot() -> Snapshot {
         scan_latency_us: hist(Hist::ScanLatencyUs),
         cell_us: hist(Hist::CellUs),
         span_us: hist(Hist::SpanUs),
+        replan_us: hist(Hist::ReplanUs),
     };
     Snapshot::assemble(det, timing)
 }

@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// `BENCH_eval.json`). Bump on any wire-incompatible change to
 /// [`Snapshot`]; additive fields with `#[serde(default)]` do not
 /// require a bump.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Number of log₂ histogram buckets: bucket `b` (for `b ≥ 1`) counts
 /// samples `v` with `2^(b-1) ≤ v < 2^b`; bucket 0 counts `v == 0`,
@@ -101,6 +101,18 @@ pub struct DeterministicPlane {
     /// Tournament cells that panicked.
     #[serde(default)]
     pub cells_panicked: u64,
+    /// Cell retry attempts after a panic (one per retry, not per cell).
+    #[serde(default)]
+    pub cells_retried: u64,
+    /// Cells that completed only after at least one retry.
+    #[serde(default)]
+    pub cells_degraded: u64,
+    /// Runs interrupted by a fired cancel token.
+    #[serde(default)]
+    pub cancellations: u64,
+    /// Replanning passes executed after a disturbance.
+    #[serde(default)]
+    pub replans: u64,
 }
 
 impl DeterministicPlane {
@@ -119,6 +131,10 @@ impl DeterministicPlane {
             Counter::EarlyStops => &mut self.early_stops,
             Counter::CellsCompleted => &mut self.cells_completed,
             Counter::CellsPanicked => &mut self.cells_panicked,
+            Counter::CellsRetried => &mut self.cells_retried,
+            Counter::CellsDegraded => &mut self.cells_degraded,
+            Counter::Cancellations => &mut self.cancellations,
+            Counter::Replans => &mut self.replans,
         }
     }
 
@@ -153,6 +169,10 @@ impl DeterministicPlane {
         self.early_stops += other.early_stops;
         self.cells_completed += other.cells_completed;
         self.cells_panicked += other.cells_panicked;
+        self.cells_retried += other.cells_retried;
+        self.cells_degraded += other.cells_degraded;
+        self.cancellations += other.cancellations;
+        self.replans += other.replans;
     }
 }
 
@@ -203,6 +223,9 @@ pub struct TimingPlane {
     /// Named span durations, microseconds.
     #[serde(default)]
     pub span_us: Histogram,
+    /// Replanning latencies per disturbance, microseconds.
+    #[serde(default)]
+    pub replan_us: Histogram,
 }
 
 impl TimingPlane {
@@ -226,6 +249,7 @@ impl TimingPlane {
         self.scan_latency_us.merge(&other.scan_latency_us);
         self.cell_us.merge(&other.cell_us);
         self.span_us.merge(&other.span_us);
+        self.replan_us.merge(&other.replan_us);
     }
 }
 
@@ -342,6 +366,10 @@ mod tests {
             early_stops: k % 2,
             cells_completed: k,
             cells_panicked: 0,
+            cells_retried: k % 3,
+            cells_degraded: k % 2,
+            cancellations: k,
+            replans: k,
         };
         let timing = TimingPlane {
             steal_count: k,
@@ -355,6 +383,7 @@ mod tests {
             scan_latency_us: hist_of(&[k, 10 * k, 100 * k]),
             cell_us: hist_of(&[1000 * k]),
             span_us: Histogram::default(),
+            replan_us: hist_of(&[50 * k]),
         };
         Snapshot::assemble(det, timing)
     }
@@ -396,5 +425,34 @@ mod tests {
         // Defaults tolerate a bare document (forward compatibility).
         let minimal = Snapshot::from_json("{\"schema_version\":1}").expect("minimal");
         assert_eq!(minimal.deterministic, DeterministicPlane::default());
+    }
+
+    #[test]
+    fn v1_snapshot_migrates_forward() {
+        // A schema-1 document (pre fault-tolerance counters) parses into
+        // the v2 struct: missing counters default to zero, the replan
+        // histogram defaults to empty, and the old stamp is preserved so
+        // callers can detect the migration.
+        let v1 = concat!(
+            "{\"schema_version\":1,",
+            "\"deterministic\":{\"evaluations\":42,\"iterations\":7,",
+            "\"cells_completed\":3,\"cells_panicked\":1},",
+            "\"timing\":{\"steal_count\":5,",
+            "\"span_us\":{\"buckets\":[0,2]}}}"
+        );
+        let snap = Snapshot::from_json(v1).expect("v1 parses");
+        assert_eq!(snap.schema_version, 1);
+        assert_eq!(snap.deterministic.evaluations, 42);
+        assert_eq!(snap.deterministic.cells_panicked, 1);
+        assert_eq!(snap.deterministic.cells_retried, 0);
+        assert_eq!(snap.deterministic.cells_degraded, 0);
+        assert_eq!(snap.deterministic.cancellations, 0);
+        assert_eq!(snap.deterministic.replans, 0);
+        assert_eq!(snap.timing.replan_us, Histogram::default());
+        // Merging a v1 snapshot into a v2 one keeps the newer stamp.
+        let mut merged = Snapshot::assemble(DeterministicPlane::default(), TimingPlane::default());
+        merged.merge(&snap);
+        assert_eq!(merged.schema_version, SCHEMA_VERSION);
+        assert_eq!(merged.deterministic.evaluations, 42);
     }
 }

@@ -62,6 +62,19 @@ pub struct CellOutcome {
     /// the certified floor.
     #[serde(default)]
     pub early_stopped: bool,
+    /// Same-seed attempts beyond the first this cell needed (injected
+    /// or real panics caught and retried). 0 for clean cells.
+    #[serde(default)]
+    pub retries: u64,
+    /// Whether the cell completed only after retries: marked in the
+    /// leaderboard instead of being dropped.
+    #[serde(default)]
+    pub degraded: bool,
+    /// Why the run stopped (`completed`/`budget`/`deadline`/
+    /// `cancelled`/`floor`; empty for failed cells and files written
+    /// before the termination taxonomy existed).
+    #[serde(default)]
+    pub termination: String,
     /// Panic message when `ok` is false, empty otherwise.
     pub error: String,
 }
@@ -133,7 +146,7 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-fn failed_cell(race: &Race, algorithm: &str, error: String) -> CellOutcome {
+fn failed_cell(race: &Race, algorithm: &str, error: String, retries: u64) -> CellOutcome {
     obs::add(obs::Counter::CellsPanicked, 1);
     obs::emit_event(
         "cell_panicked",
@@ -158,12 +171,18 @@ fn failed_cell(race: &Race, algorithm: &str, error: String) -> CellOutcome {
         lower_bound: None,
         gap: None,
         early_stopped: false,
+        retries,
+        degraded: retries > 0,
+        termination: String::new(),
         error,
     }
 }
 
-fn finished_cell(race: &Race, algorithm: &str, result: &RunResult) -> CellOutcome {
+fn finished_cell(race: &Race, algorithm: &str, result: &RunResult, retries: u64) -> CellOutcome {
     obs::add(obs::Counter::CellsCompleted, 1);
+    if retries > 0 {
+        obs::add(obs::Counter::CellsDegraded, 1);
+    }
     obs::emit_event(
         "cell_finished",
         &[
@@ -176,6 +195,7 @@ fn finished_cell(race: &Race, algorithm: &str, result: &RunResult) -> CellOutcom
             ("iterations", obs::EventValue::U64(result.iterations)),
             ("evaluations", obs::EventValue::U64(result.evaluations)),
             ("early_stopped", obs::EventValue::Bool(result.early_stopped)),
+            ("termination", obs::EventValue::Str(result.termination.as_str())),
         ],
     );
     CellOutcome {
@@ -191,7 +211,37 @@ fn finished_cell(race: &Race, algorithm: &str, result: &RunResult) -> CellOutcom
         lower_bound: result.lower_bound,
         gap: result.gap,
         early_stopped: result.early_stopped,
+        retries,
+        degraded: retries > 0,
+        termination: result.termination.as_str().to_string(),
         error: String::new(),
+    }
+}
+
+/// Bumps the deterministic retry counter and emits the retry event.
+fn note_retry(race: &Race, algorithm: &str, error: &str) {
+    obs::add(obs::Counter::CellsRetried, 1);
+    obs::emit_event(
+        "cell_retried",
+        &[
+            ("algorithm", obs::EventValue::Str(algorithm)),
+            ("scenario", obs::EventValue::Str(&race.scenario.tag())),
+            ("seed", obs::EventValue::U64(race.seed)),
+            ("error", obs::EventValue::Str(error)),
+        ],
+    );
+}
+
+/// The chaos hook on cell attempts: consumes a matching [`CellFault`]
+/// from the armed fault plan (if any) and panics the attempt. Faults
+/// are keyed by the cell's identity `(algorithm, scenario, seed)` and
+/// consumed on use, so injection is deterministic at any thread count
+/// and the same-seed retry finds the fault gone.
+///
+/// [`CellFault`]: mshc_schedule::CellFault
+fn fault_gate(race: &Race, algorithm: &str) {
+    if mshc_schedule::faults::take_cell_fault(algorithm, &race.scenario.tag(), race.seed) {
+        panic!("{} injected cell panic", mshc_schedule::FAULT_PANIC_PREFIX);
     }
 }
 
@@ -223,7 +273,7 @@ fn run_race_inner(spec: &TournamentSpec, race: &Race) -> Vec<(CellOutcome, CellT
                 .algorithms
                 .iter()
                 .map(|a| {
-                    (failed_cell(race, a, msg.clone()), cell_timing(0.0, ScanStats::default()))
+                    (failed_cell(race, a, msg.clone(), 0), cell_timing(0.0, ScanStats::default()))
                 })
                 .collect();
         }
@@ -246,15 +296,34 @@ fn run_race_independent(
         .iter()
         .map(|algorithm| {
             let t0 = Instant::now();
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let mut contestant =
-                    build_contestant(algorithm, race.seed).expect("spec validated");
-                contestant.run(inst, budget)
-            }));
-            let (cell, scan) = match outcome {
-                Ok(result) => (finished_cell(race, algorithm, &result), result.scan),
-                Err(payload) => {
-                    (failed_cell(race, algorithm, panic_message(payload)), ScanStats::default())
+            // Bounded deterministic same-seed retries: every attempt
+            // re-runs with identical inputs, so a retry differs from the
+            // first attempt only if the panic cause was external
+            // (injected faults are consumed on use; real heisenbugs get
+            // their second chance). Attempt count is part of the
+            // deterministic outcome.
+            let mut retries = 0u64;
+            let (cell, scan) = loop {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut contestant =
+                        build_contestant(algorithm, race.seed).expect("spec validated");
+                    fault_gate(race, algorithm);
+                    contestant.run(inst, budget)
+                }));
+                match outcome {
+                    Ok(result) => {
+                        break (finished_cell(race, algorithm, &result, retries), result.scan)
+                    }
+                    Err(payload) if retries < spec.cell_retries => {
+                        retries += 1;
+                        note_retry(race, algorithm, &panic_message(payload));
+                    }
+                    Err(payload) => {
+                        break (
+                            failed_cell(race, algorithm, panic_message(payload), retries),
+                            ScanStats::default(),
+                        )
+                    }
                 }
             };
             (cell, cell_timing(t0.elapsed().as_secs_f64(), scan))
@@ -264,8 +333,8 @@ fn run_race_independent(
 
 /// One contestant's live state during a portfolio race.
 enum Lane<'a> {
-    Alive { state: Box<dyn SearchStep + 'a>, secs: f64, exhausted: bool },
-    Dead { error: String, secs: f64 },
+    Alive { state: Box<dyn SearchStep + 'a>, secs: f64, exhausted: bool, retries: u64 },
+    Dead { error: String, secs: f64, retries: u64 },
 }
 
 fn run_race_portfolio<'a>(
@@ -280,14 +349,36 @@ fn run_race_portfolio<'a>(
         .iter()
         .map(|algorithm| {
             let t0 = Instant::now();
-            match catch_unwind(AssertUnwindSafe(|| {
-                build_contestant(algorithm, race.seed).expect("spec validated").start(inst, budget)
-            })) {
-                Ok(state) => {
-                    Lane::Alive { state, secs: t0.elapsed().as_secs_f64(), exhausted: false }
-                }
-                Err(payload) => {
-                    Lane::Dead { error: panic_message(payload), secs: t0.elapsed().as_secs_f64() }
+            // Same bounded retry policy as independent cells, applied to
+            // the start phase (where injected cell faults fire). Step
+            // and inject panics are not retried: mid-run state is gone.
+            let mut retries = 0u64;
+            loop {
+                match catch_unwind(AssertUnwindSafe(|| {
+                    let contestant =
+                        build_contestant(algorithm, race.seed).expect("spec validated");
+                    fault_gate(race, algorithm);
+                    contestant.start(inst, budget)
+                })) {
+                    Ok(state) => {
+                        break Lane::Alive {
+                            state,
+                            secs: t0.elapsed().as_secs_f64(),
+                            exhausted: false,
+                            retries,
+                        }
+                    }
+                    Err(payload) if retries < spec.cell_retries => {
+                        retries += 1;
+                        note_retry(race, algorithm, &panic_message(payload));
+                    }
+                    Err(payload) => {
+                        break Lane::Dead {
+                            error: panic_message(payload),
+                            secs: t0.elapsed().as_secs_f64(),
+                            retries,
+                        }
+                    }
                 }
             }
         })
@@ -300,7 +391,7 @@ fn run_race_portfolio<'a>(
     let slice = spec.iterations.div_ceil(spec.rounds).max(1);
     for _ in 0..spec.rounds {
         for lane in &mut lanes {
-            if let Lane::Alive { state, secs, exhausted } = lane {
+            if let Lane::Alive { state, secs, exhausted, retries } = lane {
                 if *exhausted {
                     continue;
                 }
@@ -312,7 +403,8 @@ fn run_race_portfolio<'a>(
                     }
                     Err(payload) => {
                         let secs = *secs + t0.elapsed().as_secs_f64();
-                        *lane = Lane::Dead { error: panic_message(payload), secs };
+                        let retries = *retries;
+                        *lane = Lane::Dead { error: panic_message(payload), secs, retries };
                     }
                 }
             }
@@ -337,13 +429,14 @@ fn run_race_portfolio<'a>(
                 if i == donor {
                     continue;
                 }
-                if let Lane::Alive { state, secs, .. } = lane {
+                if let Lane::Alive { state, secs, retries, .. } = lane {
                     let t0 = Instant::now();
                     if let Err(payload) =
                         catch_unwind(AssertUnwindSafe(|| state.inject(&solution, cost)))
                     {
                         let secs = *secs + t0.elapsed().as_secs_f64();
-                        *lane = Lane::Dead { error: panic_message(payload), secs };
+                        let retries = *retries;
+                        *lane = Lane::Dead { error: panic_message(payload), secs, retries };
                     }
                 }
             }
@@ -362,20 +455,22 @@ fn run_race_portfolio<'a>(
         .into_iter()
         .zip(&spec.algorithms)
         .map(|(lane, algorithm)| match lane {
-            Lane::Alive { mut state, mut secs, .. } => {
+            Lane::Alive { mut state, mut secs, retries, .. } => {
                 let t0 = Instant::now();
                 let (cell, scan) = match catch_unwind(AssertUnwindSafe(|| state.result())) {
-                    Ok(result) => (finished_cell(race, algorithm, &result), result.scan),
-                    Err(payload) => {
-                        (failed_cell(race, algorithm, panic_message(payload)), ScanStats::default())
-                    }
+                    Ok(result) => (finished_cell(race, algorithm, &result, retries), result.scan),
+                    Err(payload) => (
+                        failed_cell(race, algorithm, panic_message(payload), retries),
+                        ScanStats::default(),
+                    ),
                 };
                 secs += t0.elapsed().as_secs_f64();
                 (cell, cell_timing(secs, scan))
             }
-            Lane::Dead { error, secs } => {
-                (failed_cell(race, algorithm, error), cell_timing(secs, ScanStats::default()))
-            }
+            Lane::Dead { error, secs, retries } => (
+                failed_cell(race, algorithm, error, retries),
+                cell_timing(secs, ScanStats::default()),
+            ),
         })
         .collect()
 }

@@ -48,6 +48,10 @@ pub struct Standing {
     /// Completed cells that terminated early at the certified floor.
     #[serde(default)]
     pub early_stops: usize,
+    /// Completed cells that needed same-seed retries to finish
+    /// (degraded: kept on the board, flagged instead of dropped).
+    #[serde(default)]
+    pub degraded: usize,
 }
 
 /// The deterministic tournament artifact (`mshc tournament --out`).
@@ -65,6 +69,9 @@ pub struct Leaderboard {
     pub cells: usize,
     /// Cells that failed (panicked) instead of finishing.
     pub failures: usize,
+    /// Cells that completed only after bounded same-seed retries.
+    #[serde(default)]
+    pub degraded: usize,
     /// Per-algorithm standings, best first (wins desc, then mean rank
     /// asc, then name).
     pub standings: Vec<Standing>,
@@ -148,6 +155,7 @@ pub fn aggregate(run: &TournamentRun) -> (Leaderboard, Timing) {
                 mean_gap: gap_summary.as_ref().map(|s| s.mean),
                 best_gap: gap_summary.as_ref().map(|s| s.min),
                 early_stops: done.iter().filter(|c| c.early_stopped).count(),
+                degraded: done.iter().filter(|c| c.degraded).count(),
             }
         })
         .collect();
@@ -159,6 +167,7 @@ pub fn aggregate(run: &TournamentRun) -> (Leaderboard, Timing) {
     });
 
     let failures = run.cells.iter().filter(|c| !c.ok).count();
+    let degraded = run.cells.iter().filter(|c| c.ok && c.degraded).count();
     let leaderboard = Leaderboard {
         suite: spec.suite.clone(),
         portfolio: spec.portfolio,
@@ -166,6 +175,7 @@ pub fn aggregate(run: &TournamentRun) -> (Leaderboard, Timing) {
         races,
         cells: run.cells.len(),
         failures,
+        degraded,
         standings,
         results: run.cells.clone(),
     };
@@ -218,6 +228,9 @@ pub fn cells_csv(board: &Leaderboard, timing: &[CellTiming]) -> CsvTable {
         "pruned_fraction",
         "spliced_fraction",
         "prefix_reuse_fraction",
+        "retries",
+        "degraded",
+        "termination",
     ]);
     // New columns (certificates, then scan-efficiency fractions) append
     // after the historic ones, so column indices of pre-existing
@@ -242,6 +255,9 @@ pub fn cells_csv(board: &Leaderboard, timing: &[CellTiming]) -> CsvTable {
             format!("{:.6}", scan.pruned_fraction()),
             format!("{:.6}", scan.spliced_fraction()),
             format!("{:.6}", scan.prefix_reuse_fraction()),
+            c.retries.to_string(),
+            c.degraded.to_string(),
+            sanitize(&c.termination),
         ]);
     }
     table
@@ -292,16 +308,24 @@ pub fn render_report(board: &Leaderboard, timing: &Timing) -> String {
     }
     let _ = writeln!(
         out,
-        "cells: {} total, {} completed, {} failed",
+        "cells: {} total, {} completed, {} failed, {} degraded",
         board.cells,
         board.cells - board.failures,
-        board.failures
+        board.failures,
+        board.degraded
     );
     for c in board.results.iter().filter(|c| !c.ok) {
         let _ = writeln!(
             out,
             "  FAILED {} on {} seed {} ({}): {}",
             c.algorithm, c.scenario, c.seed, c.objective, c.error
+        );
+    }
+    for c in board.results.iter().filter(|c| c.ok && c.degraded) {
+        let _ = writeln!(
+            out,
+            "  DEGRADED {} on {} seed {} ({}): completed after {} retries",
+            c.algorithm, c.scenario, c.seed, c.objective, c.retries
         );
     }
     let _ = writeln!(

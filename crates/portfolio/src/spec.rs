@@ -83,6 +83,20 @@ pub struct TournamentSpec {
     /// counts included, is bit-identical either way, which CI `cmp`s.
     #[serde(default)]
     pub ga_full_eval: bool,
+    /// Bounded deterministic same-seed retries for panicked cells
+    /// (default 1): a panicking attempt is re-run with identical inputs
+    /// up to this many extra times; a retry that completes marks the
+    /// cell `degraded` in the leaderboard instead of dropping it.
+    #[serde(default = "default_cell_retries")]
+    pub cell_retries: u64,
+    /// Optional per-cell evaluation-count deadline threaded into every
+    /// cell's [`RunBudget`]: cells degrade gracefully at the deadline,
+    /// reporting their incumbent with a `deadline` termination instead
+    /// of erroring. Deterministic (counted evaluations, not wall
+    /// clock), so deadline-cut leaderboards stay byte-identical at any
+    /// thread count.
+    #[serde(default)]
+    pub deadline_evals: Option<u64>,
 }
 
 fn default_prune() -> bool {
@@ -91,6 +105,10 @@ fn default_prune() -> bool {
 
 fn default_early_stop() -> bool {
     true
+}
+
+fn default_cell_retries() -> u64 {
+    1
 }
 
 impl TournamentSpec {
@@ -110,6 +128,8 @@ impl TournamentSpec {
             prune: true,
             early_stop: true,
             ga_full_eval: false,
+            cell_retries: 1,
+            deadline_evals: None,
         }
     }
 
@@ -133,6 +153,11 @@ impl TournamentSpec {
         }
         if self.portfolio && self.rounds == 0 {
             return Err("portfolio mode needs at least one round".into());
+        }
+        if self.deadline_evals == Some(0) {
+            return Err("deadline_evals must be positive: a zero deadline would fire before \
+                 the first incumbent exists and can never return a schedule"
+                .into());
         }
         for name in &self.algorithms {
             if !ALGORITHMS.contains(&name.as_str()) {
@@ -207,11 +232,15 @@ impl TournamentSpec {
 
     /// The per-race run budget for one objective.
     pub fn budget(&self, objective: ObjectiveKind) -> RunBudget {
-        RunBudget::iterations(self.iterations)
+        let budget = RunBudget::iterations(self.iterations)
             .with_objective(objective)
             .with_prune(self.prune)
             .with_early_stop(self.early_stop)
-            .with_ga_full_eval(self.ga_full_eval)
+            .with_ga_full_eval(self.ga_full_eval);
+        match self.deadline_evals {
+            Some(deadline) => budget.with_deadline_evals(deadline),
+            None => budget,
+        }
     }
 }
 
@@ -424,6 +453,34 @@ mod tests {
         let mut s = base.clone();
         s.objectives.push("makespan".into());
         assert!(s.validate().unwrap_err().contains("duplicate objective"));
+    }
+
+    #[test]
+    fn spec_json_without_retry_fields_defaults_sanely() {
+        // Spec files written before disturbance tolerance existed must
+        // keep parsing: one retry by default, no deadline.
+        let spec = TournamentSpec::new("tiny", tiny_suite());
+        let mut json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"cell_retries\":1"));
+        json = json.replace(",\"cell_retries\":1", "").replace("\"cell_retries\":1,", "");
+        json = json.replace(",\"deadline_evals\":null", "").replace("\"deadline_evals\":null,", "");
+        assert!(!json.contains("cell_retries") && !json.contains("deadline_evals"));
+        let parsed: TournamentSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed.cell_retries, 1, "missing field defaults to one retry");
+        assert_eq!(parsed.deadline_evals, None);
+        assert!(parsed.budget(ObjectiveKind::Makespan).deadline_evals.is_none());
+    }
+
+    #[test]
+    fn deadline_evals_validates_and_reaches_the_budget() {
+        let mut spec = TournamentSpec::new("tiny", tiny_suite());
+        spec.deadline_evals = Some(0);
+        assert!(spec.validate().unwrap_err().contains("deadline_evals"));
+        spec.deadline_evals = Some(500);
+        spec.validate().unwrap();
+        let budget = spec.budget(ObjectiveKind::Makespan);
+        assert_eq!(budget.deadline_evals, Some(500));
+        budget.validate().unwrap();
     }
 
     #[test]

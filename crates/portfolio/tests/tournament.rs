@@ -274,3 +274,88 @@ fn portfolio_cells_stay_deterministic_with_oneshot_lanes() {
     let sa = a.cells.iter().find(|c| c.algorithm == "sa").unwrap();
     assert!(sa.objective_value <= best_oneshot + 1e-9);
 }
+
+#[test]
+fn injected_cell_fault_is_retried_and_marked_degraded() {
+    // One armed cell fault panics the se cell's first attempt; the
+    // bounded same-seed retry finds the fault consumed and completes.
+    // The cell lands on the board flagged degraded, byte-identical in
+    // every payload field to a fault-free run of the same spec.
+    let scenario = tiny_suite()[0];
+    let spec = TournamentSpec {
+        algorithms: vec!["se".into(), "heft".into()],
+        seeds: vec![4242],
+        iterations: 8,
+        ..TournamentSpec::new("chaos", vec![scenario])
+    };
+    let clean = run_tournament(&spec).unwrap();
+
+    let plan = mshc_schedule::FaultPlan {
+        cell_panics: vec![mshc_schedule::CellFault {
+            algorithm: "se".into(),
+            scenario: scenario.tag(),
+            seed: 4242,
+        }],
+        ..mshc_schedule::FaultPlan::default()
+    };
+    mshc_schedule::faults::arm(&plan);
+    let faulted = run_tournament(&spec).unwrap();
+    mshc_schedule::faults::disarm();
+
+    let (clean_board, _) = aggregate(&clean);
+    let (board, timing) = aggregate(&faulted);
+    assert_eq!(board.failures, 0, "the retry absorbs the injected panic");
+    assert_eq!(board.degraded, 1);
+    let se = board.results.iter().find(|c| c.algorithm == "se").unwrap();
+    assert!(se.ok && se.degraded);
+    assert_eq!(se.retries, 1);
+    assert_eq!(se.termination, "budget");
+    let heft = board.results.iter().find(|c| c.algorithm == "heft").unwrap();
+    assert!(!heft.degraded, "fault-free lanes are untouched");
+    assert_eq!(heft.retries, 0);
+    // Modulo the retry bookkeeping, the degraded cell's answer is the
+    // clean run's answer: same-seed retries reproduce the search bit
+    // for bit.
+    let clean_se = clean_board.results.iter().find(|c| c.algorithm == "se").unwrap();
+    assert_eq!(se.objective_value.to_bits(), clean_se.objective_value.to_bits());
+    assert_eq!(se.evaluations, clean_se.evaluations);
+    let report = render_report(&board, &timing);
+    assert!(report.contains("1 degraded"));
+    assert!(report.contains("DEGRADED se"));
+    assert!(report.contains("completed after 1 retries"));
+    // The CSV export carries the new trailing columns.
+    let csv = cells_csv(&board, &faulted.timing).to_string_csv();
+    assert!(csv.lines().next().unwrap().ends_with("retries,degraded,termination"));
+    assert!(csv.contains(",1,true,budget"));
+}
+
+#[test]
+fn exhausted_retry_budget_surfaces_the_failure() {
+    // Two faults against one cell with the default single retry: both
+    // attempts panic and the cell fails with the injected message, but
+    // the tournament itself survives.
+    let scenario = tiny_suite()[0];
+    let spec = TournamentSpec {
+        algorithms: vec!["sa".into(), "heft".into()],
+        seeds: vec![777],
+        iterations: 6,
+        ..TournamentSpec::new("chaos2", vec![scenario])
+    };
+    let fault =
+        mshc_schedule::CellFault { algorithm: "sa".into(), scenario: scenario.tag(), seed: 777 };
+    let plan = mshc_schedule::FaultPlan {
+        cell_panics: vec![fault.clone(), fault],
+        ..mshc_schedule::FaultPlan::default()
+    };
+    mshc_schedule::faults::arm(&plan);
+    let run = run_tournament(&spec).unwrap();
+    mshc_schedule::faults::disarm();
+    let (board, _) = aggregate(&run);
+    assert_eq!(board.failures, 1);
+    assert_eq!(board.degraded, 0, "failed cells are failed, not degraded");
+    let sa = board.results.iter().find(|c| c.algorithm == "sa").unwrap();
+    assert!(!sa.ok);
+    assert_eq!(sa.retries, 1, "the one allowed retry was spent");
+    assert!(sa.error.contains("fault injection"), "injected cause surfaced: {}", sa.error);
+    assert!(board.results.iter().find(|c| c.algorithm == "heft").unwrap().ok);
+}

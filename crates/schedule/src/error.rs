@@ -42,6 +42,18 @@ pub enum ScheduleError {
     /// A [`crate::RunBudget`] with no stopping limit was handed to an
     /// iterative (anytime) scheduler, which would run forever.
     UnboundedBudget,
+    /// A [`crate::RunBudget`] deadline that can never be meaningful: a
+    /// zero evaluation-count deadline or a zero wall-clock deadline
+    /// would fire before the first incumbent exists.
+    InvalidDeadline {
+        /// Which deadline axis was rejected (`"deadline_evals"` or
+        /// `"deadline_wall"`).
+        axis: &'static str,
+    },
+    /// A [`crate::CancelToken`] that had already fired was attached to a
+    /// budget before the run started — almost certainly a reused token
+    /// from a previous request; cancel tokens are one-shot.
+    CancelledBeforeStart,
 }
 
 impl fmt::Display for ScheduleError {
@@ -69,6 +81,16 @@ impl fmt::Display for ScheduleError {
                 "iterative schedulers need a bounded run budget: set at least one of \
                  max_iterations, max_evaluations, max_wall or max_stall"
             ),
+            ScheduleError::InvalidDeadline { axis } => write!(
+                f,
+                "{axis} must be positive: a zero deadline would fire before the \
+                 first incumbent exists and can never return a schedule"
+            ),
+            ScheduleError::CancelledBeforeStart => write!(
+                f,
+                "cancel token already fired before the run started: cancel tokens \
+                 are one-shot, create a fresh CancelToken per request"
+            ),
         }
     }
 }
@@ -93,5 +115,9 @@ mod tests {
         let e = ScheduleError::OutOfValidRange { task: TaskId::new(2), position: 5, range: (1, 3) };
         assert!(e.to_string().contains("[1, 3]"));
         assert!(ScheduleError::UnboundedBudget.to_string().contains("bounded run budget"));
+        let e = ScheduleError::InvalidDeadline { axis: "deadline_evals" };
+        assert!(e.to_string().contains("deadline_evals"));
+        assert!(e.to_string().contains("positive"));
+        assert!(ScheduleError::CancelledBeforeStart.to_string().contains("one-shot"));
     }
 }

@@ -319,6 +319,7 @@ impl<'a> Evaluator<'a> {
         self.state.reset(self.machine_avail.len());
         self.evaluations += 1;
         mshc_obs::add(mshc_obs::Counter::Evaluations, 1);
+        crate::faults::eval_tick();
         for seg in solution.segments() {
             let t = seg.task;
             let m = seg.machine;

@@ -787,6 +787,7 @@ impl<'a> IncrementalEvaluator<'a> {
         let ceiling = old_pos.max(new_pos);
         *evaluations += 1;
         obs::add(obs::Counter::ScanScored, 1);
+        crate::faults::eval_tick();
         // Resume from the nearest checkpoint at or before `first`.
         // Bound context. The total-busy hint must upper-bound the busy
         // sum `finalize` will compute for *this candidate*, rounding
@@ -1047,6 +1048,7 @@ impl<'a> IncrementalEvaluator<'a> {
         );
         *evaluations += 1;
         obs::add(obs::Counter::ScanScored, 1);
+        crate::faults::eval_tick();
 
         // Last position where the child differs from the base: beyond it
         // the tail is the base's, so checkpoint boundaries there are

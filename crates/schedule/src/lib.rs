@@ -120,11 +120,13 @@ pub mod batch;
 pub mod encoding;
 pub mod error;
 pub mod eval;
+pub mod faults;
 pub mod gantt;
 pub mod incremental;
 pub mod init;
 pub mod lower_bound;
 pub mod objective;
+pub mod replan;
 pub mod runner;
 pub mod sim;
 pub mod snapshot;
@@ -134,6 +136,7 @@ pub use batch::{BatchEvaluator, BestMove, Descent};
 pub use encoding::{Segment, Solution};
 pub use error::ScheduleError;
 pub use eval::{Evaluator, ScheduleReport};
+pub use faults::{CellFault, FaultPlan, FAULT_PANIC_PREFIX};
 pub use gantt::Gantt;
 pub use incremental::{auto_stride, IncrementalEvaluator, MoveScore, ScanStats};
 pub use init::random_solution;
@@ -142,7 +145,13 @@ pub use objective::{
     objective_from_report, BoundHints, EvalView, LoadBalance, Makespan, MeanFlowtime, Objective,
     ObjectiveKind, ObjectiveState, ObjectiveValues, SuffixView, TotalFlowtime, Weighted,
 };
-pub use runner::{certified_gap, report_objective_value, RunBudget, RunResult, Scheduler};
+pub use replan::{
+    Disturbance, DisturbanceKind, DisturbanceRecord, ReplanError, ReplanReport, Replanner,
+};
+pub use runner::{
+    certified_gap, report_objective_value, CancelToken, RunBudget, RunResult, Scheduler,
+    Termination,
+};
 pub use sim::{replay, replay_with, NetworkModel, SimError};
 pub use snapshot::EvalSnapshot;
 pub use steppable::{

@@ -19,13 +19,101 @@ use crate::incremental::ScanStats;
 use crate::objective::ObjectiveKind;
 use mshc_platform::HcInstance;
 use mshc_trace::Trace;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A shared, one-shot cooperative cancellation flag.
+///
+/// Clone the token, hand one copy to the budget
+/// ([`RunBudget::with_cancel`]) and keep the other; calling
+/// [`cancel`](CancelToken::cancel) from any thread asks the run to stop
+/// at the next slice boundary. Cancellation is *cooperative*: searches
+/// poll the token between [`step`](crate::SearchStep::step) slices —
+/// never inside an evaluation — so evaluation counts stay exact and the
+/// incumbent returned is always a complete, valid schedule.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    fired: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Fires the token; every clone observes the cancellation. One-shot:
+    /// there is deliberately no way to un-fire.
+    pub fn cancel(&self) {
+        self.fired.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.fired.load(Ordering::Acquire)
+    }
+}
+
+impl PartialEq for CancelToken {
+    /// Identity equality: two tokens are equal iff they share the flag
+    /// (a clone equals its original; two fresh tokens never compare
+    /// equal even though both are unfired).
+    fn eq(&self, other: &CancelToken) -> bool {
+        Arc::ptr_eq(&self.fired, &other.fired)
+    }
+}
+
+/// Why a run stopped. Ordered by reporting precedence: a run that hit
+/// the certified floor reports [`Floor`](Termination::Floor) even if a
+/// deadline expired the same slice, a cancellation outranks deadlines,
+/// and deadlines outrank ordinary budget exhaustion. Whatever the
+/// variant, the result always carries the best incumbent and its
+/// certificate gap — degraded termination is graceful, never an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Termination {
+    /// The run finished its work with no limit hit: one-shot heuristics,
+    /// or a steppable search drained by its driver without exhausting
+    /// the budget.
+    Completed,
+    /// A classic budget limit (`max_iterations`, `max_evaluations`,
+    /// `max_wall`, `max_stall`) stopped the run.
+    Budget,
+    /// A deadline (`deadline_evals` or `deadline_wall`) stopped the run.
+    Deadline,
+    /// A [`CancelToken`] fired and the run stopped at the next slice
+    /// boundary.
+    Cancelled,
+    /// The incumbent reached the instance's certified lower bound — the
+    /// solution is provably optimal.
+    Floor,
+}
+
+impl Termination {
+    /// Stable lowercase identifier used in reports, leaderboards and
+    /// CSV cells.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Termination::Completed => "completed",
+            Termination::Budget => "budget",
+            Termination::Deadline => "deadline",
+            Termination::Cancelled => "cancelled",
+            Termination::Floor => "floor",
+        }
+    }
+}
+
+impl std::fmt::Display for Termination {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Stopping criteria plus the objective to optimize; a run stops as soon
 /// as *any* set limit is reached. A fully `None` budget never stops —
 /// constructive heuristics ignore budgets, iterative schedulers require
 /// at least one limit ([`validate`](RunBudget::validate) enforces this).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunBudget {
     /// Maximum iterations (SE) / generations (GA).
     pub max_iterations: Option<u64>,
@@ -67,6 +155,22 @@ pub struct RunBudget {
     /// solutions, fitness values and evaluation counts are bit-identical
     /// either way.
     pub ga_full_eval: bool,
+    /// *Deterministic* deadline: stop once this many full evaluations
+    /// have been performed, reporting [`Termination::Deadline`]. Unlike
+    /// `max_evaluations` (a budget), a deadline models an external
+    /// request limit; both stop the run identically, the difference is
+    /// how the termination is classified. Bit-reproducible — the
+    /// testable deadline surface.
+    pub deadline_evals: Option<u64>,
+    /// *Wall-clock* deadline: stop once this much time has elapsed,
+    /// reporting [`Termination::Deadline`]. Anytime mode — the result
+    /// still carries the best incumbent and its certificate gap, but
+    /// which iteration it stops at varies run-to-run, so wall deadlines
+    /// never gate byte-compared artifacts.
+    pub deadline_wall: Option<Duration>,
+    /// Cooperative cancellation token, polled at slice boundaries
+    /// (never inside an evaluation). `None` means not cancellable.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RunBudget {
@@ -81,6 +185,9 @@ impl Default for RunBudget {
             prune: true,
             early_stop: true,
             ga_full_eval: false,
+            deadline_evals: None,
+            deadline_wall: None,
+            cancel: None,
         }
     }
 }
@@ -141,6 +248,26 @@ impl RunBudget {
         self
     }
 
+    /// Sets the deterministic evaluation-count deadline
+    /// ([`Termination::Deadline`] once `n` evaluations are done).
+    pub fn with_deadline_evals(mut self, n: u64) -> RunBudget {
+        self.deadline_evals = Some(n);
+        self
+    }
+
+    /// Sets the wall-clock deadline ([`Termination::Deadline`] once `d`
+    /// has elapsed). Anytime mode: not bit-reproducible.
+    pub fn with_deadline_wall(mut self, d: Duration) -> RunBudget {
+        self.deadline_wall = Some(d);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> RunBudget {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Whether a search may stop now because its incumbent has reached
     /// the instance's certified floor: requires the knob on, a floor
     /// (searches only certify the makespan objective), and the floor
@@ -159,20 +286,35 @@ impl RunBudget {
         hit
     }
 
-    /// Whether any limit is set.
+    /// Whether any limit is set (budget limits or deadlines; a fired
+    /// cancel token does not bound a budget — cancellation may never
+    /// come).
     pub fn is_bounded(&self) -> bool {
         self.max_iterations.is_some()
             || self.max_evaluations.is_some()
             || self.max_wall.is_some()
             || self.max_stall.is_some()
+            || self.deadline_evals.is_some()
+            || self.deadline_wall.is_some()
     }
 
     /// Validates the budget for an iterative (anytime) scheduler: an
-    /// all-`None` budget never stops, so at least one limit must be set.
-    /// The iterative schedulers and the CLI call this instead of silently
+    /// all-`None` budget never stops, so at least one limit must be set;
+    /// zero deadlines would fire before the first incumbent exists; and
+    /// an already-fired cancel token is a reused one-shot token. The
+    /// iterative schedulers and the CLI call this instead of silently
     /// running forever; one-shot constructive heuristics ignore budgets
     /// and need not validate.
     pub fn validate(&self) -> Result<(), ScheduleError> {
+        if self.deadline_evals == Some(0) {
+            return Err(ScheduleError::InvalidDeadline { axis: "deadline_evals" });
+        }
+        if self.deadline_wall == Some(Duration::ZERO) {
+            return Err(ScheduleError::InvalidDeadline { axis: "deadline_wall" });
+        }
+        if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            return Err(ScheduleError::CancelledBeforeStart);
+        }
         if self.is_bounded() {
             Ok(())
         } else {
@@ -180,7 +322,8 @@ impl RunBudget {
         }
     }
 
-    /// True once any limit is hit.
+    /// True once any classic budget limit is hit (not deadlines — see
+    /// [`halted`](RunBudget::halted) for the combined stopping test).
     pub fn exhausted(
         &self,
         iterations: u64,
@@ -192,6 +335,58 @@ impl RunBudget {
             || self.max_evaluations.is_some_and(|m| evaluations >= m)
             || self.max_wall.is_some_and(|m| elapsed >= m)
             || self.max_stall.is_some_and(|m| stall >= m)
+    }
+
+    /// True once a deadline (evaluation-count or wall-clock) is hit.
+    pub fn deadline_hit(&self, evaluations: u64, elapsed: Duration) -> bool {
+        self.deadline_evals.is_some_and(|m| evaluations >= m)
+            || self.deadline_wall.is_some_and(|m| elapsed >= m)
+    }
+
+    /// The combined stopping test every steppable loop uses: any budget
+    /// limit or deadline hit.
+    pub fn halted(&self, iterations: u64, evaluations: u64, elapsed: Duration, stall: u64) -> bool {
+        self.exhausted(iterations, evaluations, elapsed, stall)
+            || self.deadline_hit(evaluations, elapsed)
+    }
+
+    /// Polls the cancel token at a slice boundary, latching the result
+    /// into the caller-held flag. The registry's `Cancellations` counter
+    /// bumps exactly once per run — on the first observation — mirroring
+    /// the `floor_reached`/`EarlyStops` latch pattern. Returns the
+    /// latched state.
+    pub fn observe_cancel(&self, latched: &mut bool) -> bool {
+        if !*latched && self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            *latched = true;
+            mshc_obs::add(mshc_obs::Counter::Cancellations, 1);
+        }
+        *latched
+    }
+
+    /// Classifies why a finished run stopped, applying the reporting
+    /// precedence `Floor > Cancelled > Deadline > Budget > Completed`.
+    /// Called once by each search's `result()` assembler with its final
+    /// counters and latches.
+    pub fn termination(
+        &self,
+        iterations: u64,
+        evaluations: u64,
+        elapsed: Duration,
+        stall: u64,
+        early_stopped: bool,
+        cancelled: bool,
+    ) -> Termination {
+        if early_stopped {
+            Termination::Floor
+        } else if cancelled {
+            Termination::Cancelled
+        } else if self.deadline_hit(evaluations, elapsed) {
+            Termination::Deadline
+        } else if self.exhausted(iterations, evaluations, elapsed, stall) {
+            Termination::Budget
+        } else {
+            Termination::Completed
+        }
     }
 }
 
@@ -227,6 +422,10 @@ pub struct RunResult {
     /// Whether the run terminated early because the incumbent reached
     /// the certified floor (implies the solution is provably optimal).
     pub early_stopped: bool,
+    /// Why the run stopped (see [`Termination`] for the precedence).
+    /// Always accompanied by the best incumbent — degraded termination
+    /// is graceful, never an error.
+    pub termination: Termination,
 }
 
 impl RunResult {
@@ -353,7 +552,7 @@ mod tests {
     fn early_stop_knob_and_floor_test() {
         let b = RunBudget::iterations(5);
         assert!(b.early_stop, "early stop defaults on");
-        assert!(!b.with_early_stop(false).early_stop);
+        assert!(!b.clone().with_early_stop(false).early_stop);
         // No floor (non-makespan objectives) never stops early.
         assert!(!b.floor_reached(None, 0.0));
         // Floor reached stops; above the floor keeps running.
@@ -361,7 +560,7 @@ mod tests {
         assert!(b.floor_reached(Some(10.0), 9.5));
         assert!(!b.floor_reached(Some(10.0), 10.5));
         // Knob off disables the test entirely.
-        assert!(!b.with_early_stop(false).floor_reached(Some(10.0), 10.0));
+        assert!(!b.clone().with_early_stop(false).floor_reached(Some(10.0), 10.0));
         // Non-finite incumbents never claim optimality.
         assert!(!b.floor_reached(Some(10.0), f64::NAN));
     }
@@ -370,5 +569,105 @@ mod tests {
     fn unbounded_never_exhausts() {
         let b = RunBudget::default();
         assert!(!b.exhausted(u64::MAX, u64::MAX, Duration::from_secs(1 << 40), u64::MAX));
+    }
+
+    #[test]
+    fn cancel_token_fires_once_and_shares_state() {
+        let token = CancelToken::new();
+        let peer = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(!peer.is_cancelled());
+        peer.cancel();
+        assert!(token.is_cancelled(), "clones share the flag");
+        // Identity equality: clone == original, fresh != fresh.
+        assert_eq!(token, peer);
+        assert_ne!(CancelToken::new(), CancelToken::new());
+    }
+
+    #[test]
+    fn deadlines_bound_and_validate() {
+        // Deadlines alone bound a budget.
+        let b = RunBudget::default().with_deadline_evals(10);
+        assert!(b.is_bounded());
+        assert!(b.validate().is_ok());
+        let b = RunBudget::default().with_deadline_wall(Duration::from_millis(5));
+        assert!(b.is_bounded());
+        assert!(b.validate().is_ok());
+        // Zero deadlines are rejected with the axis named.
+        assert_eq!(
+            RunBudget::default().with_deadline_evals(0).validate(),
+            Err(ScheduleError::InvalidDeadline { axis: "deadline_evals" })
+        );
+        assert_eq!(
+            RunBudget::default().with_deadline_wall(Duration::ZERO).validate(),
+            Err(ScheduleError::InvalidDeadline { axis: "deadline_wall" })
+        );
+        // A pre-fired token is misuse even on an otherwise valid budget.
+        let fired = CancelToken::new();
+        fired.cancel();
+        assert_eq!(
+            RunBudget::iterations(5).with_cancel(fired).validate(),
+            Err(ScheduleError::CancelledBeforeStart)
+        );
+        // An unfired token on a bounded budget is fine; a token alone
+        // does not bound a budget.
+        let token = CancelToken::new();
+        assert!(RunBudget::iterations(5).with_cancel(token.clone()).validate().is_ok());
+        assert_eq!(
+            RunBudget::default().with_cancel(token).validate(),
+            Err(ScheduleError::UnboundedBudget)
+        );
+    }
+
+    #[test]
+    fn deadline_hit_and_halted_each_axis() {
+        let b = RunBudget::default().with_deadline_evals(10);
+        assert!(!b.deadline_hit(9, Duration::ZERO));
+        assert!(b.deadline_hit(10, Duration::ZERO));
+        assert!(!b.exhausted(0, 10, Duration::ZERO, 0), "deadline is not a budget limit");
+        assert!(b.halted(0, 10, Duration::ZERO, 0));
+        let b = RunBudget::default().with_deadline_wall(Duration::from_millis(5));
+        assert!(!b.deadline_hit(u64::MAX, Duration::from_millis(4)));
+        assert!(b.deadline_hit(0, Duration::from_millis(5)));
+        // halted() is the union of both stopping families.
+        let b = RunBudget::iterations(3).with_deadline_evals(10);
+        assert!(b.halted(3, 0, Duration::ZERO, 0), "budget side");
+        assert!(b.halted(0, 10, Duration::ZERO, 0), "deadline side");
+        assert!(!b.halted(2, 9, Duration::ZERO, 0));
+    }
+
+    #[test]
+    fn observe_cancel_latches_once() {
+        let token = CancelToken::new();
+        let b = RunBudget::iterations(5).with_cancel(token.clone());
+        let mut latched = false;
+        assert!(!b.observe_cancel(&mut latched));
+        token.cancel();
+        assert!(b.observe_cancel(&mut latched));
+        assert!(latched);
+        // Latched stays true on subsequent polls.
+        assert!(b.observe_cancel(&mut latched));
+        // A budget without a token never cancels.
+        let mut latched = false;
+        assert!(!RunBudget::iterations(5).observe_cancel(&mut latched));
+    }
+
+    #[test]
+    fn termination_precedence() {
+        let b = RunBudget::iterations(3).with_deadline_evals(10);
+        let t = Duration::ZERO;
+        // Floor outranks everything.
+        assert_eq!(b.termination(3, 10, t, 0, true, true), Termination::Floor);
+        // Cancelled outranks deadlines and budget.
+        assert_eq!(b.termination(3, 10, t, 0, false, true), Termination::Cancelled);
+        // Deadline outranks budget.
+        assert_eq!(b.termination(3, 10, t, 0, false, false), Termination::Deadline);
+        // Budget alone.
+        assert_eq!(b.termination(3, 9, t, 0, false, false), Termination::Budget);
+        // Nothing hit: completed.
+        assert_eq!(b.termination(2, 9, t, 0, false, false), Termination::Completed);
+        // Labels are stable.
+        assert_eq!(Termination::Deadline.as_str(), "deadline");
+        assert_eq!(Termination::Cancelled.to_string(), "cancelled");
     }
 }

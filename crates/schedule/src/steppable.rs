@@ -141,7 +141,7 @@ impl<'a> OneShotStep<'a> {
         inst: &'a HcInstance,
         budget: &RunBudget,
     ) -> OneShotStep<'a> {
-        OneShotStep { scheduler, inst, budget: *budget, outcome: None }
+        OneShotStep { scheduler, inst, budget: budget.clone(), outcome: None }
     }
 
     fn ensure_run(&mut self, trace: Option<&mut Trace>) {
@@ -225,6 +225,7 @@ mod tests {
                 lower_bound: None,
                 gap: None,
                 early_stopped: false,
+                termination: crate::runner::Termination::Completed,
             }
         }
     }

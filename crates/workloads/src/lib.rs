@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod disturbance;
 pub mod presets;
 pub mod spec;
 pub mod structured;
 pub mod suite;
 
+pub use disturbance::{DisturbanceTrace, DisturbanceTraceSpec};
 pub use presets::{figure1, FigureWorkload};
 pub use spec::{Connectivity, Heterogeneity, WorkloadSpec};
 pub use suite::{named_suite, small_suite, tiny_suite, DagShape, Scenario};

@@ -72,14 +72,16 @@ pub mod prelude {
     };
     pub use mshc_portfolio::{run_tournament, Leaderboard, TournamentSpec};
     pub use mshc_schedule::{
-        replay, BatchEvaluator, EvalSnapshot, Evaluator, Gantt, IncrementalEvaluator, Objective,
-        ObjectiveKind, ObjectiveState, RunBudget, RunResult, Scheduler, SearchStep, Segment,
-        Solution, StepVerdict, SteppableSearch,
+        replay, BatchEvaluator, CancelToken, CellFault, Disturbance, DisturbanceKind, EvalSnapshot,
+        Evaluator, FaultPlan, Gantt, IncrementalEvaluator, Objective, ObjectiveKind,
+        ObjectiveState, ReplanReport, Replanner, RunBudget, RunResult, Scheduler, SearchStep,
+        Segment, Solution, StepVerdict, SteppableSearch, Termination,
     };
     pub use mshc_taskgraph::{DataId, TaskGraph, TaskGraphBuilder, TaskId};
     pub use mshc_trace::{AsciiPlot, Series, Trace, TraceRecord};
     pub use mshc_workloads::{
-        figure1, Connectivity, FigureWorkload, Heterogeneity, Scenario, WorkloadSpec,
+        figure1, Connectivity, DisturbanceTrace, DisturbanceTraceSpec, FigureWorkload,
+        Heterogeneity, Scenario, WorkloadSpec,
     };
 }
 
